@@ -1,0 +1,16 @@
+// Package nbr is a from-scratch Go reproduction of "NBR: Neutralization
+// Based Reclamation" (Singh, Brown, Mashtizadeh; PPoPP 2021).
+//
+// The paper's algorithms live in internal/core; the substrates that make
+// them expressible under a garbage-collected runtime live in internal/mem
+// (manual-memory pool with use-after-free detection) and internal/sigsim
+// (simulated POSIX neutralization signals). internal/smr defines the
+// scheme/data-structure interface, internal/smr/* the baseline reclamation
+// algorithms, internal/ds/* the five evaluated data structures, and
+// internal/bench the harness that regenerates every figure of the paper's
+// evaluation (driven by cmd/nbrbench or the top-level testing.B benchmarks
+// in bench_test.go).
+//
+// See README.md for a tour, DESIGN.md for the architecture and the
+// substitution arguments, and EXPERIMENTS.md for measured-vs-paper results.
+package nbr

@@ -1,0 +1,46 @@
+// Oversubscribe demonstrates the paper's P4 (consistency) property: when
+// the system runs many more threads than cores, schemes that depend on
+// every thread making progress (epoch-based) suffer from delayed threads,
+// while NBR+ keeps reclaiming by neutralizing laggards. The example drives
+// the benchmark harness directly at 8× oversubscription and prints the
+// throughput and garbage of each scheme side by side.
+//
+// Run with: go run ./examples/oversubscribe
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"nbr/internal/bench"
+)
+
+func main() {
+	threads := 8 * runtime.GOMAXPROCS(0)
+	fmt.Printf("DGT tree, 50%%i-50%%d, key range 100k, %d goroutines on %d core(s)\n\n",
+		threads, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-8s %10s %12s %12s %12s\n", "scheme", "Mops/s", "garbage", "signals", "p99 lat")
+
+	for _, scheme := range []string{"none", "debra", "hp", "nbr+"} {
+		r, err := bench.Run(bench.Workload{
+			DS:       "dgt",
+			Scheme:   scheme,
+			Threads:  threads,
+			KeyRange: 100_000,
+			InsPct:   50,
+			DelPct:   50,
+			Duration: 600 * time.Millisecond,
+			Prefill:  -1,
+			Cfg:      bench.DefaultSchemeConfig(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-8s %10.3f %12d %12d %12v\n",
+			scheme, r.Mops, r.Stats.Garbage(), r.Stats.Signals, r.LatP99)
+	}
+	fmt.Println("\ngarbage = retired records not yet returned to the allocator at exit;")
+	fmt.Println("the leaky baseline never frees, the epoch schemes depend on laggards,")
+	fmt.Println("NBR+ stays bounded because stalled readers are neutralized.")
+}

@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewSchemeAllNames(t *testing.T) {
+	inst, err := NewDS("lazylist", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range SchemeNames {
+		s, err := NewScheme(name, inst.Arena, 2, DefaultSchemeConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("scheme %q reports name %q", name, s.Name())
+		}
+	}
+	if _, err := NewScheme("bogus", inst.Arena, 2, DefaultSchemeConfig()); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
+
+func TestNewDSAllNames(t *testing.T) {
+	for _, name := range DSNames {
+		inst, err := NewDS(name, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if inst.Set == nil || inst.Arena == nil || inst.MemStats == nil {
+			t.Fatalf("%s: incomplete instance", name)
+		}
+		if err := inst.Set.Validate(); err != nil {
+			t.Fatalf("%s: fresh instance invalid: %v", name, err)
+		}
+	}
+	if _, err := NewDS("bogus", 2); err == nil {
+		t.Fatal("unknown structure must error")
+	}
+}
+
+func TestTable1Coverage(t *testing.T) {
+	for _, d := range DSNames {
+		for _, s := range SchemeNames {
+			if _, ok := Table1Verdict(d, s); !ok {
+				t.Fatalf("no Table 1 verdict for %s/%s", d, s)
+			}
+		}
+	}
+}
+
+func TestTable1KnownVerdicts(t *testing.T) {
+	cases := []struct {
+		ds, scheme string
+		ok         bool
+	}{
+		{"lazylist", "nbr+", true},
+		{"lazylist", "hp", false},
+		{"hmlist-norestart", "nbr", false},
+		{"hmlist", "nbr", true},
+		{"harris", "hp", true},
+		{"dgt", "ibr", false},
+		{"abtree", "he", false},
+		{"abtree", "debra", true},
+	}
+	for _, c := range cases {
+		v, ok := Table1Verdict(c.ds, c.scheme)
+		if !ok || v.OK != c.ok {
+			t.Fatalf("Table1Verdict(%s, %s) = %+v, want OK=%v", c.ds, c.scheme, v, c.ok)
+		}
+	}
+}
+
+func TestRunnableExceptions(t *testing.T) {
+	// The paper's E1 runs HP on the lazy list and DGT despite Table 1.
+	if !Runnable("lazylist", "hp") || !Runnable("dgt", "hp") {
+		t.Fatal("benchmark-mode exceptions missing")
+	}
+	if Runnable("hmlist-norestart", "nbr+") {
+		t.Fatal("hmlist-norestart must stay rejected for NBR")
+	}
+	if Runnable("abtree", "hp") {
+		t.Fatal("abtree has no benchmark-mode HP exception")
+	}
+}
+
+func TestRunRejectsIncompatible(t *testing.T) {
+	_, err := Run(Workload{DS: "hmlist-norestart", Scheme: "nbr+", Threads: 1,
+		KeyRange: 100, Duration: 10 * time.Millisecond})
+	if err == nil {
+		t.Fatal("Run must enforce the applicability matrix")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	r, err := Run(Workload{
+		DS: "lazylist", Scheme: "nbr+", Threads: 2, KeyRange: 256,
+		InsPct: 50, DelPct: 50, Duration: 50 * time.Millisecond,
+		Prefill: -1, Cfg: DefaultSchemeConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops == 0 || r.Mops <= 0 {
+		t.Fatalf("no throughput measured: %+v", r)
+	}
+	if r.PeakBytes <= 0 {
+		t.Fatal("peak memory not sampled")
+	}
+}
+
+func TestRunWithStalledThread(t *testing.T) {
+	for _, scheme := range []string{"debra", "nbr+"} {
+		r, err := Run(Workload{
+			DS: "lazylist", Scheme: scheme, Threads: 2, KeyRange: 256,
+			InsPct: 50, DelPct: 50, Duration: 60 * time.Millisecond,
+			Prefill: -1, Stall: true,
+			Cfg: SchemeConfig{BagSize: 64, LoFraction: 0.5, ScanFreq: 4, Slots: 4, Threshold: 32},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if scheme == "nbr+" {
+			bound := uint64(3 * (64 + 3*4) * 4) // generous multiple of the lemma bound
+			if g := r.Stats.Garbage(); g > bound {
+				t.Fatalf("nbr+ garbage %d above bound %d under stall", g, bound)
+			}
+		}
+	}
+}
+
+func TestRunPrefillsToHalfRange(t *testing.T) {
+	inst, err := NewDS("lazylist", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = inst
+	r, err := Run(Workload{
+		DS: "lazylist", Scheme: "none", Threads: 1, KeyRange: 200,
+		InsPct: 0, DelPct: 0, Duration: 20 * time.Millisecond,
+		Prefill: -1, Cfg: DefaultSchemeConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contains-only workload cannot change the size; peak live records must
+	// be at least the prefill (sentinels + 100 keys).
+	if r.PeakLive < 100 {
+		t.Fatalf("prefill missing: peak live %d", r.PeakLive)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	if len(Experiments) < 15 {
+		t.Fatalf("expected every figure to have a preset, got %d", len(Experiments))
+	}
+	seen := map[string]bool{}
+	for _, e := range Experiments {
+		if e.Name == "" || e.Desc == "" || e.Run == nil {
+			t.Fatalf("incomplete preset %+v", e)
+		}
+		if seen[e.Name] {
+			t.Fatalf("duplicate preset %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	for _, want := range []string{"fig3a", "fig3b", "fig4a", "fig4b", "fig4c", "fig4d",
+		"fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b"} {
+		if _, ok := Lookup(want); !ok {
+			t.Fatalf("missing preset %s", want)
+		}
+	}
+}
+
+func TestThroughputFigureOutput(t *testing.T) {
+	var buf bytes.Buffer
+	o := Options{
+		Threads:  []int{1, 2},
+		Duration: 25 * time.Millisecond,
+		Trials:   1,
+		Cfg:      DefaultSchemeConfig(),
+		Out:      &buf,
+	}
+	err := throughputFigure(o, "lazylist", 200, []mix{{50, 50}}, []string{"none", "nbr+"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"lazylist", "50i-50d", "none", "nbr+", "threads"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScaleRange(t *testing.T) {
+	o := Options{}
+	if scaleRange(o, 2_000_000) != 200_000 || scaleRange(o, 20_000_000) != 400_000 {
+		t.Fatal("host scaling wrong")
+	}
+	if scaleRange(o, 20_000) != 20_000 {
+		t.Fatal("list ranges must not be scaled")
+	}
+	o.Full = true
+	if scaleRange(o, 2_000_000) != 2_000_000 {
+		t.Fatal("-full must restore paper ranges")
+	}
+}
+
+func TestPrintTable1(t *testing.T) {
+	var buf bytes.Buffer
+	PrintTable1(&buf)
+	out := buf.String()
+	for _, want := range []string{"lazylist", "abtree", "hmlist-norestart", "no*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 output missing %q", want)
+		}
+	}
+}

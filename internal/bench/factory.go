@@ -1,0 +1,89 @@
+// Package bench is the experiment harness: it constructs data structures and
+// reclamation schemes by name, encodes the paper's applicability matrix
+// (Table 1), drives timed workloads, and reproduces every figure of the
+// evaluation (see DESIGN.md §5 for the index).
+package bench
+
+import (
+	"fmt"
+
+	"nbr/internal/core"
+	"nbr/internal/mem"
+	"nbr/internal/sigsim"
+	"nbr/internal/smr"
+	"nbr/internal/smr/debra"
+	"nbr/internal/smr/he"
+	"nbr/internal/smr/hp"
+	"nbr/internal/smr/ibr"
+	"nbr/internal/smr/leaky"
+	"nbr/internal/smr/qsbr"
+	"nbr/internal/smr/rcu"
+)
+
+// SchemeNames lists every reclamation scheme in the harness, in the order
+// the paper's figures present them.
+var SchemeNames = []string{"none", "qsbr", "rcu", "debra", "ibr", "hp", "he", "nbr", "nbr+"}
+
+// SchemeConfig carries every scheme knob the experiments sweep.
+type SchemeConfig struct {
+	// BagSize is the NBR limbo-bag HiWatermark.
+	BagSize int
+	// LoFraction positions the NBR+ LoWatermark.
+	LoFraction float64
+	// ScanFreq amortizes the NBR+ announceTS scan.
+	ScanFreq int
+	// Slots is the NBR reservation capacity per thread.
+	Slots int
+	// SendSpin and HandleSpin are the simulated signal costs.
+	SendSpin, HandleSpin int
+	// Threshold is the bag limit of the epoch/pointer schemes
+	// (qsbr/rcu/hp/ibr/he); 0 selects each scheme's default.
+	Threshold int
+	// EraFreq is the IBR/HE era-advance period.
+	EraFreq int
+}
+
+// DefaultSchemeConfig returns the defaults documented in DESIGN.md §6.
+func DefaultSchemeConfig() SchemeConfig {
+	return SchemeConfig{
+		BagSize:    1024,
+		LoFraction: 0.5,
+		ScanFreq:   32,
+		Slots:      4,
+		SendSpin:   600,
+		HandleSpin: 300,
+	}
+}
+
+// NewScheme constructs the named scheme over an arena for a thread count.
+func NewScheme(name string, arena mem.Arena, threads int, cfg SchemeConfig) (smr.Scheme, error) {
+	sig := sigsim.Config{SendSpin: cfg.SendSpin, HandleSpin: cfg.HandleSpin}
+	switch name {
+	case "none", "leaky":
+		return leaky.New(arena, threads), nil
+	case "qsbr":
+		return qsbr.New(arena, threads, qsbr.Config{Threshold: cfg.Threshold}), nil
+	case "rcu":
+		return rcu.New(arena, threads, rcu.Config{Threshold: cfg.Threshold}), nil
+	case "debra":
+		return debra.New(arena, threads), nil
+	case "hp":
+		return hp.New(arena, threads, hp.Config{Threshold: cfg.Threshold}), nil
+	case "ibr":
+		return ibr.New(arena, threads, ibr.Config{Threshold: cfg.Threshold, EraFreq: cfg.EraFreq}), nil
+	case "he":
+		return he.New(arena, threads, he.Config{Threshold: cfg.Threshold, EraFreq: cfg.EraFreq}), nil
+	case "nbr":
+		return core.New(arena, threads, core.Config{
+			BagSize: cfg.BagSize, LoFraction: cfg.LoFraction,
+			ScanFreq: cfg.ScanFreq, Slots: cfg.Slots, Signals: sig,
+		}), nil
+	case "nbr+":
+		return core.New(arena, threads, core.Config{
+			Plus:    true,
+			BagSize: cfg.BagSize, LoFraction: cfg.LoFraction,
+			ScanFreq: cfg.ScanFreq, Slots: cfg.Slots, Signals: sig,
+		}), nil
+	}
+	return nil, fmt.Errorf("bench: unknown scheme %q (have %v)", name, SchemeNames)
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"fmt"
+
+	"nbr/internal/ds"
+	"nbr/internal/ds/abtree"
+	"nbr/internal/ds/dgtbst"
+	"nbr/internal/ds/harrislist"
+	"nbr/internal/ds/hmlist"
+	"nbr/internal/ds/lazylist"
+	"nbr/internal/mem"
+)
+
+// Instance is one constructed data structure plus its allocator hooks.
+type Instance struct {
+	Set      ds.Set
+	Arena    mem.Arena
+	MemStats func() mem.Stats
+}
+
+// NewDS constructs the named data structure sized for `threads`.
+func NewDS(name string, threads int) (Instance, error) {
+	switch name {
+	case "lazylist":
+		l := lazylist.New(threads)
+		return Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}, nil
+	case "harris":
+		l := harrislist.New(threads)
+		return Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}, nil
+	case "hmlist":
+		l := hmlist.New(threads, hmlist.Restart)
+		return Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}, nil
+	case "hmlist-norestart":
+		l := hmlist.New(threads, hmlist.NoRestart)
+		return Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}, nil
+	case "dgt":
+		t := dgtbst.New(threads)
+		return Instance{Set: t, Arena: t.Arena(), MemStats: t.MemStats}, nil
+	case "abtree":
+		t := abtree.New(threads)
+		return Instance{Set: t, Arena: t.Arena(), MemStats: t.MemStats}, nil
+	}
+	return Instance{}, fmt.Errorf("bench: unknown data structure %q (have %v)", name, DSNames)
+}

@@ -1,0 +1,310 @@
+// Package core implements the paper's contribution: NBR (neutralization
+// based reclamation, Algorithm 1) and its optimized variant NBR+
+// (Algorithm 2).
+//
+// Each thread accumulates unlinked records in a private limbo bag. When the
+// bag reaches the HiWatermark the thread signals all peers (sigsim stands in
+// for pthread_kill); peers in a read phase are neutralized — they jump back
+// to the start of Φread, discarding every private pointer — while peers in a
+// write phase keep running but have already published *reservations* for the
+// records they will touch. The reclaimer then scans all reservations and
+// frees every unreserved record in its bag, which bounds garbage at
+// HiWatermark + R·(N−1) records per thread (the paper's Lemma 10) without
+// per-record fences on the read path.
+//
+// NBR+ adds per-thread even/odd announcement timestamps around signalAll.
+// A thread whose bag crosses the LoWatermark bookmarks its bag position,
+// snapshots all timestamps, and thereafter watches for any peer's timestamp
+// to grow by ≥2 — proof that a complete relaxed grace period (RGP: signals
+// begun *and* finished) happened after the bookmark, so everything retired
+// before the bookmark is reclaimable without sending any signals of its own.
+// In the best case all n threads reclaim after a single n−1-signal RGP
+// instead of n(n−1) signals.
+package core
+
+import (
+	"fmt"
+
+	"nbr/internal/mem"
+	"nbr/internal/sigsim"
+	"nbr/internal/smr"
+)
+
+// Config tunes NBR/NBR+.
+type Config struct {
+	// Plus selects NBR+ (Algorithm 2) instead of NBR (Algorithm 1).
+	Plus bool
+	// BagSize is the limbo-bag HiWatermark S (paper: 32k on a 192-thread
+	// machine; default 1024, scaled for this host — see DESIGN.md §6).
+	BagSize int
+	// LoFraction places the NBR+ LoWatermark at LoFraction·BagSize.
+	// Default 0.5 ("one half full").
+	LoFraction float64
+	// ScanFreq amortizes the NBR+ announceTS scan over this many retire
+	// calls while between the watermarks ("we amortize the overhead of
+	// scanning announceTS over many retire operations"). Default 32.
+	ScanFreq int
+	// Slots is R, the per-thread reservation capacity. The paper's data
+	// structures need at most 3; default 4. R·N must stay well below
+	// BagSize so reclamation always makes progress.
+	Slots int
+	// Signals configures the simulated signal costs.
+	Signals sigsim.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.BagSize <= 0 {
+		c.BagSize = 1024
+	}
+	if c.LoFraction <= 0 || c.LoFraction >= 1 {
+		c.LoFraction = 0.5
+	}
+	if c.ScanFreq <= 0 {
+		c.ScanFreq = 32
+	}
+	if c.Slots <= 0 {
+		c.Slots = 4
+	}
+	return c
+}
+
+// Scheme is an NBR or NBR+ instance bound to one arena.
+type Scheme struct {
+	arena mem.Arena
+	cfg   Config
+	group *sigsim.Group
+
+	// reservations is the shared SWMR array (Algorithm 1 line 5):
+	// N rows of R slots, row i written only by thread i.
+	reservations []smr.Pad64
+
+	// announceTS is NBR+'s per-thread RGP timestamp (Algorithm 2 line 4):
+	// odd while the thread is broadcasting signals, even otherwise.
+	announceTS []smr.Pad64
+
+	gs []*guard
+}
+
+// New creates an NBR/NBR+ scheme for the given arena and thread count.
+func New(arena mem.Arena, threads int, cfg Config) *Scheme {
+	cfg = cfg.withDefaults()
+	if threads*cfg.Slots >= cfg.BagSize {
+		panic(fmt.Sprintf("core: N·R (%d) must be below BagSize (%d) or reclamation cannot progress",
+			threads*cfg.Slots, cfg.BagSize))
+	}
+	s := &Scheme{
+		arena:        arena,
+		cfg:          cfg,
+		group:        sigsim.NewGroup(threads, cfg.Signals),
+		reservations: make([]smr.Pad64, threads*cfg.Slots),
+		announceTS:   make([]smr.Pad64, threads),
+	}
+	s.gs = make([]*guard, threads)
+	for i := range s.gs {
+		s.gs[i] = &guard{
+			s:         s,
+			tid:       i,
+			protected: make(map[mem.Ptr]struct{}, threads*cfg.Slots),
+			scanTS:    make([]uint64, threads),
+		}
+	}
+	return s
+}
+
+// Name implements smr.Scheme.
+func (s *Scheme) Name() string {
+	if s.cfg.Plus {
+		return "nbr+"
+	}
+	return "nbr"
+}
+
+// Guard implements smr.Scheme.
+func (s *Scheme) Guard(tid int) smr.Guard { return s.gs[tid] }
+
+// Stats implements smr.Scheme.
+func (s *Scheme) Stats() smr.Stats {
+	var st smr.Stats
+	for _, g := range s.gs {
+		st.Retired += g.retired.Load()
+		st.Freed += g.freed.Load()
+		st.Scans += g.scans.Load()
+	}
+	gs := s.group.Stats()
+	st.Signals = gs.Sent
+	st.Neutralized = gs.Neutralized
+	st.Ignored = gs.Ignored
+	return st
+}
+
+// GarbageBound returns the worst-case number of unreclaimed records one
+// thread can hold (Lemma 10): a full bag plus every peer's reservations.
+func (s *Scheme) GarbageBound() int {
+	return s.cfg.BagSize + len(s.gs)*s.cfg.Slots
+}
+
+// LimboLen reports thread tid's current limbo-bag population (test hook;
+// call only from tid or while tid is quiescent).
+func (s *Scheme) LimboLen(tid int) int { return len(s.gs[tid].limbo) }
+
+func (s *Scheme) resSlot(tid, i int) *smr.Pad64 {
+	return &s.reservations[tid*s.cfg.Slots+i]
+}
+
+type guard struct {
+	s   *Scheme
+	tid int
+
+	limbo     []mem.Ptr
+	protected map[mem.Ptr]struct{} // reclaim scratch, reused
+
+	// NBR+ LoWatermark state (Algorithm 2 lines 1–3). atLoWm is the
+	// inverse of the paper's firstLoWmEntryFlag.
+	atLoWm    bool
+	bookmark  int // bag index corresponding to bookmarkTail
+	scanTS    []uint64
+	sinceScan int
+
+	retired smr.Counter
+	freed   smr.Counter
+	scans   smr.Counter
+}
+
+func (g *guard) Tid() int { return g.tid }
+
+// BeginOp and EndOp delimit the preamble/quiescent phases; NBR needs no
+// per-operation work outside the read/write phase calls.
+func (g *guard) BeginOp() {}
+func (g *guard) EndOp()   {}
+
+// BeginRead is beginΦread (Algorithm 1 lines 6–9): clear the reservation
+// row, then become restartable. The order matters — a reclaimer scanning
+// after a signal must not see reservations from a previous operation once
+// this thread can be neutralized. SetRestartable is also the sigsetjmp
+// point: neutralization unwinds to smr.Execute, which re-runs the operation
+// body, landing here again.
+func (g *guard) BeginRead() {
+	for i := 0; i < g.s.cfg.Slots; i++ {
+		g.s.resSlot(g.tid, i).Store(0)
+	}
+	g.s.group.SetRestartable(g.tid)
+}
+
+// Reserve announces a record the upcoming write phase will access
+// (Algorithm 1 line 11). It must be followed by EndRead before the record
+// is written.
+func (g *guard) Reserve(i int, p mem.Ptr) {
+	if i >= g.s.cfg.Slots {
+		panic("core: reservation slot out of range; raise Config.Slots")
+	}
+	g.s.resSlot(g.tid, i).Store(uint64(p.Unmarked()))
+}
+
+// EndRead is endΦread's CAS on restartable (Algorithm 1 line 12). Under
+// sequentially consistent atomics the successful transition orders every
+// Reserve store before any reclaimer's reservation scan that follows a
+// signal to this thread; if a signal already arrived, the transition
+// neutralizes instead (see sigsim.ClearRestartable).
+func (g *guard) EndRead() {
+	g.s.group.ClearRestartable(g.tid)
+}
+
+// Protect is NBR's record-access barrier: deliver any pending neutralization
+// signal before the record is touched (the paper's Assumption 4).
+func (g *guard) Protect(_ int, _ mem.Ptr) {
+	g.s.group.Poll(g.tid)
+}
+
+func (g *guard) NeedsValidation() bool { return false }
+func (g *guard) OnAlloc(mem.Ptr)       {}
+
+// OnStale handles a read that found a freed slot. Frees are ordered after
+// signal posts, so a pending signal must now be visible and the re-poll
+// neutralizes this thread; if it does not, the scheme itself is broken.
+func (g *guard) OnStale(p mem.Ptr) {
+	g.s.group.Poll(g.tid)
+	panic("core: use-after-free not explained by a pending signal: " + p.String())
+}
+
+// Retire implements Algorithm 1 lines 14–20 (NBR) or Algorithm 2 lines 5–26
+// (NBR+).
+func (g *guard) Retire(p mem.Ptr) {
+	if g.s.cfg.Plus {
+		g.retirePlus()
+	} else if len(g.limbo) >= g.s.cfg.BagSize {
+		g.s.group.SignalAll(g.tid)
+		g.reclaimFreeable(len(g.limbo))
+	}
+	g.limbo = append(g.limbo, p.Unmarked())
+	g.retired.Inc()
+}
+
+// retirePlus is the NBR+ watermark logic.
+func (g *guard) retirePlus() {
+	hi := g.s.cfg.BagSize
+	lo := int(float64(hi) * g.s.cfg.LoFraction)
+	switch {
+	case len(g.limbo) >= hi:
+		// RGP begin (odd) … signalAll … RGP end (even).
+		g.s.announceTS[g.tid].Add(1)
+		g.s.group.SignalAll(g.tid)
+		g.s.announceTS[g.tid].Add(1)
+		g.reclaimFreeable(len(g.limbo))
+		g.cleanUp()
+	case len(g.limbo) >= lo:
+		if !g.atLoWm {
+			g.atLoWm = true
+			g.bookmark = len(g.limbo)
+			for i := range g.s.announceTS {
+				g.scanTS[i] = g.s.announceTS[i].Load()
+			}
+			g.sinceScan = 0
+			return
+		}
+		g.sinceScan++
+		if g.sinceScan < g.s.cfg.ScanFreq {
+			return
+		}
+		g.sinceScan = 0
+		for otid := range g.s.announceTS {
+			if g.s.announceTS[otid].Load() >= g.scanTS[otid]+2 {
+				// A peer began and finished a full signal broadcast after
+				// our bookmark: everything retired before the bookmark has
+				// been discarded or reserved by every thread.
+				g.reclaimFreeable(g.bookmark)
+				g.cleanUp()
+				break
+			}
+		}
+	}
+}
+
+// cleanUp resets the LoWatermark bookkeeping (Algorithm 2 lines 27–29).
+func (g *guard) cleanUp() {
+	g.atLoWm = false
+	g.sinceScan = 0
+}
+
+// reclaimFreeable frees every record in limbo[:upto] that no thread has
+// reserved (Algorithm 1 lines 21–25). Reserved records stay in the bag —
+// there are at most N·R of them, which is what bounds the bag.
+func (g *guard) reclaimFreeable(upto int) {
+	g.scans.Inc()
+	clear(g.protected)
+	for i := range g.s.reservations {
+		if v := g.s.reservations[i].Load(); v != 0 {
+			g.protected[mem.Ptr(v)] = struct{}{}
+		}
+	}
+	kept := g.limbo[:0]
+	for _, p := range g.limbo[:upto] {
+		if _, ok := g.protected[p]; ok {
+			kept = append(kept, p)
+		} else {
+			g.s.arena.Free(g.tid, p)
+			g.freed.Inc()
+		}
+	}
+	kept = append(kept, g.limbo[upto:]...)
+	g.limbo = kept
+}

@@ -1,0 +1,707 @@
+// Package abtree implements the (a,b)-tree used in the paper's E3
+// experiment (Brown's ABTree, B17a). The paper's artifact builds it on
+// LLX/SCX; this reproduction substitutes optimistic seqlock-validated
+// locking while preserving everything the SMR layer observes (see DESIGN.md
+// §2):
+//
+//   - searches are synchronization-free (seqlock copy-validate reads);
+//   - leaves are copy-on-write: every insert and delete replaces a whole
+//     leaf and retires the old one, producing the heavy retire traffic that
+//     makes the ABTree an SMR stress test;
+//   - rebalancing (split, merge, borrow, root collapse) happens as
+//     *auxiliary write phases during the descent, each followed by a restart
+//     from the root* — the multi read/write-phase pattern of §5.2 that makes
+//     the tree NBR-compatible with at most 3 reservations.
+//
+// Structure: an external (a,b)-tree with A=4, B=16. Internal nodes hold
+// `size` children and size−1 routers; child i covers keys k with
+// keys[i−1] ≤ k < keys[i]. A fixed `entry` sentinel (size 1) points at the
+// root; the root is exempt from the minimum-degree rule. Descents fix any
+// full child (inserts) or minimum child (deletes) they meet and restart, so
+// rebalancing never cascades.
+package abtree
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"nbr/internal/ds"
+	"nbr/internal/mem"
+	"nbr/internal/smr"
+)
+
+const (
+	// B is the maximum degree (keys per leaf, children per internal node).
+	B = 16
+	// A is the minimum degree for non-root nodes.
+	A = 4
+)
+
+// node is a tree record. lock is a seqlock word (bit 0 = locked, upper bits
+// = version); all mutation happens with the lock held, so optimistic
+// readers retry on any version change.
+type node struct {
+	lock     uint64
+	leaf     uint32
+	dead     uint32
+	size     uint32
+	_        uint32
+	keys     [B]uint64
+	children [B]uint64 // mem.Ptr
+}
+
+// view is a seqlock-consistent snapshot of a node.
+type view struct {
+	leaf     bool
+	size     int
+	keys     [B]uint64
+	children [B]mem.Ptr
+}
+
+// route returns the child index covering key in an internal view.
+func (v *view) route(key uint64) int {
+	i := 0
+	for i < v.size-1 && key >= v.keys[i] {
+		i++
+	}
+	return i
+}
+
+// find returns whether key is present in a leaf view.
+func (v *view) find(key uint64) bool {
+	for i := 0; i < v.size; i++ {
+		if v.keys[i] == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Tree is an (a,b)-tree set.
+type Tree struct {
+	pool  *mem.Pool[node]
+	entry mem.Ptr // fixed sentinel: internal, size 1, children[0] = root
+}
+
+// New creates a tree sized for the given number of threads.
+func New(threads int) *Tree {
+	t := &Tree{pool: mem.NewPool[node](mem.Config{MaxThreads: threads})}
+	rootP, rootN := t.pool.Alloc(0)
+	initNode(rootN, true)
+	entryP, entryN := t.pool.Alloc(0)
+	initNode(entryN, false)
+	atomic.StoreUint32(&entryN.size, 1)
+	atomic.StoreUint64(&entryN.children[0], uint64(rootP))
+	t.entry = entryP
+	return t
+}
+
+func initNode(n *node, leaf bool) {
+	atomic.StoreUint64(&n.lock, 0)
+	var lf uint32
+	if leaf {
+		lf = 1
+	}
+	atomic.StoreUint32(&n.leaf, lf)
+	atomic.StoreUint32(&n.dead, 0)
+	atomic.StoreUint32(&n.size, 0)
+	for i := 0; i < B; i++ {
+		atomic.StoreUint64(&n.keys[i], 0)
+		atomic.StoreUint64(&n.children[i], 0)
+	}
+}
+
+// Arena exposes the tree's allocator to reclamation schemes.
+func (t *Tree) Arena() mem.Arena { return t.pool }
+
+// MemStats reports allocator statistics.
+func (t *Tree) MemStats() mem.Stats { return t.pool.Stats() }
+
+// read takes a seqlock-consistent snapshot of p. While the node is locked
+// the reader spins, re-running the scheme barrier so neutralization signals
+// are still delivered promptly.
+func (t *Tree) read(g smr.Guard, slot int, p mem.Ptr) (view, bool) {
+	g.Protect(slot, p)
+	n := t.pool.Raw(p)
+	for i := 0; ; i++ {
+		v1 := atomic.LoadUint64(&n.lock)
+		if v1&1 == 0 {
+			var v view
+			v.leaf = atomic.LoadUint32(&n.leaf) != 0
+			v.size = int(atomic.LoadUint32(&n.size))
+			for j := 0; j < B; j++ {
+				v.keys[j] = atomic.LoadUint64(&n.keys[j])
+				v.children[j] = mem.Ptr(atomic.LoadUint64(&n.children[j]))
+			}
+			if !t.pool.Valid(p) {
+				break
+			}
+			if atomic.LoadUint64(&n.lock) == v1 {
+				if v.size < 0 || v.size > B {
+					break // torn beyond repair: treat as stale
+				}
+				return v, true
+			}
+			continue // writer raced: retry the snapshot
+		}
+		if !t.pool.Valid(p) {
+			break
+		}
+		if i&15 == 15 {
+			runtime.Gosched()
+		}
+		g.Protect(slot, p) // keep polling while spinning in Φread
+	}
+	// The handle went stale while reading.
+	if g.NeedsValidation() {
+		return view{}, false
+	}
+	g.OnStale(p)
+	return view{}, false
+}
+
+// lock acquires a node's seqlock write side.
+func (t *Tree) lock(p mem.Ptr) *node {
+	n := t.pool.MustGet(p)
+	for i := 0; ; i++ {
+		v := atomic.LoadUint64(&n.lock)
+		if v&1 == 0 && atomic.CompareAndSwapUint64(&n.lock, v, v+1) {
+			return n
+		}
+		if i&15 == 15 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func unlock(n *node) { atomic.AddUint64(&n.lock, 1) }
+
+func dead(n *node) bool { return atomic.LoadUint32(&n.dead) != 0 }
+func kill(n *node)      { atomic.StoreUint32(&n.dead, 1) }
+
+func childAt(n *node, i int) mem.Ptr {
+	return mem.Ptr(atomic.LoadUint64(&n.children[i]))
+}
+
+// Contains implements ds.Set: one pure read phase.
+func (t *Tree) Contains(g smr.Guard, key uint64) bool {
+	return smr.Execute(g, func() bool {
+	retry:
+		g.BeginRead()
+		cur := t.entry
+		curV, _ := t.read(g, 0, cur) // the entry sentinel is never freed
+		slot := 0
+		for !curV.leaf {
+			next := curV.children[curV.route(key)]
+			slot = (slot + 1) & 1
+			nv, ok := t.read(g, slot, next)
+			if !ok {
+				goto retry
+			}
+			cur, curV = next, nv
+		}
+		_ = cur
+		g.EndRead()
+		return curV.find(key)
+	})
+}
+
+// Insert implements ds.Set. The descent splits any full child it meets
+// (auxiliary write phase + restart from root), so when the leaf is reached
+// its parent always has room for a split — though the leaf itself is
+// replaced copy-on-write, never split in place.
+func (t *Tree) Insert(g smr.Guard, key uint64) bool {
+	return smr.Execute(g, func() bool {
+		for {
+			g.BeginRead()
+			parent := t.entry
+			parentV, _ := t.read(g, 0, parent)
+			pSlot, cSlot := 0, 1
+			for {
+				i := parentV.route(key)
+				child := parentV.children[i]
+				childV, ok := t.read(g, cSlot, child)
+				if !ok {
+					break // stale under a validating scheme: restart
+				}
+				if childV.size == B {
+					// Preemptive split, then restart from the root.
+					g.Reserve(0, parent)
+					g.Reserve(1, child)
+					g.EndRead()
+					t.splitChild(g, parent, child, i)
+					break
+				}
+				if childV.leaf {
+					if childV.find(key) {
+						g.EndRead()
+						return false
+					}
+					g.Reserve(0, parent)
+					g.Reserve(1, child)
+					g.EndRead()
+					if t.insertLeaf(g, parent, child, i, key, &childV) {
+						return true
+					}
+					break // validation failed: restart from the root
+				}
+				parent, parentV = child, childV
+				pSlot, cSlot = cSlot, pSlot
+			}
+		}
+	})
+}
+
+// Delete implements ds.Set. The descent fixes any minimum-degree child
+// (merge/borrow with a sibling) and collapses a unary root, restarting from
+// the root after each auxiliary write phase.
+func (t *Tree) Delete(g smr.Guard, key uint64) bool {
+	return smr.Execute(g, func() bool {
+		for {
+			g.BeginRead()
+			parent := t.entry
+			parentV, _ := t.read(g, 0, parent)
+			pSlot, cSlot := 0, 1
+			for {
+				i := parentV.route(key)
+				child := parentV.children[i]
+				childV, ok := t.read(g, cSlot, child)
+				if !ok {
+					break
+				}
+				atEntry := parent == t.entry
+				if atEntry && !childV.leaf && childV.size == 1 {
+					// Unary root: collapse it.
+					g.Reserve(0, parent)
+					g.Reserve(1, child)
+					g.EndRead()
+					t.collapseRoot(g, child)
+					break
+				}
+				if !atEntry && childV.size <= A {
+					// Preemptive merge/borrow with a sibling.
+					j := i - 1
+					if i == 0 {
+						j = 1
+					}
+					if j >= parentV.size {
+						break // parent snapshot inconsistent: restart
+					}
+					sib := parentV.children[j]
+					g.Reserve(0, parent)
+					g.Reserve(1, child)
+					g.Reserve(2, sib)
+					g.EndRead()
+					t.fixUnderfull(g, parent, child, i, sib, j)
+					break
+				}
+				if childV.leaf {
+					if !childV.find(key) {
+						g.EndRead()
+						return false
+					}
+					g.Reserve(0, parent)
+					g.Reserve(1, child)
+					g.EndRead()
+					if t.deleteLeaf(g, parent, child, i, key, &childV) {
+						return true
+					}
+					break
+				}
+				parent, parentV = child, childV
+				pSlot, cSlot = cSlot, pSlot
+			}
+		}
+	})
+}
+
+// validateLink re-checks, under the parent's lock, that the parent is live
+// and still points at child through slot i.
+func validateLink(pn *node, i int, child mem.Ptr) bool {
+	return !dead(pn) && i < int(atomic.LoadUint32(&pn.size)) && childAt(pn, i) == child
+}
+
+// insertLeaf replaces leaf with a copy containing key. Only the parent is
+// locked: leaves are immutable after publication, so the link check proves
+// the snapshot is current.
+func (t *Tree) insertLeaf(g smr.Guard, parent, leaf mem.Ptr, i int, key uint64, lv *view) bool {
+	pn := t.lock(parent)
+	if !validateLink(pn, i, leaf) {
+		unlock(pn)
+		return false
+	}
+	np, nn := t.pool.Alloc(g.Tid())
+	initNode(nn, true)
+	pos := 0
+	for pos < lv.size && lv.keys[pos] < key {
+		pos++
+	}
+	for j := 0; j < pos; j++ {
+		atomic.StoreUint64(&nn.keys[j], lv.keys[j])
+	}
+	atomic.StoreUint64(&nn.keys[pos], key)
+	for j := pos; j < lv.size; j++ {
+		atomic.StoreUint64(&nn.keys[j+1], lv.keys[j])
+	}
+	atomic.StoreUint32(&nn.size, uint32(lv.size+1))
+	g.OnAlloc(np)
+
+	ln := t.pool.MustGet(leaf)
+	kill(ln)
+	atomic.StoreUint64(&pn.children[i], uint64(np))
+	unlock(pn)
+	g.Retire(leaf)
+	return true
+}
+
+// deleteLeaf replaces leaf with a copy lacking key.
+func (t *Tree) deleteLeaf(g smr.Guard, parent, leaf mem.Ptr, i int, key uint64, lv *view) bool {
+	pn := t.lock(parent)
+	if !validateLink(pn, i, leaf) {
+		unlock(pn)
+		return false
+	}
+	np, nn := t.pool.Alloc(g.Tid())
+	initNode(nn, true)
+	w := 0
+	for j := 0; j < lv.size; j++ {
+		if lv.keys[j] != key {
+			atomic.StoreUint64(&nn.keys[w], lv.keys[j])
+			w++
+		}
+	}
+	atomic.StoreUint32(&nn.size, uint32(w))
+	g.OnAlloc(np)
+
+	ln := t.pool.MustGet(leaf)
+	kill(ln)
+	atomic.StoreUint64(&pn.children[i], uint64(np))
+	unlock(pn)
+	g.Retire(leaf)
+	return true
+}
+
+// snapshotLocked copies a locked node's content (internal nodes mutate in
+// place, so descent-time views may be stale by lock time).
+func snapshotLocked(n *node) view {
+	var v view
+	v.leaf = atomic.LoadUint32(&n.leaf) != 0
+	v.size = int(atomic.LoadUint32(&n.size))
+	for j := 0; j < B; j++ {
+		v.keys[j] = atomic.LoadUint64(&n.keys[j])
+		v.children[j] = mem.Ptr(atomic.LoadUint64(&n.children[j]))
+	}
+	return v
+}
+
+// writeNode fills a fresh node from a view.
+func (t *Tree) writeNode(g smr.Guard, v *view) mem.Ptr {
+	p, n := t.pool.Alloc(g.Tid())
+	initNode(n, v.leaf)
+	for j := 0; j < v.size; j++ {
+		atomic.StoreUint64(&n.keys[j], v.keys[j])
+		atomic.StoreUint64(&n.children[j], uint64(v.children[j]))
+	}
+	atomic.StoreUint32(&n.size, uint32(v.size))
+	g.OnAlloc(p)
+	return p
+}
+
+// splitChild splits a full child into two halves (copy-on-write), inserting
+// the separator router into the parent — or, when the parent is the entry
+// sentinel, growing a new root. Restart-from-root follows in the caller.
+func (t *Tree) splitChild(g smr.Guard, parent, child mem.Ptr, i int) {
+	pn := t.lock(parent)
+	if !validateLink(pn, i, child) {
+		unlock(pn)
+		return
+	}
+	atEntry := parent == t.entry
+	if !atEntry && int(atomic.LoadUint32(&pn.size)) >= B {
+		// No room for another child; a later descent splits the parent
+		// first (it is full, so the preemptive rule catches it).
+		unlock(pn)
+		return
+	}
+	cn := t.lock(child)
+	cv := snapshotLocked(cn)
+	if dead(cn) || cv.size != B {
+		unlock(cn)
+		unlock(pn)
+		return
+	}
+
+	var left, right view
+	var sep uint64
+	h := B / 2
+	if cv.leaf {
+		left = view{leaf: true, size: h}
+		copy(left.keys[:], cv.keys[:h])
+		right = view{leaf: true, size: B - h}
+		copy(right.keys[:], cv.keys[h:])
+		sep = right.keys[0]
+	} else {
+		left = view{size: h}
+		copy(left.keys[:], cv.keys[:h-1])
+		copy(left.children[:], cv.children[:h])
+		right = view{size: B - h}
+		copy(right.keys[:], cv.keys[h:])
+		copy(right.children[:], cv.children[h:])
+		sep = cv.keys[h-1]
+	}
+	lp := t.writeNode(g, &left)
+	rp := t.writeNode(g, &right)
+
+	if atEntry {
+		// Grow a new root above the split halves.
+		var root view
+		root.size = 2
+		root.keys[0] = sep
+		root.children[0] = lp
+		root.children[1] = rp
+		newRoot := t.writeNode(g, &root)
+		atomic.StoreUint64(&pn.children[0], uint64(newRoot))
+	} else {
+		// Shift parent arrays right of i and splice in the halves.
+		psize := int(atomic.LoadUint32(&pn.size))
+		for j := psize - 1; j > i; j-- {
+			atomic.StoreUint64(&pn.children[j+1], atomic.LoadUint64(&pn.children[j]))
+		}
+		for j := psize - 2; j >= i; j-- {
+			atomic.StoreUint64(&pn.keys[j+1], atomic.LoadUint64(&pn.keys[j]))
+		}
+		atomic.StoreUint64(&pn.children[i], uint64(lp))
+		atomic.StoreUint64(&pn.children[i+1], uint64(rp))
+		atomic.StoreUint64(&pn.keys[i], sep)
+		atomic.StoreUint32(&pn.size, uint32(psize+1))
+	}
+	kill(cn)
+	unlock(cn)
+	unlock(pn)
+	g.Retire(child)
+}
+
+// fixUnderfull merges or rebalances a minimum-degree child with a sibling
+// (both replaced copy-on-write), shrinking or rewriting the parent in place.
+func (t *Tree) fixUnderfull(g smr.Guard, parent, child mem.Ptr, i int, sib mem.Ptr, j int) {
+	pn := t.lock(parent)
+	if !validateLink(pn, i, child) || !validateLink(pn, j, sib) {
+		unlock(pn)
+		return
+	}
+	// Lock the two children in index order.
+	lo, hi := i, j
+	loPtr, hiPtr := child, sib
+	if j < i {
+		lo, hi = j, i
+		loPtr, hiPtr = sib, child
+	}
+	ln := t.lock(loPtr)
+	hn := t.lock(hiPtr)
+	lv := snapshotLocked(ln)
+	hv := snapshotLocked(hn)
+	release := func() {
+		unlock(hn)
+		unlock(ln)
+		unlock(pn)
+	}
+	if dead(ln) || dead(hn) || lv.leaf != hv.leaf {
+		release()
+		return
+	}
+	// Re-check the trigger: the child may have grown since the descent.
+	cs := lv.size
+	if loPtr != child {
+		cs = hv.size
+	}
+	if cs > A {
+		release()
+		return
+	}
+	sep := atomic.LoadUint64(&pn.keys[lo]) // router between lo and hi
+
+	if lv.size+hv.size <= B {
+		// Merge into one node.
+		var m view
+		m.leaf = lv.leaf
+		m.size = lv.size + hv.size
+		if lv.leaf {
+			copy(m.keys[:], lv.keys[:lv.size])
+			copy(m.keys[lv.size:], hv.keys[:hv.size])
+		} else {
+			copy(m.keys[:], lv.keys[:lv.size-1])
+			m.keys[lv.size-1] = sep
+			copy(m.keys[lv.size:], hv.keys[:hv.size-1])
+			copy(m.children[:], lv.children[:lv.size])
+			copy(m.children[lv.size:], hv.children[:hv.size])
+		}
+		mp := t.writeNode(g, &m)
+		// Parent: children[lo] = merged; remove children[hi] and keys[lo].
+		psize := int(atomic.LoadUint32(&pn.size))
+		atomic.StoreUint64(&pn.children[lo], uint64(mp))
+		for k := hi; k < psize-1; k++ {
+			atomic.StoreUint64(&pn.children[k], atomic.LoadUint64(&pn.children[k+1]))
+		}
+		for k := lo; k < psize-2; k++ {
+			atomic.StoreUint64(&pn.keys[k], atomic.LoadUint64(&pn.keys[k+1]))
+		}
+		atomic.StoreUint32(&pn.size, uint32(psize-1))
+	} else {
+		// Borrow: redistribute into two fresh halves. The combined content
+		// can exceed one node (that is why we borrow), so use 2B scratch.
+		total := lv.size + hv.size
+		var keys [2 * B]uint64
+		var children [2 * B]mem.Ptr
+		if lv.leaf {
+			copy(keys[:], lv.keys[:lv.size])
+			copy(keys[lv.size:], hv.keys[:hv.size])
+		} else {
+			copy(keys[:], lv.keys[:lv.size-1])
+			keys[lv.size-1] = sep
+			copy(keys[lv.size:], hv.keys[:hv.size-1])
+			copy(children[:], lv.children[:lv.size])
+			copy(children[lv.size:], hv.children[:hv.size])
+		}
+		h := total / 2
+		var nl, nr view
+		var newSep uint64
+		nl.leaf, nr.leaf = lv.leaf, lv.leaf
+		nl.size, nr.size = h, total-h
+		if lv.leaf {
+			copy(nl.keys[:], keys[:h])
+			copy(nr.keys[:], keys[h:total])
+			newSep = nr.keys[0]
+		} else {
+			copy(nl.keys[:], keys[:h-1])
+			copy(nl.children[:], children[:h])
+			copy(nr.keys[:], keys[h:total-1])
+			copy(nr.children[:], children[h:total])
+			newSep = keys[h-1]
+		}
+		nlp := t.writeNode(g, &nl)
+		nrp := t.writeNode(g, &nr)
+		atomic.StoreUint64(&pn.children[lo], uint64(nlp))
+		atomic.StoreUint64(&pn.children[hi], uint64(nrp))
+		atomic.StoreUint64(&pn.keys[lo], newSep)
+	}
+	kill(ln)
+	kill(hn)
+	release()
+	g.Retire(loPtr)
+	g.Retire(hiPtr)
+}
+
+// collapseRoot replaces a unary internal root with its only child.
+func (t *Tree) collapseRoot(g smr.Guard, root mem.Ptr) {
+	en := t.lock(t.entry)
+	if childAt(en, 0) != root {
+		unlock(en)
+		return
+	}
+	rn := t.lock(root)
+	if dead(rn) || atomic.LoadUint32(&rn.leaf) != 0 || atomic.LoadUint32(&rn.size) != 1 {
+		unlock(rn)
+		unlock(en)
+		return
+	}
+	atomic.StoreUint64(&en.children[0], atomic.LoadUint64(&rn.children[0]))
+	kill(rn)
+	unlock(rn)
+	unlock(en)
+	g.Retire(root)
+}
+
+// Len implements ds.Set (quiescent).
+func (t *Tree) Len() int {
+	root := childAt(t.pool.Raw(t.entry), 0)
+	return t.count(root)
+}
+
+func (t *Tree) count(p mem.Ptr) int {
+	n := t.pool.Raw(p)
+	if atomic.LoadUint32(&n.leaf) != 0 {
+		return int(atomic.LoadUint32(&n.size))
+	}
+	total := 0
+	for i := 0; i < int(atomic.LoadUint32(&n.size)); i++ {
+		total += t.count(childAt(n, i))
+	}
+	return total
+}
+
+// Validate implements ds.Set (quiescent): size bounds, routing windows,
+// sorted leaves, uniform leaf depth, live handles, no dead nodes reachable.
+func (t *Tree) Validate() error {
+	root := childAt(t.pool.Raw(t.entry), 0)
+	_, err := t.validate(root, ds.MinKey, ds.MaxKey, true)
+	return err
+}
+
+func (t *Tree) validate(p mem.Ptr, lo, hi uint64, isRoot bool) (depth int, err error) {
+	if p.IsNull() {
+		return 0, errors.New("abtree: nil child reachable")
+	}
+	n, ok := t.pool.Get(p)
+	if !ok {
+		return 0, fmt.Errorf("abtree: freed node %v reachable", p)
+	}
+	if dead(n) {
+		return 0, fmt.Errorf("abtree: dead node %v reachable", p)
+	}
+	size := int(atomic.LoadUint32(&n.size))
+	leaf := atomic.LoadUint32(&n.leaf) != 0
+	if size > B {
+		return 0, fmt.Errorf("abtree: node size %d exceeds B=%d", size, B)
+	}
+	if leaf {
+		if !isRoot && size < A {
+			return 0, fmt.Errorf("abtree: leaf size %d below A=%d", size, A)
+		}
+		prev := lo
+		first := true
+		for i := 0; i < size; i++ {
+			k := atomic.LoadUint64(&n.keys[i])
+			if k < lo || k >= hi {
+				return 0, fmt.Errorf("abtree: leaf key %d outside window [%d, %d)", k, lo, hi)
+			}
+			if !first && k <= prev {
+				return 0, fmt.Errorf("abtree: leaf keys not sorted (%d after %d)", k, prev)
+			}
+			prev, first = k, false
+		}
+		return 1, nil
+	}
+	min := A
+	if isRoot {
+		min = 2
+	}
+	if size < min {
+		return 0, fmt.Errorf("abtree: internal size %d below minimum %d", size, min)
+	}
+	childLo := lo
+	var childDepth int
+	for i := 0; i < size; i++ {
+		childHi := hi
+		if i < size-1 {
+			childHi = atomic.LoadUint64(&n.keys[i])
+			if childHi < childLo || childHi > hi {
+				return 0, fmt.Errorf("abtree: router %d outside window [%d, %d)", childHi, lo, hi)
+			}
+		}
+		d, err := t.validate(childAt(n, i), childLo, childHi, false)
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 {
+			childDepth = d
+		} else if d != childDepth {
+			return 0, fmt.Errorf("abtree: unbalanced — leaf depth %d vs %d", d, childDepth)
+		}
+		if i < size-1 {
+			childLo = childHi
+		}
+	}
+	return childDepth + 1, nil
+}

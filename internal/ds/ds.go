@@ -1,0 +1,32 @@
+// Package ds defines the common interface of the concurrent set data
+// structures used in the paper's evaluation, plus shared helpers. Every
+// structure stores uint64 keys in (MinKey, MaxKey) — the bounds are sentinel
+// values — and is parameterized per call by an smr.Guard, so the same
+// implementation runs under every reclamation scheme exactly as in setbench.
+package ds
+
+import (
+	"nbr/internal/smr"
+)
+
+// MinKey and MaxKey bound the usable key space; both are sentinels.
+const (
+	MinKey uint64 = 0
+	MaxKey uint64 = ^uint64(0)
+)
+
+// Set is an ordered concurrent set. Len and Validate are quiescent
+// operations: callers must ensure no concurrent mutators.
+type Set interface {
+	// Contains reports key membership.
+	Contains(g smr.Guard, key uint64) bool
+	// Insert adds key, reporting false if it was already present.
+	Insert(g smr.Guard, key uint64) bool
+	// Delete removes key, reporting false if it was absent.
+	Delete(g smr.Guard, key uint64) bool
+	// Len counts the keys currently in the set (quiescent).
+	Len() int
+	// Validate checks structural invariants (quiescent), returning a
+	// descriptive error on corruption.
+	Validate() error
+}

@@ -1,0 +1,286 @@
+// Package lazylist implements the lazy concurrent list-based set of Heller
+// et al. (LL05), the paper's representative list workload (E1, Fig. 3b and
+// Fig. 6) and its running example for SMR integration (Fig. 2).
+//
+// Searches are synchronization-free and may traverse marked (logically
+// deleted) nodes — the property that makes LL05 incompatible with hazard
+// pointers in theory (Table 1) yet ideal for NBR: the whole search is one
+// Φread, and the write phase locks exactly the two records reserved at
+// endΦread. The hazard-pointer integration used by the paper's benchmark
+// (validating each protection by re-reading the predecessor's link and
+// restarting from the head on failure) is implemented behind
+// Guard.NeedsValidation, at the documented cost of wait-freedom.
+package lazylist
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"nbr/internal/ds"
+	"nbr/internal/mem"
+	"nbr/internal/smr"
+)
+
+// node is a list record. All fields are accessed atomically: records are
+// recycled by the pool while stale readers may still copy them, and the
+// copy-then-validate discipline requires data-race-free field access.
+type node struct {
+	key    uint64
+	next   uint64 // mem.Ptr
+	marked uint32
+	lock   uint32
+}
+
+// view is a consistent-enough snapshot of a node taken during a read phase.
+type view struct {
+	key    uint64
+	next   mem.Ptr
+	marked bool
+}
+
+// List is a lazy linked-list set.
+type List struct {
+	pool *mem.Pool[node]
+	head mem.Ptr
+	tail mem.Ptr
+}
+
+// New creates a list sized for the given number of threads.
+func New(threads int) *List {
+	l := &List{pool: mem.NewPool[node](mem.Config{MaxThreads: threads})}
+	tp, tn := l.pool.Alloc(0)
+	atomic.StoreUint64(&tn.key, ds.MaxKey)
+	atomic.StoreUint64(&tn.next, uint64(mem.Null))
+	hp, hn := l.pool.Alloc(0)
+	atomic.StoreUint64(&hn.key, ds.MinKey)
+	atomic.StoreUint64(&hn.next, uint64(tp))
+	l.head, l.tail = hp, tp
+	return l
+}
+
+// Arena exposes the list's allocator to reclamation schemes.
+func (l *List) Arena() mem.Arena { return l.pool }
+
+// MemStats reports allocator statistics (live records ≈ resident memory).
+func (l *List) MemStats() mem.Stats { return l.pool.Stats() }
+
+// read is the barriered copy of a record: Protect (announce/poll) first,
+// copy every field, then re-validate the handle generation. For validating
+// schemes (HP/IBR/HE) a failed generation check is the benign
+// freed-before-announce window that link re-validation exists to catch, so
+// it reports !ok and the caller restarts; for every other scheme the record
+// was promised live and the failure is routed to OnStale (neutralization
+// under NBR, a proven use-after-free elsewhere).
+func (l *List) read(g smr.Guard, slot int, p mem.Ptr) (view, bool) {
+	g.Protect(slot, p)
+	n := l.pool.Raw(p)
+	var v view
+	v.key = atomic.LoadUint64(&n.key)
+	v.next = mem.Ptr(atomic.LoadUint64(&n.next))
+	v.marked = atomic.LoadUint32(&n.marked) != 0
+	if !l.pool.Valid(p) {
+		if g.NeedsValidation() {
+			return view{}, false
+		}
+		g.OnStale(p)
+	}
+	return v, true
+}
+
+// next re-reads the link field of a protected record (used under locks).
+func (l *List) next(g smr.Guard, p mem.Ptr) mem.Ptr {
+	n := l.pool.Raw(p)
+	v := mem.Ptr(atomic.LoadUint64(&n.next))
+	if !l.pool.Valid(p) {
+		g.OnStale(p)
+	}
+	return v
+}
+
+// validateLink is the HP/IBR reachability validation: it proves curr was
+// reachable (hence not yet retired) at the moment pred.next was re-read.
+// The marked flag is loaded *after* the link: marking is monotone, so
+// unmarked-after implies pred was linked when the link still said curr.
+func (l *List) validateLink(g smr.Guard, pred, curr mem.Ptr) bool {
+	n := l.pool.Raw(pred)
+	link := mem.Ptr(atomic.LoadUint64(&n.next))
+	marked := atomic.LoadUint32(&n.marked) != 0
+	if !l.pool.Valid(pred) {
+		g.OnStale(pred)
+	}
+	return link == curr && !marked
+}
+
+// search is the Φread: traverse from the head until curr.key ≥ key,
+// returning the protected (pred, curr) pair and their snapshots. On return
+// the read phase is still open; the caller decides what to reserve.
+func (l *List) search(g smr.Guard, key uint64) (pred, curr mem.Ptr, predV, currV view) {
+retry:
+	g.BeginRead()
+	pred = l.head
+	predV, _ = l.read(g, 0, pred) // the head sentinel is never freed
+	curr = predV.next
+	predSlot, currSlot := 0, 1
+	for {
+		var ok bool
+		currV, ok = l.read(g, currSlot, curr)
+		if !ok {
+			goto retry // freed before the announcement took effect
+		}
+		if g.NeedsValidation() && !l.validateLink(g, pred, curr) {
+			goto retry // curr was not provably reachable when protected
+		}
+		if currV.key >= key {
+			return
+		}
+		pred, predV = curr, currV
+		predSlot, currSlot = currSlot, predSlot
+		curr = currV.next
+	}
+}
+
+// lock spins on a record's lock word. The record must be protected (reserved
+// under NBR, hazard-validated, or inside an epoch section): MustGet asserts
+// that protection actually held.
+func (l *List) lock(p mem.Ptr) *node {
+	n := l.pool.MustGet(p)
+	for i := 0; !atomic.CompareAndSwapUint32(&n.lock, 0, 1); i++ {
+		if i&15 == 15 {
+			runtime.Gosched()
+		}
+	}
+	return n
+}
+
+func (l *List) unlock(n *node) {
+	atomic.StoreUint32(&n.lock, 0)
+}
+
+// validate is the lazy list's post-lock check: both nodes unmarked and still
+// adjacent.
+func validate(pred, curr *node, currPtr mem.Ptr) bool {
+	return atomic.LoadUint32(&pred.marked) == 0 &&
+		atomic.LoadUint32(&curr.marked) == 0 &&
+		mem.Ptr(atomic.LoadUint64(&pred.next)) == currPtr
+}
+
+// Contains implements ds.Set. The traversal is one read phase; there is no
+// write phase, so endΦread is invoked with no reservations before returning
+// (§5.3).
+func (l *List) Contains(g smr.Guard, key uint64) bool {
+	return smr.Execute(g, func() bool {
+		_, _, _, currV := l.search(g, key)
+		g.EndRead()
+		return currV.key == key && !currV.marked
+	})
+}
+
+// Insert implements ds.Set, following Fig. 2b: search (Φread), reserve
+// pred and curr, endΦread, then lock-validate-link (Φwrite). The new record
+// is allocated inside the write phase, where neutralization can no longer
+// strike, so restarts never leak memory.
+func (l *List) Insert(g smr.Guard, key uint64) bool {
+	return smr.Execute(g, func() bool {
+		for {
+			pred, curr, _, currV := l.search(g, key)
+			g.Reserve(0, pred)
+			g.Reserve(1, curr)
+			g.EndRead()
+			pn := l.lock(pred)
+			cn := l.lock(curr)
+			if validate(pn, cn, curr) {
+				if currV.key == key {
+					l.unlock(cn)
+					l.unlock(pn)
+					return false
+				}
+				np, nn := l.pool.Alloc(g.Tid())
+				atomic.StoreUint64(&nn.key, key)
+				atomic.StoreUint64(&nn.next, uint64(curr))
+				atomic.StoreUint32(&nn.marked, 0)
+				atomic.StoreUint32(&nn.lock, 0)
+				g.OnAlloc(np)
+				atomic.StoreUint64(&pn.next, uint64(np))
+				l.unlock(cn)
+				l.unlock(pn)
+				return true
+			}
+			l.unlock(cn)
+			l.unlock(pn)
+			// Validation failed: start a fresh read phase from the root.
+		}
+	})
+}
+
+// Delete implements ds.Set: logical mark under locks, then physical unlink,
+// then retire. Retirement happens after both locks are released, so a
+// reclaimer can never free a record whose lock word a peer still spins on
+// without that peer holding its own protection.
+func (l *List) Delete(g smr.Guard, key uint64) bool {
+	return smr.Execute(g, func() bool {
+		for {
+			pred, curr, _, currV := l.search(g, key)
+			if currV.key != key {
+				g.EndRead()
+				return false
+			}
+			g.Reserve(0, pred)
+			g.Reserve(1, curr)
+			g.EndRead()
+			pn := l.lock(pred)
+			cn := l.lock(curr)
+			if validate(pn, cn, curr) {
+				atomic.StoreUint32(&cn.marked, 1) // logical delete
+				succ := atomic.LoadUint64(&cn.next)
+				atomic.StoreUint64(&pn.next, succ) // physical unlink
+				l.unlock(cn)
+				l.unlock(pn)
+				g.Retire(curr)
+				return true
+			}
+			l.unlock(cn)
+			l.unlock(pn)
+		}
+	})
+}
+
+// Len implements ds.Set (quiescent).
+func (l *List) Len() int {
+	n := 0
+	for p := l.rawNext(l.head); p != l.tail; p = l.rawNext(p) {
+		n++
+	}
+	return n
+}
+
+func (l *List) rawNext(p mem.Ptr) mem.Ptr {
+	return mem.Ptr(atomic.LoadUint64(&l.pool.Raw(p).next))
+}
+
+// Validate implements ds.Set (quiescent): strictly sorted keys, no marked
+// nodes reachable, proper sentinels.
+func (l *List) Validate() error {
+	prev := ds.MinKey
+	p := l.rawNext(l.head)
+	for p != l.tail {
+		if p.IsNull() {
+			return errors.New("lazylist: reachable nil before tail sentinel")
+		}
+		n, ok := l.pool.Get(p)
+		if !ok {
+			return fmt.Errorf("lazylist: freed node %v reachable", p)
+		}
+		k := atomic.LoadUint64(&n.key)
+		if k <= prev {
+			return fmt.Errorf("lazylist: keys not strictly increasing (%d after %d)", k, prev)
+		}
+		if atomic.LoadUint32(&n.marked) != 0 {
+			return fmt.Errorf("lazylist: marked node %d still linked", k)
+		}
+		prev = k
+		p = l.rawNext(p)
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+// Package dstest is the shared correctness suite for the data structures in
+// the harness. Each structure runs the same four suites against every
+// reclamation scheme the applicability matrix admits:
+//
+//   - sequential: results match a reference map model;
+//   - concurrent: mixed workload under a key-conservation law — for every
+//     key, successful inserts minus successful deletes must equal final
+//     membership, which any non-linearizable interleaving or lost update
+//     violates;
+//   - churn: the same law on a tiny key range, maximizing contention,
+//     recycling and ABA pressure (stale handles panic via the generation
+//     check, so an unsafe scheme integration cannot pass silently);
+//   - stall: one thread stalls mid-operation while others churn, asserting
+//     the paper's P2 split — bounded garbage for NBR/NBR+/HP/IBR/HE,
+//     unbounded growth for QSBR/RCU/DEBRA — and that a stalled NBR thread
+//     is neutralized when it resumes.
+package dstest
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nbr/internal/bench"
+	"nbr/internal/ds"
+	"nbr/internal/mem"
+	"nbr/internal/sigsim"
+	"nbr/internal/smr"
+)
+
+// Instance is one data structure wired to its arena.
+type Instance struct {
+	Set   ds.Set
+	Arena mem.Arena
+}
+
+// Factory creates instances of one data structure for the suite.
+type Factory struct {
+	// Name must match the applicability-matrix entry (bench.DSNames).
+	Name string
+	// New creates a set sized for the given number of threads.
+	New func(threads int) Instance
+}
+
+// config returns aggressive-reclamation settings so the suites exercise
+// freeing and neutralization constantly rather than only at scale.
+func config() bench.SchemeConfig {
+	return bench.SchemeConfig{
+		BagSize:    128,
+		LoFraction: 0.5,
+		ScanFreq:   4,
+		Slots:      4,
+		Threshold:  48,
+		EraFreq:    16,
+	}
+}
+
+func newScheme(t *testing.T, name string, arena mem.Arena, threads int) smr.Scheme {
+	t.Helper()
+	s, err := bench.NewScheme(name, arena, threads, config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// RunAll executes every suite × scheme combination for the factory.
+func RunAll(t *testing.T, f Factory) {
+	for _, scheme := range bench.SchemeNames {
+		if !bench.Runnable(f.Name, scheme) {
+			continue
+		}
+		scheme := scheme
+		t.Run("sequential/"+scheme, func(t *testing.T) { Sequential(t, f, scheme) })
+		t.Run("concurrent/"+scheme, func(t *testing.T) { Concurrent(t, f, scheme, 6, 256) })
+		t.Run("churn/"+scheme, func(t *testing.T) { Concurrent(t, f, scheme, 6, 8) })
+		t.Run("stall/"+scheme, func(t *testing.T) { Stall(t, f, scheme) })
+	}
+}
+
+// Sequential compares the structure against a map model under one thread.
+func Sequential(t *testing.T, f Factory, scheme string) {
+	inst := f.New(1)
+	g := newScheme(t, scheme, inst.Arena, 1).Guard(0)
+	model := make(map[uint64]bool)
+	rng := rand.New(rand.NewSource(42))
+	const keys = 64
+	ops := 4000
+	if testing.Short() {
+		ops = 800
+	}
+	for i := 0; i < ops; i++ {
+		key := uint64(rng.Intn(keys)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			if got, want := inst.Set.Insert(g, key), !model[key]; got != want {
+				t.Fatalf("op %d: Insert(%d) = %v, want %v", i, key, got, want)
+			}
+			model[key] = true
+		case 1:
+			if got, want := inst.Set.Delete(g, key), model[key]; got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, key, got, want)
+			}
+			delete(model, key)
+		case 2:
+			if got, want := inst.Set.Contains(g, key), model[key]; got != want {
+				t.Fatalf("op %d: Contains(%d) = %v, want %v", i, key, got, want)
+			}
+		}
+	}
+	size := 0
+	for _, present := range model {
+		if present {
+			size++
+		}
+	}
+	if got := inst.Set.Len(); got != size {
+		t.Fatalf("Len = %d, model = %d", got, size)
+	}
+	if err := inst.Set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent churns `threads` goroutines over `keys` keys and checks the
+// conservation law plus structural invariants.
+func Concurrent(t *testing.T, f Factory, scheme string, threads int, keys int) {
+	inst := f.New(threads)
+	sch := newScheme(t, scheme, inst.Arena, threads)
+	ops := 2500
+	if testing.Short() {
+		ops = 500
+	}
+	type tally struct{ ins, del int }
+	tallies := make([]map[uint64]*tally, threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			g := sch.Guard(tid)
+			local := make(map[uint64]*tally)
+			tallies[tid] = local
+			rng := rand.New(rand.NewSource(int64(tid)*7919 + 1))
+			for i := 0; i < ops; i++ {
+				key := uint64(rng.Intn(keys)) + 1
+				tl := local[key]
+				if tl == nil {
+					tl = &tally{}
+					local[key] = tl
+				}
+				switch rng.Intn(4) {
+				case 0, 1:
+					if inst.Set.Insert(g, key) {
+						tl.ins++
+					}
+				case 2:
+					if inst.Set.Delete(g, key) {
+						tl.del++
+					}
+				case 3:
+					inst.Set.Contains(g, key)
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+
+	g := sch.Guard(0)
+	total := 0
+	for key := uint64(1); key <= uint64(keys); key++ {
+		ins, del := 0, 0
+		for _, local := range tallies {
+			if tl := local[key]; tl != nil {
+				ins += tl.ins
+				del += tl.del
+			}
+		}
+		net := ins - del
+		if net != 0 && net != 1 {
+			t.Fatalf("key %d: conservation violated, ins=%d del=%d", key, ins, del)
+		}
+		if got := inst.Set.Contains(g, key); got != (net == 1) {
+			t.Fatalf("key %d: present=%v but ins-del=%d", key, got, net)
+		}
+		total += net
+	}
+	if got := inst.Set.Len(); got != total {
+		t.Fatalf("Len = %d, conservation says %d", got, total)
+	}
+	if err := inst.Set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := sch.Stats()
+	if st.Freed > st.Retired {
+		t.Fatalf("freed %d > retired %d", st.Freed, st.Retired)
+	}
+}
+
+// Stall reproduces E2's stalled-thread scenario at test scale: the last
+// thread begins an operation (announces/checkpoints) and goes to sleep while
+// the others churn deletions.
+func Stall(t *testing.T, f Factory, scheme string) {
+	const workers = 4
+	threads := workers + 1
+	inst := f.New(threads)
+	sch := newScheme(t, scheme, inst.Arena, threads)
+	cfg := config()
+
+	// The stalled thread enters an operation mid-read-phase and stops.
+	stalled := sch.Guard(workers)
+	stalled.BeginOp()
+	stalled.BeginRead()
+
+	ops := 3000
+	if testing.Short() {
+		ops = 600
+	}
+	var wg sync.WaitGroup
+	for tid := 0; tid < workers; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			g := sch.Guard(tid)
+			rng := rand.New(rand.NewSource(int64(tid) + 99))
+			for i := 0; i < ops; i++ {
+				key := uint64(rng.Intn(128)) + 1
+				if i%2 == 0 {
+					inst.Set.Insert(g, key)
+				} else {
+					inst.Set.Delete(g, key)
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+
+	st := sch.Stats()
+	garbage := st.Garbage()
+	switch scheme {
+	case "nbr", "nbr+":
+		bound := uint64(threads * (cfg.BagSize + threads*cfg.Slots))
+		if garbage > bound {
+			t.Fatalf("bounded-garbage violation: %d > %d", garbage, bound)
+		}
+		// The stalled thread was signalled; it must be neutralized the
+		// moment it resumes its read phase.
+		woke := func() (hit bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(sigsim.Neutralized); !ok {
+						panic(r)
+					}
+					hit = true
+				}
+			}()
+			stalled.EndRead()
+			return false
+		}()
+		if st.Signals > 0 && !woke {
+			t.Fatal("stalled thread resumed its read phase without neutralization")
+		}
+	case "hp", "ibr", "he":
+		bound := uint64(threads*cfg.Threshold) + uint64(threads*threads*16)
+		if garbage > bound {
+			t.Fatalf("bounded-garbage violation: %d > %d", garbage, bound)
+		}
+		stalled.EndRead()
+	case "qsbr", "rcu", "debra":
+		if st.Retired > uint64(4*cfg.Threshold) && garbage < uint64(cfg.Threshold) {
+			t.Fatalf("expected unbounded growth under a stalled thread, garbage=%d retired=%d",
+				garbage, st.Retired)
+		}
+		stalled.EndRead()
+	case "none":
+		if garbage != st.Retired {
+			t.Fatalf("leaky must never free: garbage=%d retired=%d", garbage, st.Retired)
+		}
+		stalled.EndRead()
+	}
+	stalled.EndOp()
+
+	// After the stall clears, the unbounded schemes must drain. Every thread
+	// must participate: epoch schemes need all registered threads to pass
+	// through quiescent states (an idle thread that never announces blocks
+	// QSBR forever, which is correct behaviour, not what we test here).
+	if scheme == "qsbr" || scheme == "rcu" || scheme == "debra" {
+		for i := 0; i < 800; i++ {
+			for tid := 0; tid < threads; tid++ {
+				g := sch.Guard(tid)
+				key := uint64(i%128) + 1
+				inst.Set.Insert(g, key)
+				inst.Set.Delete(g, key)
+			}
+		}
+		if after := sch.Stats(); after.Freed == st.Freed {
+			t.Fatal("no reclamation progress after the stalled thread recovered")
+		}
+	}
+	if err := inst.Set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Package hist provides a tiny power-of-two latency histogram for the
+// benchmark harness. The paper's P1 property is about both throughput and
+// latency; reclamation bursts (DEBRA's failure mode) show up as tail
+// latency rather than in the mean, so the harness samples operation
+// latencies into per-thread histograms and reports quantiles.
+//
+// A histogram is owner-written (no atomics) and merged after the run, so
+// recording costs a handful of instructions.
+package hist
+
+import "math/bits"
+
+// Buckets is the number of power-of-two buckets: bucket i counts values v
+// with bitlen(v) == i, i.e. v in [2^(i-1), 2^i).
+const Buckets = 64
+
+// Histogram counts values in power-of-two buckets. The zero value is ready
+// to use.
+type Histogram struct {
+	counts [Buckets]uint64
+	total  uint64
+	max    int64
+}
+
+// Record adds one value (typically nanoseconds). Negative values count into
+// bucket 0.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bits.Len64(uint64(v))%Buckets]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.total += other.total
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Max returns the largest recorded value.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the upper
+// edge of the bucket containing it. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if rank < seen {
+			if i == 0 {
+				return 0
+			}
+			upper := int64(1) << uint(i)
+			if h.max < upper {
+				return h.max // tighten the final bucket with the observed max
+			}
+			return upper
+		}
+	}
+	return h.max
+}

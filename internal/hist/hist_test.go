@@ -1,0 +1,138 @@
+package hist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(1000)
+	if h.Count() != 1 || h.Max() != 1000 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	if q := h.Quantile(0.99); q != 1000 {
+		t.Fatalf("q99 = %d, want the observed max", q)
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatal("negative values must clamp to zero")
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	var h Histogram
+	values := make([]int64, 0, 10000)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.Intn(1 << 20))
+		values = append(values, v)
+		h.Record(v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := values[int(q*float64(len(values)))]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Fatalf("q%.2f = %d below exact %d (quantile must be an upper bound)", q, got, exact)
+		}
+		if got > 4*exact+4 {
+			t.Fatalf("q%.2f = %d too loose vs exact %d", q, got, exact)
+		}
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		h.Record(int64(rng.Intn(1 << 30)))
+	}
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at %.2f: %d < %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Record(10)
+		b.Record(1 << 20)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != 1<<20 {
+		t.Fatalf("merged max = %d", a.Max())
+	}
+	if q := a.Quantile(0.25); q > 16 {
+		t.Fatalf("low quantile contaminated: %d", q)
+	}
+	if q := a.Quantile(0.9); q < 1<<20 {
+		t.Fatalf("high quantile lost: %d", q)
+	}
+}
+
+func TestQuantileClampsRange(t *testing.T) {
+	var h Histogram
+	h.Record(7)
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("out-of-range quantiles must clamp")
+	}
+}
+
+func TestQuickCountMatches(t *testing.T) {
+	f := func(vs []int16) bool {
+		var h Histogram
+		for _, v := range vs {
+			h.Record(int64(v))
+		}
+		return h.Count() == uint64(len(vs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMaxIsUpperBound(t *testing.T) {
+	f := func(vs []uint32) bool {
+		var h Histogram
+		var max int64
+		for _, v := range vs {
+			h.Record(int64(v))
+			if int64(v) > max {
+				max = int64(v)
+			}
+		}
+		return h.Max() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i))
+	}
+}

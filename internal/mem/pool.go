@@ -1,0 +1,296 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+const (
+	slabBits = 14
+	// SlabSize is the number of slots carved per slab.
+	SlabSize = 1 << slabBits
+	maxSlabs = 1 << 14
+	maxSlots = maxSlabs * SlabSize
+
+	// carveBatch is how many never-used slots a thread claims from the bump
+	// cursor at once, and refillBatch how many recycled slots it pulls from
+	// the shared free list at once.
+	carveBatch  = 64
+	refillBatch = 64
+)
+
+// Hdr is the per-slot allocator header. The generation counter implements
+// use-after-free detection (even = free, odd = live); the birth and retire
+// eras are reserved for era-based SMR schemes (IBR, hazard eras) which the
+// paper notes require per-record metadata. All fields are accessed atomically.
+type Hdr struct {
+	gen    uint32
+	_      uint32
+	birth  uint64
+	retire uint64
+}
+
+// Birth returns the record's allocation era (set by era-based schemes).
+func (h *Hdr) Birth() uint64 { return atomic.LoadUint64(&h.birth) }
+
+// SetBirth records the record's allocation era.
+func (h *Hdr) SetBirth(e uint64) { atomic.StoreUint64(&h.birth, e) }
+
+// Retire returns the record's retirement tag (era or epoch, scheme-defined).
+func (h *Hdr) Retire() uint64 { return atomic.LoadUint64(&h.retire) }
+
+// SetRetire records the record's retirement tag.
+func (h *Hdr) SetRetire(e uint64) { atomic.StoreUint64(&h.retire, e) }
+
+// Arena is the type-erased view of a Pool that SMR schemes hold: enough to
+// free retired records and to tag them with eras, without knowing the record
+// type.
+type Arena interface {
+	// Free returns a retired record to the allocator. It panics if the
+	// handle is stale (double free) — reclaiming the same record twice is
+	// always an SMR bug.
+	Free(tid int, p Ptr)
+	// Hdr exposes the allocator header of a live or retired record.
+	Hdr(p Ptr) *Hdr
+	// Valid reports whether p still addresses the allocation it was created
+	// by (i.e. the record has not been freed).
+	Valid(p Ptr) bool
+}
+
+// Config sizes a Pool.
+type Config struct {
+	// MaxThreads is the number of thread ids (0..MaxThreads-1) that will
+	// call Alloc/Free. Required.
+	MaxThreads int
+	// CacheSize is the per-thread free-cache target; when a thread's cache
+	// exceeds twice this value, half is flushed to the shared free list
+	// (the jemalloc tcache/arena analogue). Default 128.
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 1
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	return c
+}
+
+// Pool is a slab allocator for records of type T. Each slot carries a Hdr
+// whose generation tags handles; see the package comment. Alloc and Free are
+// safe for concurrent use provided each goroutine uses its own thread id.
+type Pool[T any] struct {
+	cfg Config
+
+	// slab directory: published once under growMu, read lock-free.
+	slabs  [maxSlabs]atomic.Pointer[[SlabSize]slot[T]]
+	cursor atomic.Uint64 // next never-carved slot index
+	growMu sync.Mutex
+
+	global  globalFree
+	threads []tcache
+}
+
+type slot[T any] struct {
+	hdr Hdr
+	val T
+}
+
+// globalFree is the shared recycled-slot list. It is deliberately a single
+// mutex-protected structure: reclamation bursts from many threads contend
+// here, reproducing the allocator-bottleneck effect the paper attributes to
+// DEBRA's burst reclamation.
+type globalFree struct {
+	mu   sync.Mutex
+	free []uint32
+	ops  atomic.Uint64 // lock acquisitions, reported in Stats
+}
+
+type tcache struct {
+	free   []uint32
+	allocs atomic.Uint64
+	frees  atomic.Uint64
+	_      [64]byte
+}
+
+// NewPool creates a pool. Slot 0 is reserved so that no live handle is Null.
+func NewPool[T any](cfg Config) *Pool[T] {
+	p := &Pool[T]{cfg: cfg.withDefaults()}
+	p.threads = make([]tcache, p.cfg.MaxThreads)
+	p.cursor.Store(1) // reserve slot 0
+	return p
+}
+
+// MaxThreads returns the number of thread ids the pool was sized for.
+func (p *Pool[T]) MaxThreads() int { return p.cfg.MaxThreads }
+
+func (p *Pool[T]) slotAt(idx uint32) *slot[T] {
+	s := p.slabs[idx>>slabBits].Load()
+	if s == nil {
+		panic(fmt.Sprintf("mem: handle into unallocated slab (idx %d)", idx))
+	}
+	return &s[idx&(SlabSize-1)]
+}
+
+// Raw returns the record for p without validating its generation. Callers
+// must follow the copy-then-Valid discipline, or hold a protection (lock,
+// reservation, hazard pointer) that keeps the record live.
+func (p *Pool[T]) Raw(q Ptr) *T {
+	return &p.slotAt(q.Idx()).val
+}
+
+// Hdr implements Arena.
+func (p *Pool[T]) Hdr(q Ptr) *Hdr {
+	return &p.slotAt(q.Idx()).hdr
+}
+
+// Valid implements Arena: it reports whether q's generation is current.
+func (p *Pool[T]) Valid(q Ptr) bool {
+	return atomic.LoadUint32(&p.slotAt(q.Idx()).hdr.gen) == q.Gen()
+}
+
+// Get returns the record for q if the handle is still live.
+func (p *Pool[T]) Get(q Ptr) (*T, bool) {
+	if q.IsNull() {
+		return nil, false
+	}
+	s := p.slotAt(q.Idx())
+	if atomic.LoadUint32(&s.hdr.gen) != q.Gen() {
+		return nil, false
+	}
+	return &s.val, true
+}
+
+// MustGet returns the record for q, panicking if the handle is stale. Use it
+// for records the caller has locked or reserved: staleness there is a bug in
+// the SMR scheme under test, not a benign race.
+func (p *Pool[T]) MustGet(q Ptr) *T {
+	v, ok := p.Get(q)
+	if !ok {
+		panic(fmt.Sprintf("mem: use after free through protected handle %v", q))
+	}
+	return v
+}
+
+// Alloc returns a fresh handle and its record. The record's fields hold
+// whatever the previous occupant left (slabs start zeroed); callers must
+// initialize every field, with atomic stores, before publishing the handle.
+func (p *Pool[T]) Alloc(tid int) (Ptr, *T) {
+	tc := &p.threads[tid]
+	if len(tc.free) == 0 {
+		p.refill(tc)
+	}
+	idx := tc.free[len(tc.free)-1]
+	tc.free = tc.free[:len(tc.free)-1]
+	s := p.slotAt(idx)
+	g := atomic.LoadUint32(&s.hdr.gen) // even: slot is free
+	atomic.StoreUint32(&s.hdr.gen, g+1)
+	tc.allocs.Add(1)
+	return pack(idx, g+1), &s.val
+}
+
+// Free implements Arena. It detects double frees and frees of corrupt
+// handles by CASing the slot generation.
+func (p *Pool[T]) Free(tid int, q Ptr) {
+	if q.IsNull() {
+		panic("mem: free of nil handle")
+	}
+	s := p.slotAt(q.Idx())
+	if !atomic.CompareAndSwapUint32(&s.hdr.gen, q.Gen(), q.Gen()+1) {
+		panic(fmt.Sprintf("mem: double free of %v (slot gen now %d)", q, atomic.LoadUint32(&s.hdr.gen)))
+	}
+	tc := &p.threads[tid]
+	tc.free = append(tc.free, q.Idx())
+	tc.frees.Add(1)
+	if len(tc.free) > 2*p.cfg.CacheSize {
+		p.flush(tc)
+	}
+}
+
+// refill restocks a thread cache, preferring recycled slots from the shared
+// list and carving fresh ones from the bump cursor otherwise.
+func (p *Pool[T]) refill(tc *tcache) {
+	p.global.mu.Lock()
+	p.global.ops.Add(1)
+	if n := len(p.global.free); n > 0 {
+		take := refillBatch
+		if take > n {
+			take = n
+		}
+		tc.free = append(tc.free, p.global.free[n-take:]...)
+		p.global.free = p.global.free[:n-take]
+		p.global.mu.Unlock()
+		return
+	}
+	p.global.mu.Unlock()
+
+	base := p.cursor.Add(carveBatch) - carveBatch
+	if base+carveBatch > maxSlots {
+		panic("mem: pool exhausted (maxSlots)")
+	}
+	p.ensureSlabs(base, base+carveBatch-1)
+	for i := uint64(0); i < carveBatch; i++ {
+		tc.free = append(tc.free, uint32(base+i))
+	}
+}
+
+func (p *Pool[T]) ensureSlabs(lo, hi uint64) {
+	first, last := uint32(lo)>>slabBits, uint32(hi)>>slabBits
+	for sb := first; sb <= last; sb++ {
+		if p.slabs[sb].Load() != nil {
+			continue
+		}
+		p.growMu.Lock()
+		if p.slabs[sb].Load() == nil {
+			p.slabs[sb].Store(new([SlabSize]slot[T]))
+		}
+		p.growMu.Unlock()
+	}
+}
+
+// flush returns the oldest half of an oversized thread cache to the shared
+// list, keeping recently freed (cache-hot) slots local.
+func (p *Pool[T]) flush(tc *tcache) {
+	n := len(tc.free) / 2
+	p.global.mu.Lock()
+	p.global.ops.Add(1)
+	p.global.free = append(p.global.free, tc.free[:n]...)
+	p.global.mu.Unlock()
+	rest := copy(tc.free, tc.free[n:])
+	tc.free = tc.free[:rest]
+}
+
+// Stats is a snapshot of pool accounting. Live counts allocated-but-not-freed
+// records, i.e. reachable records plus unreclaimed garbage — the quantity the
+// paper's E2 experiment measures as resident memory.
+type Stats struct {
+	Allocs    uint64
+	Frees     uint64
+	Live      int64
+	SlotSize  uintptr
+	LiveBytes int64
+	SlabBytes uint64
+	GlobalOps uint64
+}
+
+// Stats sums per-thread counters. It is approximate under concurrency (the
+// counters are read without stopping the world) but monotone enough for peak
+// tracking.
+func (p *Pool[T]) Stats() Stats {
+	var st Stats
+	for i := range p.threads {
+		st.Allocs += p.threads[i].allocs.Load()
+		st.Frees += p.threads[i].frees.Load()
+	}
+	st.Live = int64(st.Allocs) - int64(st.Frees)
+	st.SlotSize = unsafe.Sizeof(slot[T]{})
+	st.LiveBytes = st.Live * int64(st.SlotSize)
+	carved := p.cursor.Load()
+	st.SlabBytes = ((carved + SlabSize - 1) >> slabBits) * SlabSize * uint64(st.SlotSize)
+	st.GlobalOps = p.global.ops.Load()
+	return st
+}

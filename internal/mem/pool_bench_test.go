@@ -1,0 +1,68 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+// BenchmarkAllocFree measures the per-record hot path: pop from the thread
+// cache, bump the generation, push back. This is the jemalloc-tcache
+// analogue every scheme's free path pays.
+func BenchmarkAllocFree(b *testing.B) {
+	p := NewPool[rec](Config{MaxThreads: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h, _ := p.Alloc(0)
+		p.Free(0, h)
+	}
+}
+
+// BenchmarkAllocFreeBatch measures churn with a working set deeper than the
+// LIFO top, touching the cache array.
+func BenchmarkAllocFreeBatch(b *testing.B) {
+	p := NewPool[rec](Config{MaxThreads: 1, CacheSize: 256})
+	var hs [64]Ptr
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range hs {
+			hs[j], _ = p.Alloc(0)
+		}
+		for j := range hs {
+			p.Free(0, hs[j])
+		}
+	}
+}
+
+// BenchmarkGet measures the validated dereference (generation compare).
+func BenchmarkGet(b *testing.B) {
+	p := NewPool[rec](Config{MaxThreads: 1})
+	h, _ := p.Alloc(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Get(h); !ok {
+			b.Fatal("live handle failed")
+		}
+	}
+}
+
+// BenchmarkCrossThreadChurn measures contention on the shared free list —
+// the "reclamation burst" bottleneck the paper attributes to DEBRA.
+func BenchmarkCrossThreadChurn(b *testing.B) {
+	const threads = 4
+	p := NewPool[rec](Config{MaxThreads: threads, CacheSize: 8})
+	var wg sync.WaitGroup
+	per := b.N/threads + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h, _ := p.Alloc(tid)
+				p.Free(tid, h)
+			}
+		}(tid)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,333 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type rec struct {
+	key  uint64
+	next uint64
+}
+
+func newTestPool(threads int) *Pool[rec] {
+	return NewPool[rec](Config{MaxThreads: threads, CacheSize: 16})
+}
+
+func TestPtrPackRoundTrip(t *testing.T) {
+	p := pack(12345, 678)
+	if p.Idx() != 12345 || p.Gen() != 678 {
+		t.Fatalf("roundtrip got idx=%d gen=%d", p.Idx(), p.Gen())
+	}
+	if p.Marked() {
+		t.Fatal("fresh handle should be unmarked")
+	}
+}
+
+func TestPtrMarkBit(t *testing.T) {
+	p := pack(7, 3)
+	m := p.WithMark()
+	if !m.Marked() {
+		t.Fatal("WithMark did not set mark")
+	}
+	if m.Unmarked() != p {
+		t.Fatal("Unmarked did not restore original")
+	}
+	if m.Idx() != p.Idx() || m.Gen() != p.Gen() {
+		t.Fatal("mark bit disturbed idx/gen")
+	}
+	if m.IsNull() {
+		t.Fatal("marked non-null handle reported null")
+	}
+}
+
+func TestNullHandle(t *testing.T) {
+	if !Null.IsNull() {
+		t.Fatal("Null must be null")
+	}
+	if !Null.WithMark().IsNull() {
+		t.Fatal("marked Null must still be null")
+	}
+	if Null.String() != "mem.Null" {
+		t.Fatalf("Null string: %q", Null.String())
+	}
+}
+
+func TestPtrQuickPacking(t *testing.T) {
+	f := func(idx uint32, gen uint32) bool {
+		gen &= uint32(genMask)
+		p := pack(idx, gen)
+		return p.Idx() == idx && p.Gen() == gen && p.WithMark().Unmarked() == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocNeverNull(t *testing.T) {
+	p := newTestPool(1)
+	for i := 0; i < 1000; i++ {
+		h, _ := p.Alloc(0)
+		if h.IsNull() {
+			t.Fatalf("alloc %d returned null handle", i)
+		}
+	}
+}
+
+func TestAllocGenIsOdd(t *testing.T) {
+	p := newTestPool(1)
+	h, _ := p.Alloc(0)
+	if h.Gen()%2 != 1 {
+		t.Fatalf("live generation must be odd, got %d", h.Gen())
+	}
+}
+
+func TestAllocFreeRealloc(t *testing.T) {
+	p := newTestPool(1)
+	h1, v := p.Alloc(0)
+	v.key = 42
+	p.Free(0, h1)
+	if p.Valid(h1) {
+		t.Fatal("freed handle still valid")
+	}
+	h2, _ := p.Alloc(0)
+	if h2.Idx() != h1.Idx() {
+		t.Fatalf("expected LIFO reuse of slot %d, got %d", h1.Idx(), h2.Idx())
+	}
+	if h2.Gen() == h1.Gen() {
+		t.Fatal("reallocation did not bump generation")
+	}
+	if !p.Valid(h2) || p.Valid(h1) {
+		t.Fatal("validity must follow generation")
+	}
+}
+
+func TestGetStaleAfterFree(t *testing.T) {
+	p := newTestPool(1)
+	h, _ := p.Alloc(0)
+	if _, ok := p.Get(h); !ok {
+		t.Fatal("live handle must Get")
+	}
+	p.Free(0, h)
+	if _, ok := p.Get(h); ok {
+		t.Fatal("stale handle must not Get")
+	}
+	if _, ok := p.Get(Null); ok {
+		t.Fatal("null handle must not Get")
+	}
+}
+
+func TestMustGetPanicsOnStale(t *testing.T) {
+	p := newTestPool(1)
+	h, _ := p.Alloc(0)
+	p.Free(0, h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet on stale handle must panic")
+		}
+	}()
+	p.MustGet(h)
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	p := newTestPool(1)
+	h, _ := p.Alloc(0)
+	p.Free(0, h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free must panic")
+		}
+	}()
+	p.Free(0, h)
+}
+
+func TestFreeNullPanics(t *testing.T) {
+	p := newTestPool(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("free of Null must panic")
+		}
+	}()
+	p.Free(0, Null)
+}
+
+func TestFreeMarkedHandle(t *testing.T) {
+	p := newTestPool(1)
+	h, _ := p.Alloc(0)
+	p.Free(0, h.WithMark()) // mark bit must be ignored by the allocator
+	if p.Valid(h) {
+		t.Fatal("free through marked handle did not free the slot")
+	}
+}
+
+func TestHdrEras(t *testing.T) {
+	p := newTestPool(1)
+	h, _ := p.Alloc(0)
+	hd := p.Hdr(h)
+	hd.SetBirth(7)
+	hd.SetRetire(11)
+	if hd.Birth() != 7 || hd.Retire() != 11 {
+		t.Fatalf("era roundtrip got birth=%d retire=%d", hd.Birth(), hd.Retire())
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	p := newTestPool(2)
+	var hs []Ptr
+	for i := 0; i < 100; i++ {
+		h, _ := p.Alloc(i % 2)
+		hs = append(hs, h)
+	}
+	for _, h := range hs[:40] {
+		p.Free(1, h)
+	}
+	st := p.Stats()
+	if st.Allocs != 100 || st.Frees != 40 || st.Live != 60 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.LiveBytes != 60*int64(st.SlotSize) {
+		t.Fatalf("LiveBytes = %d, slot %d", st.LiveBytes, st.SlotSize)
+	}
+	if st.SlabBytes == 0 {
+		t.Fatal("SlabBytes must reflect carved slabs")
+	}
+}
+
+func TestCrossThreadRecycling(t *testing.T) {
+	p := NewPool[rec](Config{MaxThreads: 2, CacheSize: 4})
+	var hs []Ptr
+	for i := 0; i < 64; i++ {
+		h, _ := p.Alloc(0)
+		hs = append(hs, h)
+	}
+	for _, h := range hs {
+		p.Free(0, h) // overflows thread 0's cache into the global list
+	}
+	st := p.Stats()
+	if st.GlobalOps == 0 {
+		t.Fatal("expected flushes to the global free list")
+	}
+	seen := make(map[uint32]bool)
+	for i := 0; i < 64; i++ {
+		h, _ := p.Alloc(1) // thread 1 must be able to reuse them
+		seen[h.Idx()] = true
+	}
+	reused := 0
+	for _, h := range hs {
+		if seen[h.Idx()] {
+			reused++
+		}
+	}
+	if reused == 0 {
+		t.Fatal("thread 1 never reused thread 0's recycled slots")
+	}
+}
+
+func TestSlabGrowth(t *testing.T) {
+	p := newTestPool(1)
+	n := SlabSize + SlabSize/2
+	for i := 0; i < n; i++ {
+		h, v := p.Alloc(0)
+		v.key = uint64(i)
+		if !p.Valid(h) {
+			t.Fatalf("handle %d invalid right after alloc", i)
+		}
+	}
+	if got := p.Stats().Live; got != int64(n) {
+		t.Fatalf("live = %d, want %d", got, n)
+	}
+}
+
+func TestRawAndValidDiscipline(t *testing.T) {
+	p := newTestPool(1)
+	h, v := p.Alloc(0)
+	v.key = 9
+	raw := p.Raw(h)
+	if raw.key != 9 {
+		t.Fatal("Raw must address the record")
+	}
+	if !p.Valid(h) {
+		t.Fatal("Valid must hold before free")
+	}
+	p.Free(0, h)
+	if p.Valid(h) {
+		t.Fatal("Valid must fail after free")
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	const threads = 8
+	const iters = 20000
+	p := NewPool[rec](Config{MaxThreads: threads, CacheSize: 8})
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			var held []Ptr
+			rng := uint64(tid)*2654435761 + 1
+			for i := 0; i < iters; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				if rng%3 != 0 || len(held) == 0 {
+					h, v := p.Alloc(tid)
+					v.key = uint64(tid)
+					held = append(held, h)
+				} else {
+					h := held[len(held)-1]
+					held = held[:len(held)-1]
+					if !p.Valid(h) {
+						panic("held handle went stale")
+					}
+					p.Free(tid, h)
+				}
+			}
+			for _, h := range held {
+				p.Free(tid, h)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Live != 0 {
+		t.Fatalf("leak: live = %d after churn", st.Live)
+	}
+	if st.Allocs != st.Frees {
+		t.Fatalf("allocs %d != frees %d", st.Allocs, st.Frees)
+	}
+}
+
+func TestQuickAllocFreeInvariant(t *testing.T) {
+	p := newTestPool(1)
+	live := make(map[Ptr]bool)
+	f := func(doFree bool) bool {
+		if doFree && len(live) > 0 {
+			for h := range live {
+				delete(live, h)
+				p.Free(0, h)
+				if p.Valid(h) {
+					return false
+				}
+				break
+			}
+		} else {
+			h, _ := p.Alloc(0)
+			if live[h] {
+				return false // duplicate live handle would be catastrophic
+			}
+			live[h] = true
+			if !p.Valid(h) {
+				return false
+			}
+		}
+		for h := range live {
+			if !p.Valid(h) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

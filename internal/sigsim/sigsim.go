@@ -1,0 +1,195 @@
+// Package sigsim simulates the POSIX signal machinery NBR relies on
+// (pthread_kill, sigsetjmp/siglongjmp) on top of the Go runtime, which owns
+// real signals and offers no asynchronous goroutine interruption.
+//
+// Each participating thread owns a 64-bit state word:
+//
+//	bits 63..1  count of neutralization signals posted to the thread
+//	bit  0      restartable flag (the paper's per-thread `restartable` var)
+//
+// SignalAll posts a signal by atomically incrementing every peer's count.
+// Delivery is enforced at the points the paper's Assumption 4 needs it:
+//
+//   - Poll, invoked by the record-access barrier before every shared-record
+//     access, observes any post that happened before the access and runs the
+//     handler: restartable threads longjmp (here: panic with Neutralized,
+//     recovered by the operation wrapper), non-restartable threads ignore.
+//   - ClearRestartable, the restartable→non-restartable transition performed
+//     by NBR's endΦread, is a CAS on the same word. A post that lands before
+//     the transition makes the CAS re-check fail and neutralizes the thread,
+//     which is exactly the store-buffer race the paper closes with its CAS on
+//     `restartable` (§4.3): a thread can only become non-restartable if no
+//     signal arrived during its read phase, and then its reservations are
+//     already visible (sequentially consistent atomics) to the reclaimer's
+//     subsequent scan.
+//
+// Because real signal sends cost a syscall (~µs) and handlers cost a kernel
+// round trip, the group charges configurable spin cycles per send and per
+// delivery, so the NBR-vs-NBR+ signal-economy trade-off remains measurable.
+package sigsim
+
+import "sync/atomic"
+
+// Neutralized is the panic payload used to emulate siglongjmp back to the
+// sigsetjmp point at the start of the current read phase. smr.Execute
+// recovers it and re-runs the operation body.
+type Neutralized struct{}
+
+const (
+	restartableBit = uint64(1)
+	postUnit       = uint64(2) // one signal in the count field
+)
+
+// state is one thread's signal state, padded to its own cache line.
+type state struct {
+	word atomic.Uint64
+	// Owner-only fields (no atomics needed).
+	delivered uint64 // signals already handled or absorbed
+	sink      uint64 // spin-cost accumulator, defeats dead-code elimination
+	// Statistics.
+	sent        atomic.Uint64 // signals this thread sent (as reclaimer)
+	neutralized atomic.Uint64 // deliveries that restarted this thread
+	ignored     atomic.Uint64 // deliveries ignored (non-restartable)
+	_           [40]byte
+}
+
+// Config sets the simulated costs, in spin iterations (~1ns each).
+type Config struct {
+	// SendSpin is charged to the sender per signalled peer, standing in for
+	// the pthread_kill syscall (the overhead NBR+ exists to amortize).
+	SendSpin int
+	// HandleSpin is charged to the receiver per delivered signal, standing
+	// in for the kernel-mode switch of running a signal handler.
+	HandleSpin int
+}
+
+// Group is a set of threads that signal each other. Thread ids are dense in
+// [0, N).
+type Group struct {
+	states []state
+	cfg    Config
+}
+
+// NewGroup creates a signal group for n threads.
+func NewGroup(n int, cfg Config) *Group {
+	return &Group{states: make([]state, n), cfg: cfg}
+}
+
+// N returns the number of threads in the group.
+func (g *Group) N() int { return len(g.states) }
+
+// SignalAll posts one neutralization signal to every thread except self,
+// charging the configured send cost per peer. It corresponds to the paper's
+// signalAll: delivery is guaranteed (by the barriers above) to happen before
+// the receiver's next shared-record access.
+func (g *Group) SignalAll(self int) {
+	for i := range g.states {
+		if i == self {
+			continue
+		}
+		g.states[i].word.Add(postUnit)
+		g.states[self].sink = spin(g.cfg.SendSpin, g.states[self].sink)
+	}
+	g.states[self].sent.Add(uint64(len(g.states) - 1))
+}
+
+// SetRestartable is the sigsetjmp point at the start of a read phase: it
+// makes the thread restartable and absorbs any signals that arrived while it
+// was quiescent or writing (their handlers would have been no-ops) or that
+// caused the jump here (the restart consumed them).
+func (g *Group) SetRestartable(tid int) {
+	s := &g.states[tid]
+	for {
+		old := s.word.Load()
+		if s.word.CompareAndSwap(old, old|restartableBit) {
+			s.delivered = old / postUnit
+			return
+		}
+	}
+}
+
+// ClearRestartable is the read→write transition (endΦread's CAS on
+// `restartable`). If a signal arrived since the thread became restartable,
+// the transition fails and the thread is neutralized instead — it must not
+// enter its write phase, because the reclaimer that signalled it will not
+// see its reservations. On success the thread is non-restartable and every
+// store it made before the call (its reservations) is visible to any
+// reclaimer that signals it afterwards.
+func (g *Group) ClearRestartable(tid int) {
+	s := &g.states[tid]
+	for {
+		old := s.word.Load()
+		if old/postUnit > s.delivered {
+			g.deliver(s, old)
+			// deliver panics (restartable is still set); not reached.
+		}
+		if s.word.CompareAndSwap(old, old&^restartableBit) {
+			return
+		}
+	}
+}
+
+// Poll is the delivery barrier: it must be invoked before every access to a
+// shared record. If signals are pending it runs the handler — restarting the
+// thread when restartable, ignoring otherwise.
+func (g *Group) Poll(tid int) {
+	s := &g.states[tid]
+	old := s.word.Load()
+	if old/postUnit > s.delivered {
+		g.deliver(s, old)
+	}
+}
+
+// deliver runs the signal handler for all outstanding posts in old.
+func (g *Group) deliver(s *state, old uint64) {
+	s.delivered = old / postUnit
+	s.sink = spin(g.cfg.HandleSpin, s.sink)
+	if old&restartableBit != 0 {
+		s.neutralized.Add(1)
+		panic(Neutralized{})
+	}
+	s.ignored.Add(1)
+}
+
+// Restartable reports the thread's restartable flag (for tests and asserts).
+func (g *Group) Restartable(tid int) bool {
+	return g.states[tid].word.Load()&restartableBit != 0
+}
+
+// Posted returns how many signals have been posted to tid so far.
+func (g *Group) Posted(tid int) uint64 {
+	return g.states[tid].word.Load() / postUnit
+}
+
+// Delivered returns how many of tid's signals have been handled or absorbed.
+// Only tid itself may call this (the counter is owner-local).
+func (g *Group) Delivered(tid int) uint64 {
+	return g.states[tid].delivered
+}
+
+// Stats aggregates signal-traffic counters across the group.
+type Stats struct {
+	Sent        uint64 // signals sent by reclaimers
+	Neutralized uint64 // deliveries that restarted a read phase
+	Ignored     uint64 // deliveries ignored (thread not restartable)
+}
+
+// Stats returns a snapshot of the group's counters.
+func (g *Group) Stats() Stats {
+	var st Stats
+	for i := range g.states {
+		st.Sent += g.states[i].sent.Load()
+		st.Neutralized += g.states[i].neutralized.Load()
+		st.Ignored += g.states[i].ignored.Load()
+	}
+	return st
+}
+
+// spin burns roughly n cycles; the evolving accumulator is stored by callers
+// to keep the loop observable.
+func spin(n int, acc uint64) uint64 {
+	for i := 0; i < n; i++ {
+		acc = acc*2654435761 + uint64(i)
+	}
+	return acc
+}

@@ -1,0 +1,157 @@
+// Package debra implements Brown's DEBRA (distributed epoch-based
+// reclamation), the fastest EBR variant in the paper's comparison and its
+// main baseline. The distinguishing features over plain EBR:
+//
+//   - three per-thread limbo bags rotated on epoch change, so freeing needs
+//     no per-record epoch tags;
+//   - an amortized epoch advance: each operation start checks exactly one
+//     peer, so the scan cost of a grace period is spread over ~n operations;
+//   - a quiescent bit in the announcement word so idle threads never block
+//     the epoch.
+//
+// DEBRA does not bound garbage: a stalled thread pins the epoch and every
+// thread's bags grow until it recovers, at which point all threads free huge
+// bags at once — the "reclamation burst" that contends on the allocator's
+// shared free list (the effect the paper blames for DEBRA's fall-off at high
+// thread counts).
+package debra
+
+import (
+	"nbr/internal/mem"
+	"nbr/internal/smr"
+)
+
+// Scheme is a DEBRA instance.
+type Scheme struct {
+	arena    mem.Arena
+	epoch    smr.Pad64
+	announce []smr.Pad64 // epoch<<1 | active bit
+	gs       []*guard
+}
+
+// New creates a DEBRA scheme for the given arena and thread count.
+func New(arena mem.Arena, threads int) *Scheme {
+	s := &Scheme{arena: arena, announce: make([]smr.Pad64, threads)}
+	s.epoch.Store(2)
+	for i := range s.announce {
+		s.announce[i].Store(2 << 1) // epoch 2, quiescent
+	}
+	s.gs = make([]*guard, threads)
+	for i := range s.gs {
+		s.gs[i] = &guard{s: s, tid: i, localE: 2}
+	}
+	return s
+}
+
+// Name implements smr.Scheme.
+func (s *Scheme) Name() string { return "debra" }
+
+// Guard implements smr.Scheme.
+func (s *Scheme) Guard(tid int) smr.Guard { return s.gs[tid] }
+
+// Stats implements smr.Scheme.
+func (s *Scheme) Stats() smr.Stats {
+	var st smr.Stats
+	for _, g := range s.gs {
+		st.Retired += g.retired.Load()
+		st.Freed += g.freed.Load()
+		st.Advances += g.advances.Load()
+	}
+	return st
+}
+
+type guard struct {
+	s      *Scheme
+	tid    int
+	localE uint64
+	bags   [3][]mem.Ptr
+	scanAt int // next peer to check in the amortized scan
+
+	retired  smr.Counter
+	freed    smr.Counter
+	advances smr.Counter
+}
+
+func (g *guard) Tid() int { return g.tid }
+
+// BeginOp is DEBRA's leaveQstate: adopt the current epoch (rotating and
+// freeing limbo bags if it moved), announce it with the active bit, and
+// advance the amortized one-peer-per-operation epoch scan.
+func (g *guard) BeginOp() {
+	e := g.s.epoch.Load()
+	if e != g.localE {
+		g.rotate(e)
+	}
+	g.s.announce[g.tid].Store(e<<1 | 1)
+
+	peer := g.scanAt
+	v := g.s.announce[peer].Load()
+	if v&1 == 0 || v>>1 >= e { // quiescent, or has adopted the current epoch
+		g.scanAt++
+		if g.scanAt == len(g.s.announce) {
+			g.scanAt = 0
+			if g.s.epoch.CompareAndSwap(e, e+1) {
+				g.advances.Inc()
+			}
+		}
+	}
+}
+
+// EndOp is enterQstate: clear the active bit, keeping the epoch bits.
+func (g *guard) EndOp() {
+	g.s.announce[g.tid].Store(g.localE << 1)
+}
+
+func (g *guard) BeginRead()            {}
+func (g *guard) Reserve(int, mem.Ptr)  {}
+func (g *guard) EndRead()              {}
+func (g *guard) Protect(int, mem.Ptr)  {}
+func (g *guard) NeedsValidation() bool { return false }
+func (g *guard) OnAlloc(mem.Ptr)       {}
+
+func (g *guard) OnStale(p mem.Ptr) {
+	panic("debra: use-after-free detected: " + p.String())
+}
+
+// Retire appends to the bag of the epoch current *now* (not at operation
+// start): the global epoch may have advanced once mid-operation, and a
+// record unlinked under the newer epoch can be held by readers that adopted
+// it, so filing it under the stale epoch would shrink the two-epoch safety
+// margin to one. Rotation here must not touch the thread's announcement —
+// raising it mid-operation would unpin records this operation still holds.
+// Freeing happens wholesale at rotation, which is what makes DEBRA fast and
+// its reclamation bursty.
+func (g *guard) Retire(p mem.Ptr) {
+	if e := g.s.epoch.Load(); e != g.localE {
+		g.rotate(e)
+	}
+	g.bags[g.localE%3] = append(g.bags[g.localE%3], p.Unmarked())
+	g.retired.Inc()
+}
+
+// rotate adopts epoch e. Records in the bag for epoch e-2 (and older, if the
+// epoch jumped by ≥2) are past two grace periods and freed in one burst.
+func (g *guard) rotate(e uint64) {
+	if e >= g.localE+2 {
+		for i := range g.bags {
+			g.freeBag(i)
+		}
+	} else {
+		g.freeBag(int((e + 1) % 3)) // == (e-2)%3
+	}
+	g.localE = e
+	g.scanAt = 0 // scan progress was for the previous epoch
+}
+
+func (g *guard) freeBag(i int) {
+	for _, p := range g.bags[i] {
+		g.s.arena.Free(g.tid, p)
+		g.freed.Inc()
+	}
+	g.bags[i] = g.bags[i][:0]
+}
+
+// Garbage reports this guard's current limbo population (test hook).
+func (g *guard) Garbage() int {
+	return len(g.bags[0]) + len(g.bags[1]) + len(g.bags[2])
+}

@@ -1,0 +1,102 @@
+package debra_test
+
+import (
+	"testing"
+
+	"nbr/internal/mem"
+	"nbr/internal/smr/debra"
+)
+
+type rec struct{ v uint64 }
+
+func setup(threads int) (*mem.Pool[rec], *debra.Scheme) {
+	pool := mem.NewPool[rec](mem.Config{MaxThreads: threads})
+	return pool, debra.New(pool, threads)
+}
+
+func churn(pool *mem.Pool[rec], s *debra.Scheme, tid, n int) {
+	g := s.Guard(tid)
+	for i := 0; i < n; i++ {
+		g.BeginOp()
+		h, _ := pool.Alloc(tid)
+		g.Retire(h)
+		g.EndOp()
+	}
+}
+
+func TestRotationReclaims(t *testing.T) {
+	pool, s := setup(1)
+	churn(pool, s, 0, 100)
+	st := s.Stats()
+	if st.Freed == 0 || st.Advances == 0 {
+		t.Fatalf("rotation never freed: %+v", st)
+	}
+	if st.Garbage() > 90 {
+		t.Fatalf("too much garbage for a single quiescing thread: %+v", st)
+	}
+}
+
+func TestQuiescentPeerDoesNotBlock(t *testing.T) {
+	// A thread that ran once and stopped (announced quiescent via EndOp)
+	// must not pin the epoch — DEBRA's advantage over naive EBR.
+	pool, s := setup(3)
+	churn(pool, s, 1, 1)
+	churn(pool, s, 2, 1)
+	churn(pool, s, 0, 300)
+	if st := s.Stats(); st.Freed == 0 {
+		t.Fatalf("quiescent peers pinned the epoch: %+v", st)
+	}
+}
+
+func TestActivePeerPinsEpoch(t *testing.T) {
+	// The delayed-thread vulnerability: an active peer that never finishes
+	// its operation stops the epoch, and every thread's bags grow.
+	pool, s := setup(2)
+	stalled := s.Guard(1)
+	stalled.BeginOp() // active, never ends
+	churn(pool, s, 0, 64)
+	before := s.Stats().Freed
+	churn(pool, s, 0, 512)
+	after := s.Stats()
+	if after.Freed != before {
+		t.Fatalf("freed advanced under a pinned epoch (%d -> %d)", before, after.Freed)
+	}
+	if after.Garbage() < 500 {
+		t.Fatalf("bags should grow unboundedly, garbage = %d", after.Garbage())
+	}
+}
+
+func TestBurstReclamationAfterRecovery(t *testing.T) {
+	// When the stalled thread finally quiesces, the accumulated bags free
+	// in a burst (the effect the paper blames for DEBRA's fall-off).
+	pool, s := setup(2)
+	stalled := s.Guard(1)
+	stalled.BeginOp()
+	churn(pool, s, 0, 600)
+	pinned := s.Stats()
+	stalled.EndOp()
+	churn(pool, s, 1, 1) // let the recovered thread participate
+	churn(pool, s, 0, 200)
+	after := s.Stats()
+	if after.Freed < pinned.Garbage()/2 {
+		t.Fatalf("expected a reclamation burst, freed only %d of %d garbage",
+			after.Freed, pinned.Garbage())
+	}
+}
+
+func TestFreedMatchesPool(t *testing.T) {
+	pool, s := setup(1)
+	churn(pool, s, 0, 200)
+	st := s.Stats()
+	ps := pool.Stats()
+	if uint64(ps.Frees) != st.Freed {
+		t.Fatalf("pool frees %d != stats freed %d", ps.Frees, st.Freed)
+	}
+}
+
+func TestName(t *testing.T) {
+	_, s := setup(1)
+	if s.Name() != "debra" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}

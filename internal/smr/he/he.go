@@ -1,0 +1,191 @@
+// Package he implements hazard eras (Ramalhete & Correia, SPAA'17), included
+// as an extension beyond the paper's benchmark set. It keeps hazard
+// pointers' per-slot announcements but announces the current *era* instead
+// of a record address, combining HP-style bounded garbage with cheaper
+// protection upgrades: re-protecting a record whose era has not moved is
+// free. Records carry birth/retire eras in the allocator header; a retired
+// record is freed once no announced era falls inside its lifetime.
+package he
+
+import (
+	"nbr/internal/mem"
+	"nbr/internal/smr"
+)
+
+// Config tunes the scheme.
+type Config struct {
+	// Slots is the number of era slots per thread. Default 8.
+	Slots int
+	// EraFreq advances the era every EraFreq allocations+retirements per
+	// thread. Default 128.
+	EraFreq int
+	// Threshold is the per-thread bag size that triggers a sweep. Default
+	// max(64, 2·N·Slots).
+	Threshold int
+}
+
+func (c Config) withDefaults(threads int) Config {
+	if c.Slots <= 0 {
+		c.Slots = 8
+	}
+	if c.EraFreq <= 0 {
+		c.EraFreq = 128
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 2 * threads * c.Slots
+		if c.Threshold < 64 {
+			c.Threshold = 64
+		}
+	}
+	return c
+}
+
+// Scheme is a hazard-eras instance.
+type Scheme struct {
+	arena mem.Arena
+	cfg   Config
+	era   smr.Pad64
+	slots []smr.Pad64 // N*K era announcements; 0 = none
+	gs    []*guard
+}
+
+// New creates a hazard-eras scheme for the given arena and thread count.
+func New(arena mem.Arena, threads int, cfg Config) *Scheme {
+	s := &Scheme{arena: arena, cfg: cfg.withDefaults(threads)}
+	s.era.Store(1)
+	s.slots = make([]smr.Pad64, threads*s.cfg.Slots)
+	s.gs = make([]*guard, threads)
+	for i := range s.gs {
+		s.gs[i] = &guard{s: s, tid: i, hiSlot: -1}
+	}
+	return s
+}
+
+// Name implements smr.Scheme.
+func (s *Scheme) Name() string { return "he" }
+
+// Guard implements smr.Scheme.
+func (s *Scheme) Guard(tid int) smr.Guard { return s.gs[tid] }
+
+// Stats implements smr.Scheme.
+func (s *Scheme) Stats() smr.Stats {
+	var st smr.Stats
+	for _, g := range s.gs {
+		st.Retired += g.retired.Load()
+		st.Freed += g.freed.Load()
+		st.Scans += g.scans.Load()
+		st.Advances += g.advances.Load()
+	}
+	return st
+}
+
+func (s *Scheme) slot(tid, i int) *smr.Pad64 { return &s.slots[tid*s.cfg.Slots+i] }
+
+type guard struct {
+	s      *Scheme
+	tid    int
+	hiSlot int
+	bag    []mem.Ptr
+	events int
+	eras   []uint64 // sweep scratch
+
+	retired  smr.Counter
+	freed    smr.Counter
+	scans    smr.Counter
+	advances smr.Counter
+}
+
+func (g *guard) Tid() int { return g.tid }
+
+func (g *guard) BeginOp() {}
+
+// EndOp clears every era announcement the operation made.
+func (g *guard) EndOp() {
+	for i := 0; i <= g.hiSlot; i++ {
+		g.s.slot(g.tid, i).Store(0)
+	}
+	g.hiSlot = -1
+}
+
+func (g *guard) BeginRead()           {}
+func (g *guard) Reserve(int, mem.Ptr) {}
+func (g *guard) EndRead()             {}
+
+// Protect announces the current era in the slot (only when it moved — the
+// hazard-eras fast path) and requires link validation like HP.
+func (g *guard) Protect(slot int, _ mem.Ptr) {
+	if slot >= g.s.cfg.Slots {
+		panic("he: slot out of range")
+	}
+	if slot > g.hiSlot {
+		g.hiSlot = slot
+	}
+	e := g.s.era.Load()
+	sl := g.s.slot(g.tid, slot)
+	if sl.Load() != e {
+		sl.Store(e)
+	}
+}
+
+func (g *guard) NeedsValidation() bool { return true }
+
+// OnAlloc stamps the record's birth era.
+func (g *guard) OnAlloc(p mem.Ptr) {
+	g.s.arena.Hdr(p).SetBirth(g.s.era.Load())
+	g.tick()
+}
+
+func (g *guard) OnStale(p mem.Ptr) {
+	panic("he: use-after-free detected (validation raced a free): " + p.String())
+}
+
+// Retire stamps the record's retire era and sweeps when the bag is full.
+func (g *guard) Retire(p mem.Ptr) {
+	p = p.Unmarked()
+	g.s.arena.Hdr(p).SetRetire(g.s.era.Load())
+	g.bag = append(g.bag, p)
+	g.retired.Inc()
+	g.tick()
+	if len(g.bag) >= g.s.cfg.Threshold {
+		g.sweep()
+	}
+}
+
+func (g *guard) tick() {
+	g.events++
+	if g.events >= g.s.cfg.EraFreq {
+		g.events = 0
+		g.s.era.Add(1)
+		g.advances.Inc()
+	}
+}
+
+// sweep frees every record whose lifetime contains no announced era.
+func (g *guard) sweep() {
+	g.scans.Inc()
+	g.eras = g.eras[:0]
+	for i := range g.s.slots {
+		if v := g.s.slots[i].Load(); v != 0 {
+			g.eras = append(g.eras, v)
+		}
+	}
+	kept := g.bag[:0]
+	for _, p := range g.bag {
+		hdr := g.s.arena.Hdr(p)
+		birth, retire := hdr.Birth(), hdr.Retire()
+		conflict := false
+		for _, e := range g.eras {
+			if e >= birth && e <= retire {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			kept = append(kept, p)
+		} else {
+			g.s.arena.Free(g.tid, p)
+			g.freed.Inc()
+		}
+	}
+	g.bag = kept
+}

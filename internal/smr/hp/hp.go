@@ -1,0 +1,156 @@
+// Package hp implements Michael's hazard pointers. Before dereferencing a
+// record, a thread announces its handle in one of K single-writer slots with
+// a sequentially consistent store (the mfence/xchg the paper charges HP for)
+// and then re-reads the link it came from to validate the record is still
+// reachable (NeedsValidation). Retired records are buffered and freed by
+// scanning all announcements once the buffer exceeds a threshold
+// proportional to N·K, which bounds garbage at Θ(N²K) system-wide — property
+// P2 at the price of per-record fencing (opposing P1, as the paper's list
+// experiments show).
+package hp
+
+import (
+	"nbr/internal/mem"
+	"nbr/internal/smr"
+)
+
+// Config tunes the scheme.
+type Config struct {
+	// Slots is the number of hazard-pointer slots per thread. Default 8.
+	Slots int
+	// Threshold is the per-thread retire-buffer size that triggers a scan;
+	// it must exceed the number of records all threads can protect. Default
+	// max(64, 2·N·Slots).
+	Threshold int
+}
+
+func (c Config) withDefaults(threads int) Config {
+	if c.Slots <= 0 {
+		c.Slots = 8
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 2 * threads * c.Slots
+		if c.Threshold < 64 {
+			c.Threshold = 64
+		}
+	}
+	return c
+}
+
+// Scheme is a hazard-pointer instance.
+type Scheme struct {
+	arena mem.Arena
+	cfg   Config
+	slots []smr.Pad64 // N*K announcement slots
+	gs    []*guard
+}
+
+// New creates a hazard-pointer scheme for the given arena and thread count.
+func New(arena mem.Arena, threads int, cfg Config) *Scheme {
+	s := &Scheme{arena: arena, cfg: cfg.withDefaults(threads)}
+	s.slots = make([]smr.Pad64, threads*s.cfg.Slots)
+	s.gs = make([]*guard, threads)
+	for i := range s.gs {
+		s.gs[i] = &guard{s: s, tid: i, hiSlot: -1, protected: make(map[mem.Ptr]struct{}, threads*s.cfg.Slots)}
+	}
+	return s
+}
+
+// Name implements smr.Scheme.
+func (s *Scheme) Name() string { return "hp" }
+
+// Guard implements smr.Scheme.
+func (s *Scheme) Guard(tid int) smr.Guard { return s.gs[tid] }
+
+// Stats implements smr.Scheme.
+func (s *Scheme) Stats() smr.Stats {
+	var st smr.Stats
+	for _, g := range s.gs {
+		st.Retired += g.retired.Load()
+		st.Freed += g.freed.Load()
+		st.Scans += g.scans.Load()
+	}
+	return st
+}
+
+func (s *Scheme) slot(tid, i int) *smr.Pad64 { return &s.slots[tid*s.cfg.Slots+i] }
+
+type guard struct {
+	s         *Scheme
+	tid       int
+	hiSlot    int
+	bag       []mem.Ptr
+	protected map[mem.Ptr]struct{} // scan scratch, reused
+
+	retired smr.Counter
+	freed   smr.Counter
+	scans   smr.Counter
+}
+
+func (g *guard) Tid() int { return g.tid }
+
+func (g *guard) BeginOp() {}
+
+// EndOp releases every hazard pointer the operation announced (Fig. 2c's
+// unprotect-on-return).
+func (g *guard) EndOp() {
+	for i := 0; i <= g.hiSlot; i++ {
+		g.s.slot(g.tid, i).Store(0)
+	}
+	g.hiSlot = -1
+}
+
+func (g *guard) BeginRead()           {}
+func (g *guard) Reserve(int, mem.Ptr) {}
+func (g *guard) EndRead()             {}
+
+// Protect announces p in the slot. The store is sequentially consistent
+// (Go's atomic store; an XCHG on x86-64), so a reclaimer scanning after
+// retiring p either sees the announcement or the announcing thread's
+// subsequent link validation sees the unlink — the standard HP argument.
+func (g *guard) Protect(slot int, p mem.Ptr) {
+	if slot >= g.s.cfg.Slots {
+		panic("hp: slot out of range")
+	}
+	if slot > g.hiSlot {
+		g.hiSlot = slot
+	}
+	g.s.slot(g.tid, slot).Store(uint64(p.Unmarked()))
+}
+
+func (g *guard) NeedsValidation() bool { return true }
+func (g *guard) OnAlloc(mem.Ptr)       {}
+
+func (g *guard) OnStale(p mem.Ptr) {
+	panic("hp: use-after-free detected (validation raced a free): " + p.String())
+}
+
+func (g *guard) Retire(p mem.Ptr) {
+	g.bag = append(g.bag, p.Unmarked())
+	g.retired.Inc()
+	if len(g.bag) >= g.s.cfg.Threshold {
+		g.scan()
+	}
+}
+
+// scan collects every announcement and frees the unprotected remainder of
+// the bag.
+func (g *guard) scan() {
+	g.scans.Inc()
+	clear(g.protected)
+	for i := range g.s.slots {
+		if v := g.s.slots[i].Load(); v != 0 {
+			g.protected[mem.Ptr(v)] = struct{}{}
+		}
+	}
+	kept := g.bag[:0]
+	for _, p := range g.bag {
+		if _, ok := g.protected[p]; ok {
+			kept = append(kept, p)
+		} else {
+			g.s.arena.Free(g.tid, p)
+			g.freed.Inc()
+		}
+	}
+	g.bag = kept
+}

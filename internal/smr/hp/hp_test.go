@@ -1,0 +1,138 @@
+package hp_test
+
+import (
+	"testing"
+
+	"nbr/internal/mem"
+	"nbr/internal/smr/hp"
+)
+
+type rec struct{ v uint64 }
+
+func setup(threads int, cfg hp.Config) (*mem.Pool[rec], *hp.Scheme) {
+	pool := mem.NewPool[rec](mem.Config{MaxThreads: threads})
+	return pool, hp.New(pool, threads, cfg)
+}
+
+func TestProtectBlocksFree(t *testing.T) {
+	pool, s := setup(2, hp.Config{Threshold: 16})
+	g0, g1 := s.Guard(0), s.Guard(1)
+
+	target, _ := pool.Alloc(1)
+	g1.BeginOp()
+	g1.Protect(0, target)
+
+	g0.Retire(target)
+	for i := 0; i < 64; i++ { // force several scans
+		h, _ := pool.Alloc(0)
+		g0.Retire(h)
+	}
+	if !pool.Valid(target) {
+		t.Fatal("announced record was freed")
+	}
+	g1.EndOp() // releases the hazard pointer
+	for i := 0; i < 64; i++ {
+		h, _ := pool.Alloc(0)
+		g0.Retire(h)
+	}
+	if pool.Valid(target) {
+		t.Fatal("record not freed after the hazard pointer was released")
+	}
+}
+
+func TestMarkedHandlesMatch(t *testing.T) {
+	// Announcements and retirements strip the mark bit, so a Harris-style
+	// marked retire cannot bypass an unmarked announcement.
+	pool, s := setup(2, hp.Config{Threshold: 16})
+	g0, g1 := s.Guard(0), s.Guard(1)
+	target, _ := pool.Alloc(1)
+	g1.Protect(0, target)
+	g0.Retire(target.WithMark())
+	for i := 0; i < 64; i++ {
+		h, _ := pool.Alloc(0)
+		g0.Retire(h)
+	}
+	if !pool.Valid(target) {
+		t.Fatal("marked retire bypassed the announcement")
+	}
+}
+
+func TestScanThreshold(t *testing.T) {
+	pool, s := setup(1, hp.Config{Threshold: 32})
+	g := s.Guard(0)
+	for i := 0; i < 31; i++ {
+		h, _ := pool.Alloc(0)
+		g.Retire(h)
+	}
+	if st := s.Stats(); st.Scans != 0 || st.Freed != 0 {
+		t.Fatalf("scan before threshold: %+v", st)
+	}
+	h, _ := pool.Alloc(0)
+	g.Retire(h)
+	if st := s.Stats(); st.Scans != 1 || st.Freed != 32 {
+		t.Fatalf("threshold scan wrong: %+v", st)
+	}
+}
+
+func TestSlotReuseUnprotectsPrevious(t *testing.T) {
+	pool, s := setup(2, hp.Config{Threshold: 8})
+	g0, g1 := s.Guard(0), s.Guard(1)
+	a, _ := pool.Alloc(1)
+	b, _ := pool.Alloc(1)
+	g1.Protect(0, a)
+	g1.Protect(0, b) // overwrites the announcement for a
+	g0.Retire(a)
+	for i := 0; i < 16; i++ {
+		h, _ := pool.Alloc(0)
+		g0.Retire(h)
+	}
+	if pool.Valid(a) {
+		t.Fatal("record stayed live after its slot was reused")
+	}
+	if !pool.Valid(b) {
+		t.Fatal("currently announced record was freed")
+	}
+}
+
+func TestSlotOutOfRangePanics(t *testing.T) {
+	pool, s := setup(1, hp.Config{Slots: 2})
+	h, _ := pool.Alloc(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range slot must panic")
+		}
+	}()
+	s.Guard(0).Protect(2, h)
+}
+
+func TestNeedsValidation(t *testing.T) {
+	_, s := setup(1, hp.Config{})
+	if !s.Guard(0).NeedsValidation() {
+		t.Fatal("hazard pointers require link validation")
+	}
+	if s.Name() != "hp" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}
+
+func TestGarbageBounded(t *testing.T) {
+	// With K slots per thread, at most N·K records can be protected, so
+	// garbage never exceeds threshold + N·K per thread.
+	pool, s := setup(4, hp.Config{Slots: 4, Threshold: 64})
+	g := s.Guard(0)
+	for tid := 1; tid < 4; tid++ {
+		peer := s.Guard(tid)
+		for slot := 0; slot < 4; slot++ {
+			h, _ := pool.Alloc(tid)
+			peer.Protect(slot, h)
+			g.Retire(h)
+		}
+	}
+	for i := 0; i < 4096; i++ {
+		h, _ := pool.Alloc(0)
+		g.Retire(h)
+	}
+	if garbage := s.Stats().Garbage(); garbage > 64+16 {
+		t.Fatalf("garbage %d exceeds the HP bound", garbage)
+	}
+}

@@ -1,0 +1,198 @@
+// Package ibr implements 2GE interval-based reclamation (the "2geibr"
+// variant the paper benchmarks, from Wen et al., PPoPP'18). A global era
+// clock advances every few allocations/retirements; every record carries its
+// birth and retire eras in the allocator header (the per-record metadata the
+// paper notes these schemes require). Each thread announces a reservation
+// interval [lo, hi]: lo is fixed at operation start, hi is raised to the
+// current era at every record access (the 2GE upgrade, validated by a link
+// re-read like hazard pointers). A retired record is freed once its lifetime
+// interval [birth, retire] intersects no thread's reservation, which bounds
+// garbage even under stalled threads.
+package ibr
+
+import (
+	"nbr/internal/mem"
+	"nbr/internal/smr"
+)
+
+const idleLo = ^uint64(0)
+
+// Config tunes the scheme.
+type Config struct {
+	// EraFreq advances the era every EraFreq allocations+retirements per
+	// thread. Default 128.
+	EraFreq int
+	// Threshold is the per-thread bag size that triggers a sweep. Default
+	// max(64, 2·N·8).
+	Threshold int
+}
+
+func (c Config) withDefaults(threads int) Config {
+	if c.EraFreq <= 0 {
+		c.EraFreq = 128
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 2 * threads * 8
+		if c.Threshold < 64 {
+			c.Threshold = 64
+		}
+	}
+	return c
+}
+
+// Scheme is a 2GE-IBR instance.
+type Scheme struct {
+	arena mem.Arena
+	cfg   Config
+	era   smr.Pad64
+	lo    []smr.Pad64
+	hi    []smr.Pad64
+	gs    []*guard
+}
+
+// New creates a 2GE-IBR scheme for the given arena and thread count.
+func New(arena mem.Arena, threads int, cfg Config) *Scheme {
+	s := &Scheme{arena: arena, cfg: cfg.withDefaults(threads),
+		lo: make([]smr.Pad64, threads), hi: make([]smr.Pad64, threads)}
+	s.era.Store(1)
+	for i := 0; i < threads; i++ {
+		s.lo[i].Store(idleLo)
+	}
+	s.gs = make([]*guard, threads)
+	for i := range s.gs {
+		s.gs[i] = &guard{s: s, tid: i}
+	}
+	return s
+}
+
+// Name implements smr.Scheme.
+func (s *Scheme) Name() string { return "ibr" }
+
+// Guard implements smr.Scheme.
+func (s *Scheme) Guard(tid int) smr.Guard { return s.gs[tid] }
+
+// Stats implements smr.Scheme.
+func (s *Scheme) Stats() smr.Stats {
+	var st smr.Stats
+	for _, g := range s.gs {
+		st.Retired += g.retired.Load()
+		st.Freed += g.freed.Load()
+		st.Scans += g.scans.Load()
+		st.Advances += g.advances.Load()
+	}
+	return st
+}
+
+type guard struct {
+	s      *Scheme
+	tid    int
+	bag    []mem.Ptr
+	events int // allocations + retirements since the last era advance
+	los    []uint64
+	his    []uint64 // sweep scratch, reused
+
+	retired  smr.Counter
+	freed    smr.Counter
+	scans    smr.Counter
+	advances smr.Counter
+}
+
+func (g *guard) Tid() int { return g.tid }
+
+// BeginOp pins the reservation interval's lower end at the current era.
+func (g *guard) BeginOp() {
+	e := g.s.era.Load()
+	g.s.lo[g.tid].Store(e)
+	g.s.hi[g.tid].Store(e)
+}
+
+// EndOp empties the reservation interval.
+func (g *guard) EndOp() {
+	g.s.lo[g.tid].Store(idleLo)
+	g.s.hi[g.tid].Store(0)
+}
+
+func (g *guard) BeginRead()           {}
+func (g *guard) Reserve(int, mem.Ptr) {}
+func (g *guard) EndRead()             {}
+
+// Protect raises the interval's upper end to the current era; the caller
+// then re-reads the link (NeedsValidation) so that any record it goes on to
+// access has a lifetime intersecting [lo, hi].
+func (g *guard) Protect(_ int, _ mem.Ptr) {
+	e := g.s.era.Load()
+	if g.s.hi[g.tid].Load() < e {
+		g.s.hi[g.tid].Store(e)
+	}
+}
+
+func (g *guard) NeedsValidation() bool { return true }
+
+// OnAlloc stamps the record's birth era and ticks the era clock.
+func (g *guard) OnAlloc(p mem.Ptr) {
+	g.s.arena.Hdr(p).SetBirth(g.s.era.Load())
+	g.tick()
+}
+
+func (g *guard) OnStale(p mem.Ptr) {
+	panic("ibr: use-after-free detected (validation raced a free): " + p.String())
+}
+
+// Retire stamps the record's retire era and sweeps when the bag is full.
+func (g *guard) Retire(p mem.Ptr) {
+	p = p.Unmarked()
+	g.s.arena.Hdr(p).SetRetire(g.s.era.Load())
+	g.bag = append(g.bag, p)
+	g.retired.Inc()
+	g.tick()
+	if len(g.bag) >= g.s.cfg.Threshold {
+		g.sweep()
+	}
+}
+
+func (g *guard) tick() {
+	g.events++
+	if g.events >= g.s.cfg.EraFreq {
+		g.events = 0
+		g.s.era.Add(1)
+		g.advances.Inc()
+	}
+}
+
+// sweep frees every record whose [birth, retire] interval no thread
+// reserves.
+func (g *guard) sweep() {
+	g.scans.Inc()
+	n := len(g.s.lo)
+	if g.los == nil {
+		g.los = make([]uint64, n)
+		g.his = make([]uint64, n)
+	}
+	los, his := g.los, g.his
+	for i := 0; i < n; i++ {
+		los[i] = g.s.lo[i].Load()
+		his[i] = g.s.hi[i].Load()
+	}
+	kept := g.bag[:0]
+	for _, p := range g.bag {
+		hdr := g.s.arena.Hdr(p)
+		birth, retire := hdr.Birth(), hdr.Retire()
+		conflict := false
+		for i := 0; i < n; i++ {
+			if los[i] == idleLo {
+				continue
+			}
+			if retire >= los[i] && birth <= his[i] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			kept = append(kept, p)
+		} else {
+			g.s.arena.Free(g.tid, p)
+			g.freed.Inc()
+		}
+	}
+	g.bag = kept
+}

@@ -1,0 +1,59 @@
+// Package leaky implements the paper's "none" baseline: retire is a no-op
+// and records are never freed. It has the lowest per-operation overhead of
+// any scheme and unbounded memory growth, providing the throughput ceiling
+// and the memory-usage worst case in every experiment.
+package leaky
+
+import (
+	"nbr/internal/mem"
+	"nbr/internal/smr"
+)
+
+// Scheme is the leaky (no reclamation) scheme.
+type Scheme struct {
+	gs []*guard
+}
+
+// New creates a leaky scheme for the given number of threads. The arena is
+// accepted for interface uniformity and never used.
+func New(_ mem.Arena, threads int) *Scheme {
+	s := &Scheme{gs: make([]*guard, threads)}
+	for i := range s.gs {
+		s.gs[i] = &guard{tid: i}
+	}
+	return s
+}
+
+// Name implements smr.Scheme.
+func (s *Scheme) Name() string { return "none" }
+
+// Guard implements smr.Scheme.
+func (s *Scheme) Guard(tid int) smr.Guard { return s.gs[tid] }
+
+// Stats implements smr.Scheme.
+func (s *Scheme) Stats() smr.Stats {
+	var st smr.Stats
+	for _, g := range s.gs {
+		st.Retired += g.retired.Load()
+	}
+	return st
+}
+
+type guard struct {
+	tid     int
+	retired smr.Counter
+}
+
+func (g *guard) Tid() int              { return g.tid }
+func (g *guard) BeginOp()              {}
+func (g *guard) EndOp()                {}
+func (g *guard) BeginRead()            {}
+func (g *guard) Reserve(int, mem.Ptr)  {}
+func (g *guard) EndRead()              {}
+func (g *guard) Protect(int, mem.Ptr)  {}
+func (g *guard) NeedsValidation() bool { return false }
+func (g *guard) OnAlloc(mem.Ptr)       {}
+func (g *guard) Retire(mem.Ptr)        { g.retired.Inc() }
+func (g *guard) OnStale(p mem.Ptr) {
+	panic("leaky: use-after-free detected (impossible: leaky never frees): " + p.String())
+}

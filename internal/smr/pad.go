@@ -1,0 +1,26 @@
+package smr
+
+import "sync/atomic"
+
+// Pad64 is an atomic uint64 padded to a cache line, used for per-thread
+// announcement slots (epochs, eras, hazard pointers, reservations) so that
+// single-writer announcements never false-share.
+type Pad64 struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a per-guard statistics counter: written by the owning thread,
+// read concurrently by Stats aggregation.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Store(c.v.Load() + 1) } // owner-only writer
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Store(c.v.Load() + n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }

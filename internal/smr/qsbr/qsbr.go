@@ -1,0 +1,152 @@
+// Package qsbr implements quiescent-state-based reclamation as adapted from
+// the IBR benchmark for the paper's E1 comparison. Threads announce passage
+// through a quiescent state at the end of each operation; a record retired
+// under epoch e may be freed once every thread has announced an epoch ≥ e+2
+// (two full grace periods). Per-operation overhead is a single announcement
+// store; garbage is unbounded if any thread stalls inside an operation
+// (property P2 is not met — this is what E2 demonstrates).
+package qsbr
+
+import (
+	"nbr/internal/mem"
+	"nbr/internal/smr"
+)
+
+// Config tunes the scheme.
+type Config struct {
+	// Threshold is the per-thread bag size that triggers an epoch-advance
+	// attempt and sweep. Default 256.
+	Threshold int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold <= 0 {
+		c.Threshold = 256
+	}
+	return c
+}
+
+// Scheme is a QSBR instance.
+type Scheme struct {
+	arena    mem.Arena
+	cfg      Config
+	epoch    smr.Pad64
+	announce []smr.Pad64
+	gs       []*guard
+}
+
+// New creates a QSBR scheme for the given arena and thread count.
+func New(arena mem.Arena, threads int, cfg Config) *Scheme {
+	s := &Scheme{arena: arena, cfg: cfg.withDefaults(), announce: make([]smr.Pad64, threads)}
+	s.epoch.Store(2) // headroom so tag+2 arithmetic never wraps below zero
+	s.gs = make([]*guard, threads)
+	for i := range s.gs {
+		s.gs[i] = &guard{s: s, tid: i}
+	}
+	return s
+}
+
+// Name implements smr.Scheme.
+func (s *Scheme) Name() string { return "qsbr" }
+
+// Guard implements smr.Scheme.
+func (s *Scheme) Guard(tid int) smr.Guard { return s.gs[tid] }
+
+// Stats implements smr.Scheme.
+func (s *Scheme) Stats() smr.Stats {
+	var st smr.Stats
+	for _, g := range s.gs {
+		st.Retired += g.retired.Load()
+		st.Freed += g.freed.Load()
+		st.Scans += g.scans.Load()
+		st.Advances += g.advances.Load()
+	}
+	return st
+}
+
+type entry struct {
+	p   mem.Ptr
+	tag uint64
+}
+
+type guard struct {
+	s          *Scheme
+	tid        int
+	bag        []entry
+	sinceSweep int
+
+	retired  smr.Counter
+	freed    smr.Counter
+	scans    smr.Counter
+	advances smr.Counter
+}
+
+func (g *guard) Tid() int { return g.tid }
+
+func (g *guard) BeginOp() {}
+
+// EndOp announces a quiescent state: the thread holds no record pointers.
+func (g *guard) EndOp() {
+	g.s.announce[g.tid].Store(g.s.epoch.Load())
+}
+
+func (g *guard) BeginRead()            {}
+func (g *guard) Reserve(int, mem.Ptr)  {}
+func (g *guard) EndRead()              {}
+func (g *guard) Protect(int, mem.Ptr)  {}
+func (g *guard) NeedsValidation() bool { return false }
+func (g *guard) OnAlloc(mem.Ptr)       {}
+
+func (g *guard) OnStale(p mem.Ptr) {
+	panic("qsbr: use-after-free detected: " + p.String())
+}
+
+func (g *guard) Retire(p mem.Ptr) {
+	g.bag = append(g.bag, entry{p.Unmarked(), g.s.epoch.Load()})
+	g.retired.Inc()
+	g.sinceSweep++
+	// Amortize: when the epoch is stuck (a delayed thread), re-scanning on
+	// every retire would turn the bag into an O(n) cost per operation; real
+	// QSBR implementations retry a grace-period check only periodically.
+	if len(g.bag) >= g.s.cfg.Threshold && g.sinceSweep >= g.s.cfg.Threshold/4 {
+		g.sinceSweep = 0
+		g.tryAdvance()
+		g.sweep()
+	}
+}
+
+// tryAdvance bumps the global epoch if every thread has announced the
+// current one.
+func (g *guard) tryAdvance() {
+	e := g.s.epoch.Load()
+	for i := range g.s.announce {
+		if g.s.announce[i].Load() < e {
+			return
+		}
+	}
+	if g.s.epoch.CompareAndSwap(e, e+1) {
+		g.advances.Inc()
+	}
+}
+
+// sweep frees every bag entry that two grace periods separate from all
+// possible readers.
+func (g *guard) sweep() {
+	g.scans.Inc()
+	min := ^uint64(0)
+	for i := range g.s.announce {
+		if a := g.s.announce[i].Load(); a < min {
+			min = a
+		}
+	}
+	kept := g.bag[:0]
+	for _, e := range g.bag {
+		if e.tag+2 <= min {
+			g.s.arena.Free(g.tid, e.p)
+			g.freed.Inc()
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	g.bag = kept
+}

@@ -1,0 +1,157 @@
+// Package rcu implements the epoch-per-operation reclamation the IBR
+// benchmark calls "RCU" (userspace RCU read-side critical sections around
+// every data-structure operation). Each operation announces the global epoch
+// on entry and an idle sentinel on exit; records retired under epoch e are
+// freed once every in-flight operation started at an epoch ≥ e+2. Unlike
+// QSBR the announcement is precise per operation, but garbage is still
+// unbounded when a thread stalls inside an operation.
+package rcu
+
+import (
+	"nbr/internal/mem"
+	"nbr/internal/smr"
+)
+
+const idle = ^uint64(0)
+
+// Config tunes the scheme.
+type Config struct {
+	// Threshold is the per-thread bag size that triggers an epoch-advance
+	// attempt and sweep. Default 256.
+	Threshold int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold <= 0 {
+		c.Threshold = 256
+	}
+	return c
+}
+
+// Scheme is an RCU-style epoch scheme instance.
+type Scheme struct {
+	arena    mem.Arena
+	cfg      Config
+	epoch    smr.Pad64
+	announce []smr.Pad64
+	gs       []*guard
+}
+
+// New creates an RCU scheme for the given arena and thread count.
+func New(arena mem.Arena, threads int, cfg Config) *Scheme {
+	s := &Scheme{arena: arena, cfg: cfg.withDefaults(), announce: make([]smr.Pad64, threads)}
+	s.epoch.Store(2)
+	for i := range s.announce {
+		s.announce[i].Store(idle)
+	}
+	s.gs = make([]*guard, threads)
+	for i := range s.gs {
+		s.gs[i] = &guard{s: s, tid: i}
+	}
+	return s
+}
+
+// Name implements smr.Scheme.
+func (s *Scheme) Name() string { return "rcu" }
+
+// Guard implements smr.Scheme.
+func (s *Scheme) Guard(tid int) smr.Guard { return s.gs[tid] }
+
+// Stats implements smr.Scheme.
+func (s *Scheme) Stats() smr.Stats {
+	var st smr.Stats
+	for _, g := range s.gs {
+		st.Retired += g.retired.Load()
+		st.Freed += g.freed.Load()
+		st.Scans += g.scans.Load()
+		st.Advances += g.advances.Load()
+	}
+	return st
+}
+
+type entry struct {
+	p   mem.Ptr
+	tag uint64
+}
+
+type guard struct {
+	s          *Scheme
+	tid        int
+	bag        []entry
+	sinceSweep int
+
+	retired  smr.Counter
+	freed    smr.Counter
+	scans    smr.Counter
+	advances smr.Counter
+}
+
+func (g *guard) Tid() int { return g.tid }
+
+// BeginOp enters a read-side critical section: announce the current epoch
+// before any record access (sequentially consistent store, so reclaimers
+// ordering their scans after it cannot miss the announcement).
+func (g *guard) BeginOp() {
+	g.s.announce[g.tid].Store(g.s.epoch.Load())
+}
+
+// EndOp leaves the critical section.
+func (g *guard) EndOp() {
+	g.s.announce[g.tid].Store(idle)
+}
+
+func (g *guard) BeginRead()            {}
+func (g *guard) Reserve(int, mem.Ptr)  {}
+func (g *guard) EndRead()              {}
+func (g *guard) Protect(int, mem.Ptr)  {}
+func (g *guard) NeedsValidation() bool { return false }
+func (g *guard) OnAlloc(mem.Ptr)       {}
+
+func (g *guard) OnStale(p mem.Ptr) {
+	panic("rcu: use-after-free detected: " + p.String())
+}
+
+func (g *guard) Retire(p mem.Ptr) {
+	g.bag = append(g.bag, entry{p.Unmarked(), g.s.epoch.Load()})
+	g.retired.Inc()
+	g.sinceSweep++
+	// Amortized like QSBR: a reader-blocked epoch must not turn every
+	// retire into a full scan of the bag and announcement array.
+	if len(g.bag) >= g.s.cfg.Threshold && g.sinceSweep >= g.s.cfg.Threshold/4 {
+		g.sinceSweep = 0
+		g.tryAdvance()
+		g.sweep()
+	}
+}
+
+func (g *guard) tryAdvance() {
+	e := g.s.epoch.Load()
+	for i := range g.s.announce {
+		if a := g.s.announce[i].Load(); a != idle && a < e {
+			return
+		}
+	}
+	if g.s.epoch.CompareAndSwap(e, e+1) {
+		g.advances.Inc()
+	}
+}
+
+func (g *guard) sweep() {
+	g.scans.Inc()
+	min := ^uint64(0)
+	for i := range g.s.announce {
+		if a := g.s.announce[i].Load(); a != idle && a < min {
+			min = a
+		}
+	}
+	kept := g.bag[:0]
+	for _, e := range g.bag {
+		if e.tag+2 <= min {
+			g.s.arena.Free(g.tid, e.p)
+			g.freed.Inc()
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	g.bag = kept
+}

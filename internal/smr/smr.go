@@ -1,0 +1,130 @@
+// Package smr defines the interface between concurrent data structures and
+// safe-memory-reclamation schemes, mirroring the role of setbench's
+// record_manager in the paper's evaluation.
+//
+// A data-structure operation runs inside Execute, which brackets it with
+// BeginOp/EndOp and re-runs the body whenever the NBR schemes neutralize the
+// thread (the siglongjmp analogue). Within the body the data structure:
+//
+//   - calls BeginRead at the start of each read phase (NBR's sigsetjmp /
+//     beginΦread; a no-op for every other scheme);
+//   - calls Protect(slot, p) before the first access to each newly obtained
+//     record — this is the universal access barrier: hazard-pointer and era
+//     schemes announce p in the slot, NBR polls for pending neutralization
+//     signals, epoch schemes do nothing. If NeedsValidation reports true the
+//     caller must re-read the link it obtained p from and restart the
+//     operation on mismatch (the HP/IBR reachability validation);
+//   - reads record fields by copying them and then re-validating the handle
+//     generation, reporting a stale handle via OnStale (which neutralizes
+//     under NBR and panics — a detected use-after-free — everywhere else);
+//   - calls Reserve then EndRead before its write phase (endΦread with the
+//     reservation set; no-ops outside NBR);
+//   - calls Retire for every unlinked record.
+//
+// Allocation is only permitted in write phases (never between BeginRead and
+// EndRead), matching the paper's Φread rules and guaranteeing neutralization
+// cannot leak a private record.
+package smr
+
+import (
+	"nbr/internal/mem"
+	"nbr/internal/sigsim"
+)
+
+// Guard is a per-thread handle onto an SMR scheme. A Guard must only be used
+// by the thread (goroutine) it was issued to.
+type Guard interface {
+	// Tid returns the dense thread id this guard was issued for.
+	Tid() int
+
+	// BeginOp and EndOp bracket one data-structure operation.
+	BeginOp()
+	EndOp()
+
+	// BeginRead marks the start of a read phase (NBR: checkpoint + become
+	// restartable + clear reservations).
+	BeginRead()
+	// Reserve announces that the upcoming write phase will access p
+	// (NBR: reservation array slot i). Must precede EndRead.
+	Reserve(i int, p mem.Ptr)
+	// EndRead ends the read phase (NBR: publish reservations and become
+	// non-restartable; may neutralize instead if a signal raced the
+	// transition).
+	EndRead()
+
+	// Protect is the access barrier invoked before the first use of each
+	// newly obtained record handle. Slot identity matters only to
+	// hazard-pointer-style schemes.
+	Protect(slot int, p mem.Ptr)
+	// NeedsValidation reports whether the scheme requires link re-read
+	// validation after Protect (true for HP, IBR, HE).
+	NeedsValidation() bool
+
+	// Retire hands an unlinked record to the scheme for eventual freeing.
+	Retire(p mem.Ptr)
+	// OnAlloc is invoked right after allocating a record (era schemes stamp
+	// the birth era).
+	OnAlloc(p mem.Ptr)
+	// OnStale is invoked when a copy-validate read found a freed slot. NBR
+	// re-polls and neutralizes (the free proves a signal is pending); other
+	// schemes treat it as a proven use-after-free and panic.
+	OnStale(p mem.Ptr)
+}
+
+// Scheme is a reclamation algorithm instance bound to one data structure's
+// arena.
+type Scheme interface {
+	// Name returns the scheme's short name as used in the paper's figures.
+	Name() string
+	// Guard returns the (cached) guard for thread tid.
+	Guard(tid int) Guard
+	// Stats returns aggregate reclamation counters.
+	Stats() Stats
+}
+
+// Stats aggregates reclamation activity across all threads of a scheme.
+type Stats struct {
+	Retired     uint64 // records handed to Retire
+	Freed       uint64 // records returned to the allocator
+	Signals     uint64 // neutralization signals sent (NBR family)
+	Neutralized uint64 // read-phase restarts caused by signals
+	Ignored     uint64 // signals delivered to non-restartable threads
+	Scans       uint64 // reservation/hazard/era scans performed
+	Advances    uint64 // epoch or era advances
+}
+
+// Garbage returns the number of retired-but-unfreed records.
+func (s Stats) Garbage() uint64 {
+	if s.Freed > s.Retired {
+		return 0
+	}
+	return s.Retired - s.Freed
+}
+
+// Execute runs one data-structure operation body under g, restarting it when
+// the thread is neutralized. Restarting the whole body is equivalent to the
+// paper's siglongjmp to the last sigsetjmp because every read phase (re)starts
+// from a root; completed auxiliary write phases are simply re-observed, as in
+// the paper's Harris-list integration (§5.2).
+func Execute[R any](g Guard, body func() R) R {
+	g.BeginOp()
+	defer g.EndOp()
+	for {
+		if r, ok := attempt(body); ok {
+			return r
+		}
+	}
+}
+
+func attempt[R any](body func() R) (r R, ok bool) {
+	defer func() {
+		if e := recover(); e != nil {
+			if _, is := e.(sigsim.Neutralized); is {
+				ok = false
+				return
+			}
+			panic(e)
+		}
+	}()
+	return body(), true
+}

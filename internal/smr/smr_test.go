@@ -1,0 +1,75 @@
+package smr_test
+
+import (
+	"errors"
+	"testing"
+
+	"nbr/internal/core"
+	"nbr/internal/mem"
+	"nbr/internal/sigsim"
+	"nbr/internal/smr"
+)
+
+type rec struct{ v uint64 }
+
+func newGuard(t *testing.T) smr.Guard {
+	t.Helper()
+	pool := mem.NewPool[rec](mem.Config{MaxThreads: 2})
+	return core.New(pool, 2, core.Config{}).Guard(0)
+}
+
+func TestExecuteReturnsBodyValue(t *testing.T) {
+	g := newGuard(t)
+	got := smr.Execute(g, func() string { return "done" })
+	if got != "done" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestExecuteRetriesOnNeutralized(t *testing.T) {
+	g := newGuard(t)
+	n := 0
+	got := smr.Execute(g, func() int {
+		n++
+		if n < 3 {
+			panic(sigsim.Neutralized{})
+		}
+		return n
+	})
+	if got != 3 || n != 3 {
+		t.Fatalf("got %d after %d attempts", got, n)
+	}
+}
+
+func TestExecutePropagatesOtherPanics(t *testing.T) {
+	g := newGuard(t)
+	boom := errors.New("boom")
+	defer func() {
+		if r := recover(); r != boom {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	smr.Execute(g, func() int { panic(boom) })
+}
+
+func TestStatsGarbage(t *testing.T) {
+	s := smr.Stats{Retired: 10, Freed: 4}
+	if s.Garbage() != 6 {
+		t.Fatalf("garbage = %d", s.Garbage())
+	}
+	s = smr.Stats{Retired: 4, Freed: 10} // racy snapshot: clamp, don't wrap
+	if s.Garbage() != 0 {
+		t.Fatalf("garbage = %d", s.Garbage())
+	}
+}
+
+func TestCounterOwnerIncrement(t *testing.T) {
+	var c smr.Counter
+	for i := 0; i < 100; i++ {
+		c.Inc()
+	}
+	c.Add(11)
+	if c.Load() != 111 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+}
