@@ -36,6 +36,8 @@ func main() {
 		lowm    = flag.Float64("lowm", 0.5, "NBR+ LoWatermark fraction")
 		sigspin = flag.Int("sigspin", 600, "simulated pthread_kill cost, spin iterations per signal")
 
+		snapshot = flag.String("snapshot", "", "write a machine-readable perf snapshot JSON to this path (e.g. BENCH_1.json) and exit")
+
 		custom      = flag.Bool("custom", false, "run a single custom cell instead of a preset")
 		dsName      = flag.String("ds", "lazylist", "custom: data structure")
 		scheme      = flag.String("scheme", "nbr+", "custom: reclamation scheme")
@@ -60,6 +62,22 @@ func main() {
 	cfg.LoFraction = *lowm
 	cfg.SendSpin = *sigspin
 	cfg.HandleSpin = *sigspin / 2
+
+	if *snapshot != "" {
+		// The snapshot suite is fixed (8 threads, 6 cells + microbenchmarks)
+		// so BENCH_<n>.json files are comparable across PRs; workload flags
+		// other than -duration and the scheme knobs do not apply to it.
+		if *experiment != "" || *custom || *threads != "" {
+			fmt.Fprintln(os.Stderr, "nbrbench: -snapshot runs a fixed suite; it cannot be combined with -experiment, -custom, or -threads")
+			os.Exit(1)
+		}
+		fmt.Printf("# writing perf snapshot to %s (duration %v per cell, fixed 8-thread suite)\n", *snapshot, *duration)
+		if err := bench.WriteSnapshot(*snapshot, *duration, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "nbrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *custom {
 		w := bench.Workload{

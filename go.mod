@@ -1,0 +1,3 @@
+module nbr
+
+go 1.24

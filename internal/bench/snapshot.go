@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"nbr/internal/mem"
+	"nbr/internal/smr"
+)
+
+// Snapshot is the machine-readable perf record written by
+// `nbrbench -snapshot BENCH_<n>.json`. Committing one per PR gives later
+// sessions a trajectory to diff against: the end-to-end workload cells catch
+// whole-system regressions, while the reservation-scan and free-burst
+// microbenchmarks isolate the two reclaim-path costs this harness tracks
+// (scan work per N·R and allocator contention per burst).
+type Snapshot struct {
+	Schema     string    `json:"schema"`
+	CreatedAt  time.Time `json:"created_at"`
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+
+	Workloads []WorkloadPoint  `json:"workloads"`
+	ScanCost  []ScanCostPoint  `json:"reservation_scan"`
+	FreeBurst []FreeBurstPoint `json:"free_burst"`
+}
+
+// SnapshotSchema names the current snapshot layout.
+const SnapshotSchema = "nbr-perf-snapshot/v1"
+
+// WorkloadPoint is one end-to-end cell.
+type WorkloadPoint struct {
+	DS       string  `json:"ds"`
+	Scheme   string  `json:"scheme"`
+	Threads  int     `json:"threads"`
+	KeyRange uint64  `json:"key_range"`
+	Mops     float64 `json:"mops"`
+	PeakMB   float64 `json:"peak_mb"`
+	Signals  uint64  `json:"signals"`
+	Freed    uint64  `json:"freed"`
+	Garbage  uint64  `json:"garbage"`
+	P50us    float64 `json:"p50_us"`
+	P99us    float64 `json:"p99_us"`
+}
+
+// ScanCostPoint measures one reservation scan (collect + sort + BagSize
+// membership probes) at a given scan width N·R.
+type ScanCostPoint struct {
+	Threads     int     `json:"threads"`
+	Slots       int     `json:"slots"`
+	Entries     int     `json:"entries"` // N·R
+	Probes      int     `json:"probes"`  // membership checks per scan
+	NsPerScan   float64 `json:"ns_per_scan"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// FreeBurstPoint measures allocator throughput under concurrent
+// FreeBatch/refill bursts at a given shard count.
+type FreeBurstPoint struct {
+	Shards     int     `json:"shards"`
+	Goroutines int     `json:"goroutines"`
+	Burst      int     `json:"burst"`
+	NsPerOp    float64 `json:"ns_per_op"` // per alloc+free pair
+	MopsPerSec float64 `json:"mops_per_sec"`
+}
+
+// snapshotCells is the fixed end-to-end suite: one tree and one list, the
+// paper's main baseline (DEBRA), the fence-heavy baseline (HP, list only per
+// Table 1 practice), and both NBR variants.
+var snapshotCells = []struct {
+	ds, scheme string
+	keyRange   uint64
+}{
+	{"dgt", "debra", 200_000},
+	{"dgt", "nbr", 200_000},
+	{"dgt", "nbr+", 200_000},
+	{"lazylist", "debra", 20_000},
+	{"lazylist", "hp", 20_000},
+	{"lazylist", "nbr+", 20_000},
+}
+
+// snapshotThreads is fixed rather than host-scaled so snapshots from
+// different machines chart one trajectory; 8 keeps the paper's
+// oversubscribed regime (and its signal traffic) even on small containers.
+const snapshotThreads = 8
+
+// WriteSnapshot runs the snapshot suite and writes the JSON to path.
+func WriteSnapshot(path string, duration time.Duration, cfg SchemeConfig) error {
+	threads := snapshotThreads
+	snap := Snapshot{
+		Schema:     SnapshotSchema,
+		CreatedAt:  time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	for _, c := range snapshotCells {
+		r, err := Run(Workload{
+			DS: c.ds, Scheme: c.scheme, Threads: threads, KeyRange: c.keyRange,
+			InsPct: 50, DelPct: 50, Duration: duration, Prefill: -1, Cfg: cfg,
+		})
+		if err != nil {
+			return fmt.Errorf("snapshot cell %s/%s: %w", c.ds, c.scheme, err)
+		}
+		snap.Workloads = append(snap.Workloads, WorkloadPoint{
+			DS: c.ds, Scheme: c.scheme, Threads: threads, KeyRange: c.keyRange,
+			Mops:   r.Mops,
+			PeakMB: float64(r.PeakBytes) / (1 << 20),
+			Signals: r.Stats.Signals, Freed: r.Stats.Freed, Garbage: r.Stats.Garbage(),
+			P50us: float64(r.LatP50) / 1e3, P99us: float64(r.LatP99) / 1e3,
+		})
+	}
+
+	for _, dim := range []struct{ threads, slots int }{
+		{2, 4}, {8, 4}, {32, 4}, {64, 8}, {192, 4},
+	} {
+		snap.ScanCost = append(snap.ScanCost, measureScanCost(dim.threads, dim.slots))
+	}
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		snap.FreeBurst = append(snap.FreeBurst, measureFreeBurst(shards, 8, 256))
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// measureScanCost times the reclaim-path scan primitive: snapshot N·R
+// announcement slots into the flat sorted scratch, then probe it once per
+// bag record, exactly the work reclaimFreeable does per reclamation.
+func measureScanCost(threads, slots int) ScanCostPoint {
+	const probes = 1024
+	announce := make([]smr.Pad64, threads*slots)
+	for i := range announce {
+		announce[i].Store(uint64(2*i + 2))
+	}
+	set := smr.NewScanSet(len(announce))
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			set.Collect(announce)
+			for k := 0; k < probes; k++ {
+				set.Contains(uint64(2*k + 1))
+			}
+		}
+	})
+	return ScanCostPoint{
+		Threads: threads, Slots: slots, Entries: len(announce), Probes: probes,
+		NsPerScan:   float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+type burstRec struct{ _ [4]uint64 }
+
+// measureFreeBurst times concurrent alloc-burst/FreeBatch cycles against a
+// pool with the given shard count; ns/op is one alloc+free pair. The loop
+// itself is mem.BurstChurn, shared with BenchmarkFreeBurst so snapshots and
+// `go test -bench FreeBurst` measure the same thing.
+func measureFreeBurst(shards, goroutines, burst int) FreeBurstPoint {
+	r := testing.Benchmark(func(b *testing.B) {
+		p := mem.NewPool[burstRec](mem.Config{MaxThreads: goroutines, CacheSize: 64, Shards: shards})
+		b.ResetTimer()
+		mem.BurstChurn(p, goroutines, burst, b.N)
+	})
+	ns := float64(r.NsPerOp())
+	point := FreeBurstPoint{Shards: shards, Goroutines: goroutines, Burst: burst, NsPerOp: ns}
+	if ns > 0 {
+		point.MopsPerSec = 1e3 / ns
+	}
+	return point
+}

@@ -74,6 +74,10 @@ type Scheme struct {
 	cfg   Config
 	group *sigsim.Group
 
+	// loWm is the NBR+ LoWatermark in records, fixed at construction so the
+	// Retire fast path never touches floating point.
+	loWm int
+
 	// reservations is the shared SWMR array (Algorithm 1 line 5):
 	// N rows of R slots, row i written only by thread i.
 	reservations []smr.Pad64
@@ -95,6 +99,7 @@ func New(arena mem.Arena, threads int, cfg Config) *Scheme {
 	s := &Scheme{
 		arena:        arena,
 		cfg:          cfg,
+		loWm:         int(float64(cfg.BagSize) * cfg.LoFraction),
 		group:        sigsim.NewGroup(threads, cfg.Signals),
 		reservations: make([]smr.Pad64, threads*cfg.Slots),
 		announceTS:   make([]smr.Pad64, threads),
@@ -104,7 +109,9 @@ func New(arena mem.Arena, threads int, cfg Config) *Scheme {
 		s.gs[i] = &guard{
 			s:         s,
 			tid:       i,
-			protected: make(map[mem.Ptr]struct{}, threads*cfg.Slots),
+			row:       s.reservations[i*cfg.Slots : (i+1)*cfg.Slots],
+			scan:      smr.NewScanSet(threads * cfg.Slots),
+			freeables: make([]mem.Ptr, 0, cfg.BagSize),
 			scanTS:    make([]uint64, threads),
 		}
 	}
@@ -147,16 +154,17 @@ func (s *Scheme) GarbageBound() int {
 // call only from tid or while tid is quiescent).
 func (s *Scheme) LimboLen(tid int) int { return len(s.gs[tid].limbo) }
 
-func (s *Scheme) resSlot(tid, i int) *smr.Pad64 {
-	return &s.reservations[tid*s.cfg.Slots+i]
-}
-
 type guard struct {
 	s   *Scheme
 	tid int
 
+	// row is this thread's reservation row, sliced out of the shared array
+	// once at construction so Reserve/BeginRead never multiply tid·R.
+	row []smr.Pad64
+
 	limbo     []mem.Ptr
-	protected map[mem.Ptr]struct{} // reclaim scratch, reused
+	scan      smr.ScanSet // reclaim scratch, reused across scans
+	freeables []mem.Ptr   // reclaim scratch: the batch handed to FreeBatch
 
 	// NBR+ LoWatermark state (Algorithm 2 lines 1–3). atLoWm is the
 	// inverse of the paper's firstLoWmEntryFlag.
@@ -184,8 +192,8 @@ func (g *guard) EndOp()   {}
 // point: neutralization unwinds to smr.Execute, which re-runs the operation
 // body, landing here again.
 func (g *guard) BeginRead() {
-	for i := 0; i < g.s.cfg.Slots; i++ {
-		g.s.resSlot(g.tid, i).Store(0)
+	for i := range g.row {
+		g.row[i].Store(0)
 	}
 	g.s.group.SetRestartable(g.tid)
 }
@@ -194,10 +202,10 @@ func (g *guard) BeginRead() {
 // (Algorithm 1 line 11). It must be followed by EndRead before the record
 // is written.
 func (g *guard) Reserve(i int, p mem.Ptr) {
-	if i >= g.s.cfg.Slots {
+	if i >= len(g.row) {
 		panic("core: reservation slot out of range; raise Config.Slots")
 	}
-	g.s.resSlot(g.tid, i).Store(uint64(p.Unmarked()))
+	g.row[i].Store(uint64(p.Unmarked()))
 }
 
 // EndRead is endΦread's CAS on restartable (Algorithm 1 line 12). Under
@@ -241,8 +249,7 @@ func (g *guard) Retire(p mem.Ptr) {
 
 // retirePlus is the NBR+ watermark logic.
 func (g *guard) retirePlus() {
-	hi := g.s.cfg.BagSize
-	lo := int(float64(hi) * g.s.cfg.LoFraction)
+	hi, lo := g.s.cfg.BagSize, g.s.loWm
 	switch {
 	case len(g.limbo) >= hi:
 		// RGP begin (odd) … signalAll … RGP end (even).
@@ -288,23 +295,15 @@ func (g *guard) cleanUp() {
 // reclaimFreeable frees every record in limbo[:upto] that no thread has
 // reserved (Algorithm 1 lines 21–25). Reserved records stay in the bag —
 // there are at most N·R of them, which is what bounds the bag.
+//
+// The reservation snapshot is a flat sorted scratch (one pass, one sort,
+// binary-search membership) and the freeable records go back to the arena in
+// a single FreeBatch call, so a reclaim burst costs zero heap allocations
+// and one free-list interaction regardless of bag size.
 func (g *guard) reclaimFreeable(upto int) {
 	g.scans.Inc()
-	clear(g.protected)
-	for i := range g.s.reservations {
-		if v := g.s.reservations[i].Load(); v != 0 {
-			g.protected[mem.Ptr(v)] = struct{}{}
-		}
-	}
-	kept := g.limbo[:0]
-	for _, p := range g.limbo[:upto] {
-		if _, ok := g.protected[p]; ok {
-			kept = append(kept, p)
-		} else {
-			g.s.arena.Free(g.tid, p)
-			g.freed.Inc()
-		}
-	}
-	kept = append(kept, g.limbo[upto:]...)
-	g.limbo = kept
+	g.scan.Collect(g.s.reservations)
+	var freed int
+	g.limbo, g.freeables, freed = g.scan.SweepBag(g.s.arena, g.tid, g.limbo, upto, g.freeables)
+	g.freed.Add(uint64(freed))
 }

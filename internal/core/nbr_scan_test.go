@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"nbr/internal/mem"
+)
+
+// TestReclaimMatchesMapReference is the property test guarding the sorted
+// flat scan: for random reservation patterns (including marked handles and
+// records reserved by several peers) the set reclaimFreeable frees must be
+// exactly the set the original map-based scan would have freed — limbo[:upto]
+// minus the reserved records.
+func TestReclaimMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	for round := 0; round < 100; round++ {
+		threads := 2 + rng.Intn(6)
+		slots := 1 + rng.Intn(4)
+		const bag = 512
+		pool := mem.NewPool[rec](mem.Config{MaxThreads: threads})
+		s := New(pool, threads, Config{BagSize: bag, Slots: slots})
+		g := s.gs[0]
+
+		n := 1 + rng.Intn(bag-1)
+		retired := make([]mem.Ptr, n)
+		for i := range retired {
+			retired[i], _ = pool.Alloc(0)
+			g.Retire(retired[i])
+		}
+
+		// Peers reserve a random mix of retired records (sometimes via the
+		// marked alias), fresh records, and nothing.
+		reserved := make(map[mem.Ptr]struct{}) // the reference membership map
+		for tid := 1; tid < threads; tid++ {
+			gg := s.Guard(tid)
+			gg.BeginRead()
+			for i := 0; i < slots; i++ {
+				var p mem.Ptr
+				switch rng.Intn(3) {
+				case 0:
+					continue
+				case 1:
+					p = retired[rng.Intn(n)]
+					if rng.Intn(2) == 0 {
+						p = p.WithMark()
+					}
+				default:
+					p, _ = pool.Alloc(tid)
+				}
+				gg.Reserve(i, p)
+				reserved[p.Unmarked()] = struct{}{}
+			}
+			gg.EndRead()
+		}
+
+		upto := rng.Intn(n + 1)
+		g.reclaimFreeable(upto)
+
+		for i, p := range retired {
+			_, isReserved := reserved[p]
+			wantFreed := i < upto && !isReserved
+			if gotFreed := !pool.Valid(p); gotFreed != wantFreed {
+				t.Fatalf("round %d (N=%d R=%d upto=%d): retired[%d] freed=%v, reference says %v",
+					round, threads, slots, upto, i, gotFreed, wantFreed)
+			}
+		}
+		if want := n - freedCount(pool, retired); s.LimboLen(0) != want {
+			t.Fatalf("round %d: limbo holds %d records, want %d survivors", round, s.LimboLen(0), want)
+		}
+	}
+}
+
+func freedCount(pool *mem.Pool[rec], ps []mem.Ptr) int {
+	n := 0
+	for _, p := range ps {
+		if !pool.Valid(p) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,27 @@
+package mem
+
+import "sync"
+
+// BurstChurn drives goroutines through alloc-burst/FreeBatch cycles against
+// p until ~totalOps alloc+free pairs have completed. It is the shared body
+// of BenchmarkFreeBurst and the perf snapshot's free-burst measurement, kept
+// in one place so `go test -bench FreeBurst` and BENCH_<n>.json trajectories
+// always measure the same loop.
+func BurstChurn[T any](p *Pool[T], goroutines, burst, totalOps int) {
+	var wg sync.WaitGroup
+	per := totalOps/goroutines + 1
+	for tid := 0; tid < goroutines; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			batch := make([]Ptr, burst)
+			for i := 0; i < per; i += burst {
+				for j := range batch {
+					batch[j], _ = p.Alloc(tid)
+				}
+				p.FreeBatch(tid, batch)
+			}
+		}(tid)
+	}
+	wg.Wait()
+}

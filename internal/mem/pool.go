@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -52,6 +53,11 @@ type Arena interface {
 	// handle is stale (double free) — reclaiming the same record twice is
 	// always an SMR bug.
 	Free(tid int, p Ptr)
+	// FreeBatch returns a whole reclamation burst at once: the same
+	// double-free checks as Free per record, but one thread-cache
+	// interaction and at most one shared-free-list interaction for the
+	// entire batch. The slice is not retained.
+	FreeBatch(tid int, ps []Ptr)
 	// Hdr exposes the allocator header of a live or retired record.
 	Hdr(p Ptr) *Hdr
 	// Valid reports whether p still addresses the allocation it was created
@@ -68,6 +74,12 @@ type Config struct {
 	// exceeds twice this value, half is flushed to the shared free list
 	// (the jemalloc tcache/arena analogue). Default 128.
 	CacheSize int
+	// Shards splits the shared free list into independently locked shards
+	// keyed by thread id (rounded up to a power of two). Shards: 1 keeps
+	// the single contended list that reproduces the paper's DEBRA
+	// reclamation-burst bottleneck; 0 selects the scalable default, the
+	// power of two covering GOMAXPROCS (see DESIGN.md §6).
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -77,7 +89,20 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 128
 	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	c.Shards = ceilPow2(c.Shards)
 	return c
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // Pool is a slab allocator for records of type T. Each slot carries a Hdr
@@ -100,14 +125,57 @@ type slot[T any] struct {
 	val T
 }
 
-// globalFree is the shared recycled-slot list. It is deliberately a single
-// mutex-protected structure: reclamation bursts from many threads contend
-// here, reproducing the allocator-bottleneck effect the paper attributes to
-// DEBRA's burst reclamation.
+// globalFree is the shared recycled-slot list, split into Config.Shards
+// independently locked shards keyed by thread id. With Shards: 1 it
+// degenerates to the single mutex-protected list whose contention reproduces
+// the allocator-bottleneck effect the paper attributes to DEBRA's burst
+// reclamation; with the scalable default, concurrent reclaimers flush and
+// refill against disjoint shards and only meet when stealing from a
+// neighbour.
 type globalFree struct {
-	mu   sync.Mutex
-	free []uint32
-	ops  atomic.Uint64 // lock acquisitions, reported in Stats
+	shards []freeShard
+	mask   int           // len(shards)-1; len is a power of two
+	ops    atomic.Uint64 // lock acquisitions, reported in Stats
+}
+
+// freeShard is one lock-protected segment of the shared free list. count
+// mirrors len(free) so refill can skip empty shards without taking their
+// locks; it is only written under mu.
+type freeShard struct {
+	mu    sync.Mutex
+	free  []uint32
+	count atomic.Int64
+	_     [64]byte // keep neighbouring shard locks off one cache line
+}
+
+// push appends idxs to the shard under its lock.
+func (sh *freeShard) push(ops *atomic.Uint64, idxs []uint32) {
+	sh.mu.Lock()
+	ops.Add(1)
+	sh.free = append(sh.free, idxs...)
+	sh.count.Store(int64(len(sh.free)))
+	sh.mu.Unlock()
+}
+
+// pop moves up to max entries from the shard into dst, returning the grown
+// dst. It skips the lock entirely when the shard looks empty.
+func (sh *freeShard) pop(ops *atomic.Uint64, dst []uint32, max int) []uint32 {
+	if sh.count.Load() == 0 {
+		return dst
+	}
+	sh.mu.Lock()
+	ops.Add(1)
+	if n := len(sh.free); n > 0 {
+		take := max
+		if take > n {
+			take = n
+		}
+		dst = append(dst, sh.free[n-take:]...)
+		sh.free = sh.free[:n-take]
+		sh.count.Store(int64(len(sh.free)))
+	}
+	sh.mu.Unlock()
+	return dst
 }
 
 type tcache struct {
@@ -121,8 +189,15 @@ type tcache struct {
 func NewPool[T any](cfg Config) *Pool[T] {
 	p := &Pool[T]{cfg: cfg.withDefaults()}
 	p.threads = make([]tcache, p.cfg.MaxThreads)
+	p.global.shards = make([]freeShard, p.cfg.Shards)
+	p.global.mask = p.cfg.Shards - 1
 	p.cursor.Store(1) // reserve slot 0
 	return p
+}
+
+// homeShard maps a thread id onto its free-list shard.
+func (p *Pool[T]) homeShard(tid int) *freeShard {
+	return &p.global.shards[tid&p.global.mask]
 }
 
 // MaxThreads returns the number of thread ids the pool was sized for.
@@ -182,7 +257,7 @@ func (p *Pool[T]) MustGet(q Ptr) *T {
 func (p *Pool[T]) Alloc(tid int) (Ptr, *T) {
 	tc := &p.threads[tid]
 	if len(tc.free) == 0 {
-		p.refill(tc)
+		p.refill(tc, tid)
 	}
 	idx := tc.free[len(tc.free)-1]
 	tc.free = tc.free[:len(tc.free)-1]
@@ -193,9 +268,9 @@ func (p *Pool[T]) Alloc(tid int) (Ptr, *T) {
 	return pack(idx, g+1), &s.val
 }
 
-// Free implements Arena. It detects double frees and frees of corrupt
-// handles by CASing the slot generation.
-func (p *Pool[T]) Free(tid int, q Ptr) {
+// release CASes q's slot generation from live to free, panicking on double
+// frees and corrupt handles, and returns the slot index.
+func (p *Pool[T]) release(q Ptr) uint32 {
 	if q.IsNull() {
 		panic("mem: free of nil handle")
 	}
@@ -203,30 +278,53 @@ func (p *Pool[T]) Free(tid int, q Ptr) {
 	if !atomic.CompareAndSwapUint32(&s.hdr.gen, q.Gen(), q.Gen()+1) {
 		panic(fmt.Sprintf("mem: double free of %v (slot gen now %d)", q, atomic.LoadUint32(&s.hdr.gen)))
 	}
+	return q.Idx()
+}
+
+// Free implements Arena. It detects double frees and frees of corrupt
+// handles by CASing the slot generation.
+func (p *Pool[T]) Free(tid int, q Ptr) {
 	tc := &p.threads[tid]
-	tc.free = append(tc.free, q.Idx())
+	tc.free = append(tc.free, p.release(q))
 	tc.frees.Add(1)
 	if len(tc.free) > 2*p.cfg.CacheSize {
-		p.flush(tc)
+		p.flush(tc, tid, len(tc.free)/2)
 	}
 }
 
-// refill restocks a thread cache, preferring recycled slots from the shared
-// list and carving fresh ones from the bump cursor otherwise.
-func (p *Pool[T]) refill(tc *tcache) {
-	p.global.mu.Lock()
-	p.global.ops.Add(1)
-	if n := len(p.global.free); n > 0 {
-		take := refillBatch
-		if take > n {
-			take = n
-		}
-		tc.free = append(tc.free, p.global.free[n-take:]...)
-		p.global.free = p.global.free[:n-take]
-		p.global.mu.Unlock()
+// FreeBatch implements Arena: it releases a whole reclamation burst with one
+// thread-cache append and at most one shared-shard interaction, instead of
+// the per-record flush cadence a Free loop would pay. Every record still
+// goes through the same double-free CAS as Free.
+func (p *Pool[T]) FreeBatch(tid int, qs []Ptr) {
+	if len(qs) == 0 {
 		return
 	}
-	p.global.mu.Unlock()
+	tc := &p.threads[tid]
+	for _, q := range qs {
+		tc.free = append(tc.free, p.release(q))
+	}
+	tc.frees.Add(uint64(len(qs)))
+	if len(tc.free) > 2*p.cfg.CacheSize {
+		// One push returns the whole overflow, not half of it, so a burst
+		// of any size costs a single lock acquisition.
+		p.flush(tc, tid, p.cfg.CacheSize)
+	}
+}
+
+// refill restocks a thread cache: recycled slots from the thread's home
+// shard first, then any non-empty shard (work stealing keeps memory bounded
+// when producers and consumers hash to different shards), and fresh slots
+// carved from the bump cursor as the last resort.
+func (p *Pool[T]) refill(tc *tcache, tid int) {
+	home := tid & p.global.mask
+	for i := 0; i <= p.global.mask; i++ {
+		sh := &p.global.shards[(home+i)&p.global.mask]
+		tc.free = sh.pop(&p.global.ops, tc.free, refillBatch)
+		if len(tc.free) > 0 {
+			return
+		}
+	}
 
 	base := p.cursor.Add(carveBatch) - carveBatch
 	if base+carveBatch > maxSlots {
@@ -252,14 +350,15 @@ func (p *Pool[T]) ensureSlabs(lo, hi uint64) {
 	}
 }
 
-// flush returns the oldest half of an oversized thread cache to the shared
-// list, keeping recently freed (cache-hot) slots local.
-func (p *Pool[T]) flush(tc *tcache) {
-	n := len(tc.free) / 2
-	p.global.mu.Lock()
-	p.global.ops.Add(1)
-	p.global.free = append(p.global.free, tc.free[:n]...)
-	p.global.mu.Unlock()
+// flush returns an oversized thread cache's oldest entries to the thread's
+// home shard in one push, keeping the `keep` most recently freed
+// (cache-hot) slots local.
+func (p *Pool[T]) flush(tc *tcache, tid, keep int) {
+	n := len(tc.free) - keep
+	if n <= 0 {
+		return
+	}
+	p.homeShard(tid).push(&p.global.ops, tc.free[:n])
 	rest := copy(tc.free, tc.free[n:])
 	tc.free = tc.free[:rest]
 }

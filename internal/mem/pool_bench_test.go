@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 )
@@ -46,10 +47,11 @@ func BenchmarkGet(b *testing.B) {
 }
 
 // BenchmarkCrossThreadChurn measures contention on the shared free list —
-// the "reclamation burst" bottleneck the paper attributes to DEBRA.
+// the "reclamation burst" bottleneck the paper attributes to DEBRA. Shards: 1
+// pins the deliberately contended configuration now that the default shards.
 func BenchmarkCrossThreadChurn(b *testing.B) {
 	const threads = 4
-	p := NewPool[rec](Config{MaxThreads: threads, CacheSize: 8})
+	p := NewPool[rec](Config{MaxThreads: threads, CacheSize: 8, Shards: 1})
 	var wg sync.WaitGroup
 	per := b.N/threads + 1
 	b.ReportAllocs()
@@ -65,4 +67,23 @@ func BenchmarkCrossThreadChurn(b *testing.B) {
 		}(tid)
 	}
 	wg.Wait()
+}
+
+// BenchmarkFreeBurst measures reclamation-burst throughput — every goroutine
+// repeatedly allocates a bag-sized batch and returns it with one FreeBatch —
+// across shard counts. Shards: 1 is the paper's DEBRA-bottleneck
+// configuration; the sweep shows how sharding removes it.
+func BenchmarkFreeBurst(b *testing.B) {
+	const (
+		goroutines = 8
+		burst      = 256
+	)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			p := NewPool[rec](Config{MaxThreads: goroutines, CacheSize: 64, Shards: shards})
+			b.ReportAllocs()
+			b.ResetTimer()
+			BurstChurn(p, goroutines, burst, b.N)
+		})
+	}
 }

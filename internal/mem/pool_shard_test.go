@@ -1,0 +1,146 @@
+package mem
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestShardsRoundUpToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		p := NewPool[rec](Config{MaxThreads: 1, Shards: tc.in})
+		if got := len(p.global.shards); got != tc.want {
+			t.Fatalf("Shards %d rounded to %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	p := NewPool[rec](Config{MaxThreads: 1})
+	if got := len(p.global.shards); got < runtime.GOMAXPROCS(0) {
+		t.Fatalf("default shards %d below GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestFreeBatchRecycles(t *testing.T) {
+	p := NewPool[rec](Config{MaxThreads: 1, CacheSize: 8, Shards: 2})
+	var hs []Ptr
+	for i := 0; i < 100; i++ {
+		h, _ := p.Alloc(0)
+		hs = append(hs, h)
+	}
+	p.FreeBatch(0, hs)
+	for _, h := range hs {
+		if p.Valid(h) {
+			t.Fatalf("handle %v still valid after FreeBatch", h)
+		}
+	}
+	st := p.Stats()
+	if st.Allocs != 100 || st.Frees != 100 || st.Live != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The batch overflowed the cache once: exactly one shard push, not the
+	// dozen a Free loop would have paid.
+	if st.GlobalOps != 1 {
+		t.Fatalf("GlobalOps = %d, want 1 push for the whole batch", st.GlobalOps)
+	}
+	carved := p.cursor.Load()
+	for i := 0; i < 100; i++ {
+		p.Alloc(0)
+	}
+	if got := p.cursor.Load(); got != carved {
+		t.Fatalf("reallocation carved fresh slots (cursor %d → %d) instead of recycling the batch", carved, got)
+	}
+}
+
+func TestFreeBatchEmptyIsNoop(t *testing.T) {
+	p := newTestPool(1)
+	p.FreeBatch(0, nil)
+	if st := p.Stats(); st.Frees != 0 || st.GlobalOps != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFreeBatchDoubleFreePanics(t *testing.T) {
+	p := newTestPool(1)
+	h, _ := p.Alloc(0)
+	p.Free(0, h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FreeBatch of an already-freed handle must panic")
+		}
+	}()
+	p.FreeBatch(0, []Ptr{h})
+}
+
+func TestFreeBatchDuplicateInBatchPanics(t *testing.T) {
+	p := newTestPool(1)
+	h, _ := p.Alloc(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate handle within one batch must panic")
+		}
+	}()
+	p.FreeBatch(0, []Ptr{h, h})
+}
+
+func TestFreeBatchMarkedHandles(t *testing.T) {
+	p := newTestPool(1)
+	h, _ := p.Alloc(0)
+	p.FreeBatch(0, []Ptr{h.WithMark()})
+	if p.Valid(h) {
+		t.Fatal("FreeBatch through a marked handle did not free the slot")
+	}
+}
+
+// TestShardStealing pins a producer and a consumer to different home shards
+// and checks the consumer recycles the producer's slots instead of carving
+// fresh memory — the invariant that keeps sharding from unbounding the pool.
+func TestShardStealing(t *testing.T) {
+	p := NewPool[rec](Config{MaxThreads: 8, CacheSize: 4, Shards: 8})
+	var hs []Ptr
+	for i := 0; i < 256; i++ {
+		h, _ := p.Alloc(0)
+		hs = append(hs, h)
+	}
+	p.FreeBatch(0, hs) // lands in thread 0's home shard
+	carved := p.cursor.Load()
+	for i := 0; i < 128; i++ {
+		p.Alloc(5) // home shard 5 is empty; must steal from shard 0
+	}
+	if got := p.cursor.Load(); got != carved {
+		t.Fatalf("consumer carved fresh slots (cursor %d → %d) instead of stealing", carved, got)
+	}
+}
+
+// TestShardedConcurrentReclaimers drives concurrent FreeBatch bursts and
+// refills across every shard configuration under the race detector.
+func TestShardedConcurrentReclaimers(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(map[int]string{1: "contended", 4: "sharded"}[shards], func(t *testing.T) {
+			const threads, rounds, burst = 8, 200, 64
+			p := NewPool[rec](Config{MaxThreads: threads, CacheSize: 8, Shards: shards})
+			var wg sync.WaitGroup
+			for tid := 0; tid < threads; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					batch := make([]Ptr, burst)
+					for r := 0; r < rounds; r++ {
+						for i := range batch {
+							batch[i], _ = p.Alloc(tid)
+						}
+						p.FreeBatch(tid, batch)
+					}
+				}(tid)
+			}
+			wg.Wait()
+			st := p.Stats()
+			if st.Live != 0 {
+				t.Fatalf("leak: live = %d after churn", st.Live)
+			}
+			if st.Allocs != st.Frees || st.Allocs != threads*rounds*burst {
+				t.Fatalf("stats = %+v", st)
+			}
+		})
+	}
+}

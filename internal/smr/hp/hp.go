@@ -51,7 +51,11 @@ func New(arena mem.Arena, threads int, cfg Config) *Scheme {
 	s.slots = make([]smr.Pad64, threads*s.cfg.Slots)
 	s.gs = make([]*guard, threads)
 	for i := range s.gs {
-		s.gs[i] = &guard{s: s, tid: i, hiSlot: -1, protected: make(map[mem.Ptr]struct{}, threads*s.cfg.Slots)}
+		s.gs[i] = &guard{
+			s: s, tid: i, hiSlot: -1,
+			scan:      smr.NewScanSet(threads * s.cfg.Slots),
+			freeables: make([]mem.Ptr, 0, s.cfg.Threshold),
+		}
 	}
 	return s
 }
@@ -80,7 +84,8 @@ type guard struct {
 	tid       int
 	hiSlot    int
 	bag       []mem.Ptr
-	protected map[mem.Ptr]struct{} // scan scratch, reused
+	scan      smr.ScanSet // scan scratch, reused
+	freeables []mem.Ptr   // scan scratch: the batch handed to FreeBatch
 
 	retired smr.Counter
 	freed   smr.Counter
@@ -129,28 +134,17 @@ func (g *guard) Retire(p mem.Ptr) {
 	g.bag = append(g.bag, p.Unmarked())
 	g.retired.Inc()
 	if len(g.bag) >= g.s.cfg.Threshold {
-		g.scan()
+		g.doScan()
 	}
 }
 
-// scan collects every announcement and frees the unprotected remainder of
-// the bag.
-func (g *guard) scan() {
+// doScan collects every announcement into the flat sorted scratch and frees
+// the unprotected remainder of the bag in one FreeBatch call — zero heap
+// allocations and one free-list interaction per scan.
+func (g *guard) doScan() {
 	g.scans.Inc()
-	clear(g.protected)
-	for i := range g.s.slots {
-		if v := g.s.slots[i].Load(); v != 0 {
-			g.protected[mem.Ptr(v)] = struct{}{}
-		}
-	}
-	kept := g.bag[:0]
-	for _, p := range g.bag {
-		if _, ok := g.protected[p]; ok {
-			kept = append(kept, p)
-		} else {
-			g.s.arena.Free(g.tid, p)
-			g.freed.Inc()
-		}
-	}
-	g.bag = kept
+	g.scan.Collect(g.s.slots)
+	var freed int
+	g.bag, g.freeables, freed = g.scan.SweepBag(g.s.arena, g.tid, g.bag, len(g.bag), g.freeables)
+	g.freed.Add(uint64(freed))
 }

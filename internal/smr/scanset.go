@@ -1,0 +1,69 @@
+package smr
+
+import (
+	"slices"
+
+	"nbr/internal/mem"
+)
+
+// ScanSet is the reclaim-path membership set shared by every scheme that
+// scans announcement slots (NBR reservations, hazard pointers). The obvious
+// implementation — rebuild a map[Ptr]struct{} per scan — allocates buckets
+// and hashes every entry on the hottest path in the repo. A scan only ever
+// holds N·R small integers, so a flat slice collected in one pass and sorted
+// once beats the map on every axis: zero allocations after warm-up, no
+// hashing, and binary-search membership over a cache-resident array.
+//
+// A ScanSet is single-threaded scratch owned by one guard and reused across
+// scans; Collect snapshots the slots with the same atomic loads the map
+// version performed.
+type ScanSet struct {
+	vals []uint64
+}
+
+// NewScanSet returns a set pre-sized for capacity entries, so that steady
+// state scans never grow the backing array.
+func NewScanSet(capacity int) ScanSet {
+	return ScanSet{vals: make([]uint64, 0, capacity)}
+}
+
+// Collect snapshots every non-zero slot value and sorts the result. It
+// replaces the set's previous contents.
+func (s *ScanSet) Collect(slots []Pad64) {
+	s.vals = s.vals[:0]
+	for i := range slots {
+		if v := slots[i].Load(); v != 0 {
+			s.vals = append(s.vals, v)
+		}
+	}
+	slices.Sort(s.vals)
+}
+
+// Contains reports whether v was present when Collect snapshotted the slots.
+func (s *ScanSet) Contains(v uint64) bool {
+	_, ok := slices.BinarySearch(s.vals, v)
+	return ok
+}
+
+// Len returns the number of collected entries.
+func (s *ScanSet) Len() int { return len(s.vals) }
+
+// SweepBag is the shared reclaim sweep: it partitions bag[:upto] into
+// survivors (records present in the set) and a batch freed through one
+// arena.FreeBatch call, compacting the bag in place. scratch is the caller's
+// reusable batch buffer. It returns the compacted bag, the emptied scratch
+// (possibly regrown), and the number of records freed.
+func (s *ScanSet) SweepBag(arena mem.Arena, tid int, bag []mem.Ptr, upto int, scratch []mem.Ptr) ([]mem.Ptr, []mem.Ptr, int) {
+	kept := bag[:0]
+	batch := scratch[:0]
+	for _, p := range bag[:upto] {
+		if s.Contains(uint64(p)) {
+			kept = append(kept, p)
+		} else {
+			batch = append(batch, p)
+		}
+	}
+	kept = append(kept, bag[upto:]...)
+	arena.FreeBatch(tid, batch)
+	return kept, batch[:0], len(batch)
+}
