@@ -63,7 +63,10 @@ func stress(dsName, scheme string, threads int, keys uint64, seconds float64, cf
 	if err != nil {
 		return err
 	}
-	sch, err := bench.NewScheme(scheme, inst.Arena, threads, cfg)
+	// Build the scheme at the structure's declared widths, exactly like the
+	// benchmarks do — the stress matrix must cover the narrow configuration
+	// the measurements actually run.
+	sch, err := bench.NewSchemeFor(scheme, inst.Arena, threads, cfg, inst.Req)
 	if err != nil {
 		return err
 	}

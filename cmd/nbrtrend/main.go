@@ -1,0 +1,112 @@
+// Command nbrtrend charts the perf-snapshot trajectory: it diffs
+// consecutive BENCH_<n>.json files (written by `nbrbench -snapshot`) and
+// flags regressions — throughput drops in the end-to-end workload cells and
+// cost growth in the reservation-scan and free-burst microbenchmarks.
+//
+// With no arguments it picks up every BENCH_*.json in the current
+// directory, ordered by snapshot number; explicit paths compare in the
+// given order. The exit status is always 0 unless -strict is set, so CI can
+// run it as a non-blocking report step.
+//
+// Examples:
+//
+//	nbrtrend
+//	nbrtrend BENCH_1.json BENCH_2.json
+//	nbrtrend -threshold 5 -strict BENCH_*.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"nbr/internal/bench"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 10, "worsening percentage that flags a regression")
+		strict    = flag.Bool("strict", false, "exit 1 when any regression is flagged")
+	)
+	flag.Parse()
+
+	paths := flag.Args()
+	if len(paths) == 0 {
+		var err error
+		paths, err = defaultPaths()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nbrtrend:", err)
+			os.Exit(1)
+		}
+	}
+	if len(paths) < 2 {
+		fmt.Printf("nbrtrend: need at least two snapshots to diff (found %d); run `nbrbench -snapshot BENCH_<n>.json` to record one\n", len(paths))
+		return
+	}
+
+	snaps := make([]bench.Snapshot, len(paths))
+	for i, p := range paths {
+		s, err := bench.ReadSnapshot(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nbrtrend:", err)
+			os.Exit(1)
+		}
+		snaps[i] = s
+	}
+
+	regressed := false
+	for i := 1; i < len(snaps); i++ {
+		fmt.Printf("# %s → %s (%s → %s, threshold %.0f%%)\n",
+			paths[i-1], paths[i], snaps[i-1].Schema, snaps[i].Schema, *threshold)
+		deltas := bench.CompareSnapshots(snaps[i-1], snaps[i], *threshold)
+		if len(deltas) == 0 {
+			fmt.Println("  (no comparable cells)")
+			continue
+		}
+		for _, d := range deltas {
+			fmt.Println(" ", d)
+		}
+		if regs := bench.Regressions(deltas); len(regs) > 0 {
+			regressed = true
+			fmt.Printf("  => %d regression(s) flagged\n", len(regs))
+		} else {
+			fmt.Println("  => no regressions")
+		}
+	}
+	if *strict && regressed {
+		os.Exit(1)
+	}
+}
+
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// defaultPaths globs BENCH_<n>.json in the working directory, ordered by n.
+func defaultPaths() ([]string, error) {
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var files []numbered
+	for _, m := range matches {
+		sub := benchFile.FindStringSubmatch(filepath.Base(m))
+		if sub == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(sub[1])
+		files = append(files, numbered{n, m})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].n < files[j].n })
+	out := make([]string, len(files))
+	for i, f := range files {
+		out[i] = f.path
+	}
+	return out, nil
+}

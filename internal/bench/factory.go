@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"nbr/internal/core"
+	"nbr/internal/ds"
 	"nbr/internal/mem"
 	"nbr/internal/sigsim"
 	"nbr/internal/smr"
@@ -32,7 +33,9 @@ type SchemeConfig struct {
 	LoFraction float64
 	// ScanFreq amortizes the NBR+ announceTS scan.
 	ScanFreq int
-	// Slots is the NBR reservation capacity per thread.
+	// Slots is the NBR reservation capacity per thread; 0 (the default)
+	// adopts the data structure's declared width (ds.Requirements), so the
+	// N·R scan shrinks to what the structure actually reserves.
 	Slots int
 	// SendSpin and HandleSpin are the simulated signal costs.
 	SendSpin, HandleSpin int
@@ -44,19 +47,41 @@ type SchemeConfig struct {
 }
 
 // DefaultSchemeConfig returns the defaults documented in DESIGN.md §6.
+// Slots is left at 0 (auto) so the per-data-structure reservation width
+// applies unless an experiment pins it.
 func DefaultSchemeConfig() SchemeConfig {
 	return SchemeConfig{
 		BagSize:    1024,
 		LoFraction: 0.5,
 		ScanFreq:   32,
-		Slots:      4,
 		SendSpin:   600,
 		HandleSpin: 300,
 	}
 }
 
-// NewScheme constructs the named scheme over an arena for a thread count.
+// NewScheme constructs the named scheme over an arena for a thread count,
+// with the conservative default announcement widths. Callers that know the
+// data structure should prefer NewSchemeFor, which sizes the scheme's scan
+// width to what the structure declares.
 func NewScheme(name string, arena mem.Arena, threads int, cfg SchemeConfig) (smr.Scheme, error) {
+	return NewSchemeFor(name, arena, threads, cfg, ds.DefaultRequirements)
+}
+
+// NewSchemeFor constructs the named scheme sized to a data structure's
+// declared widths: req.Reservations becomes NBR's R when cfg.Slots is 0
+// (auto), and req.Slots sizes the hazard-pointer/era announcement arrays —
+// every reservation or hazard scan then walks N·width entries for the width
+// the structure actually uses instead of a global worst case.
+func NewSchemeFor(name string, arena mem.Arena, threads int, cfg SchemeConfig, req ds.Requirements) (smr.Scheme, error) {
+	if req.Slots <= 0 {
+		req.Slots = ds.DefaultRequirements.Slots
+	}
+	if req.Reservations <= 0 {
+		req.Reservations = ds.DefaultRequirements.Reservations
+	}
+	if cfg.Slots == 0 {
+		cfg.Slots = req.Reservations
+	}
 	sig := sigsim.Config{SendSpin: cfg.SendSpin, HandleSpin: cfg.HandleSpin}
 	switch name {
 	case "none", "leaky":
@@ -68,11 +93,11 @@ func NewScheme(name string, arena mem.Arena, threads int, cfg SchemeConfig) (smr
 	case "debra":
 		return debra.New(arena, threads), nil
 	case "hp":
-		return hp.New(arena, threads, hp.Config{Threshold: cfg.Threshold}), nil
+		return hp.New(arena, threads, hp.Config{Slots: req.Slots, Threshold: cfg.Threshold}), nil
 	case "ibr":
 		return ibr.New(arena, threads, ibr.Config{Threshold: cfg.Threshold, EraFreq: cfg.EraFreq}), nil
 	case "he":
-		return he.New(arena, threads, he.Config{Threshold: cfg.Threshold, EraFreq: cfg.EraFreq}), nil
+		return he.New(arena, threads, he.Config{Slots: req.Slots, Threshold: cfg.Threshold, EraFreq: cfg.EraFreq}), nil
 	case "nbr":
 		return core.New(arena, threads, core.Config{
 			BagSize: cfg.BagSize, LoFraction: cfg.LoFraction,

@@ -12,34 +12,40 @@ import (
 	"nbr/internal/mem"
 )
 
-// Instance is one constructed data structure plus its allocator hooks.
+// Instance is one constructed data structure plus its allocator hooks and
+// the announcement widths it declares (consumed at scheme construction).
 type Instance struct {
 	Set      ds.Set
 	Arena    mem.Arena
 	MemStats func() mem.Stats
+	Req      ds.Requirements
 }
 
 // NewDS constructs the named data structure sized for `threads`.
 func NewDS(name string, threads int) (Instance, error) {
+	var inst Instance
 	switch name {
 	case "lazylist":
 		l := lazylist.New(threads)
-		return Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}, nil
+		inst = Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}
 	case "harris":
 		l := harrislist.New(threads)
-		return Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}, nil
+		inst = Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}
 	case "hmlist":
 		l := hmlist.New(threads, hmlist.Restart)
-		return Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}, nil
+		inst = Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}
 	case "hmlist-norestart":
 		l := hmlist.New(threads, hmlist.NoRestart)
-		return Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}, nil
+		inst = Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}
 	case "dgt":
 		t := dgtbst.New(threads)
-		return Instance{Set: t, Arena: t.Arena(), MemStats: t.MemStats}, nil
+		inst = Instance{Set: t, Arena: t.Arena(), MemStats: t.MemStats}
 	case "abtree":
 		t := abtree.New(threads)
-		return Instance{Set: t, Arena: t.Arena(), MemStats: t.MemStats}, nil
+		inst = Instance{Set: t, Arena: t.Arena(), MemStats: t.MemStats}
+	default:
+		return Instance{}, fmt.Errorf("bench: unknown data structure %q (have %v)", name, DSNames)
 	}
-	return Instance{}, fmt.Errorf("bench: unknown data structure %q (have %v)", name, DSNames)
+	inst.Req = inst.Set.Requirements()
+	return inst, nil
 }

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"testing"
+
+	"nbr/internal/mem"
+	"nbr/internal/smr"
+)
+
+type retireRec struct{ _ [2]uint64 }
+
+// retireCfg aligns every scheme's trigger cadence on small thresholds so the
+// equivalence runs exercise reclamation repeatedly. The batch sizes used by
+// the tests divide BagSize, Threshold, Threshold/4 and EraFreq, so batch
+// boundaries land exactly on the per-record trigger points.
+func retireCfg() SchemeConfig {
+	return SchemeConfig{
+		BagSize:    64,
+		LoFraction: 0.5,
+		ScanFreq:   4,
+		Threshold:  64,
+		EraFreq:    16,
+	}
+}
+
+// TestRetireBatchEquivalence is the property test for the RetireBatch seam:
+// for every scheme, feeding records through RetireBatch must be
+// observationally equivalent to a per-record Retire loop — identical
+// smr.Stats (retired, freed, scans, signals, advances) and identical
+// allocator accounting. Every third handle carries the Harris mark bit to
+// check batch retire strips marks exactly like Retire does.
+func TestRetireBatchEquivalence(t *testing.T) {
+	const total, threads = 192, 2
+	run := func(t *testing.T, scheme string, batch int, batched bool) (smr.Stats, mem.Stats) {
+		pool := mem.NewPool[retireRec](mem.Config{MaxThreads: threads})
+		sch, err := NewScheme(scheme, pool, threads, retireCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := sch.Guard(0)
+		buf := make([]mem.Ptr, 0, batch)
+		for i := 0; i < total; i++ {
+			p, _ := pool.Alloc(0)
+			g.OnAlloc(p)
+			if i%3 == 0 {
+				p = p.WithMark()
+			}
+			if !batched {
+				g.Retire(p)
+				continue
+			}
+			buf = append(buf, p)
+			if len(buf) == batch {
+				g.RetireBatch(buf)
+				buf = buf[:0]
+			}
+		}
+		return sch.Stats(), pool.Stats()
+	}
+	for _, scheme := range SchemeNames {
+		for _, batch := range []int{2, 8, 16} {
+			t.Run(fmt.Sprintf("%s/batch%d", scheme, batch), func(t *testing.T) {
+				loopS, loopM := run(t, scheme, batch, false)
+				batchS, batchM := run(t, scheme, batch, true)
+				// The handoff histogram is the one stat that must differ:
+				// the loop records `total` handoffs of size 1, the batched
+				// run total/batch handoffs of size `batch`.
+				wantLoop, wantBatch := loopS.BatchHist, batchS.BatchHist
+				loopS.BatchHist, batchS.BatchHist = [smr.BatchBuckets]uint64{}, [smr.BatchBuckets]uint64{}
+				if loopS != batchS {
+					t.Fatalf("stats diverge:\n  loop  %+v\n  batch %+v", loopS, batchS)
+				}
+				if loopM.Allocs != batchM.Allocs || loopM.Frees != batchM.Frees {
+					t.Fatalf("allocator accounting diverges:\n  loop  allocs=%d frees=%d\n  batch allocs=%d frees=%d",
+						loopM.Allocs, loopM.Frees, batchM.Allocs, batchM.Frees)
+				}
+				var expLoop, expBatch [smr.BatchBuckets]uint64
+				expLoop[1] = total // bitlen(1) == 1
+				expBatch[bits.Len(uint(batch))] = total / uint64(batch)
+				if wantLoop != expLoop {
+					t.Fatalf("loop handoff histogram = %v", wantLoop)
+				}
+				if wantBatch != expBatch {
+					t.Fatalf("batch handoff histogram = %v, want bucket %d = %d",
+						wantBatch, bits.Len(uint(batch)), total/uint64(batch))
+				}
+			})
+		}
+	}
+}
+
+// TestRetireBatchEmptyIsNoop checks the degenerate batch for every scheme.
+func TestRetireBatchEmptyIsNoop(t *testing.T) {
+	for _, scheme := range SchemeNames {
+		t.Run(scheme, func(t *testing.T) {
+			pool := mem.NewPool[retireRec](mem.Config{MaxThreads: 1})
+			sch, err := NewScheme(scheme, pool, 1, retireCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sch.Guard(0).RetireBatch(nil)
+			sch.Guard(0).RetireBatch([]mem.Ptr{})
+			if st := sch.Stats(); st.Retired != 0 {
+				t.Fatalf("empty batch retired %d", st.Retired)
+			}
+		})
+	}
+}
+
+// TestRetireBatchConcurrentRace hammers mixed Retire / RetireBatch traffic
+// from every thread of every scheme. The pool's generation CAS turns any
+// double free into a panic, so an unsafe batch path cannot pass silently,
+// and the race detector covers the shared bookkeeping (era clocks, epoch
+// rotation, signal broadcast, shard flushes).
+func TestRetireBatchConcurrentRace(t *testing.T) {
+	const threads, rounds, batch = 4, 50, 16
+	for _, scheme := range SchemeNames {
+		t.Run(scheme, func(t *testing.T) {
+			pool := mem.NewPool[retireRec](mem.Config{MaxThreads: threads, CacheSize: 16, Shards: 4})
+			sch, err := NewScheme(scheme, pool, threads, retireCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for tid := 0; tid < threads; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					g := sch.Guard(tid)
+					buf := make([]mem.Ptr, 0, batch)
+					for r := 0; r < rounds; r++ {
+						buf = buf[:0]
+						for i := 0; i < batch; i++ {
+							p, _ := pool.Alloc(tid)
+							g.OnAlloc(p)
+							buf = append(buf, p)
+						}
+						if r%2 == 0 {
+							g.RetireBatch(buf)
+						} else {
+							for _, p := range buf {
+								g.Retire(p)
+							}
+						}
+					}
+				}(tid)
+			}
+			wg.Wait()
+			st := sch.Stats()
+			if want := uint64(threads * rounds * batch); st.Retired != want {
+				t.Fatalf("retired = %d, want %d", st.Retired, want)
+			}
+			if st.Freed > st.Retired {
+				t.Fatalf("freed %d > retired %d", st.Freed, st.Retired)
+			}
+		})
+	}
+}

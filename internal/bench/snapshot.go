@@ -31,8 +31,10 @@ type Snapshot struct {
 	FreeBurst []FreeBurstPoint `json:"free_burst"`
 }
 
-// SnapshotSchema names the current snapshot layout.
-const SnapshotSchema = "nbr-perf-snapshot/v1"
+// SnapshotSchema names the current snapshot layout. v2 adds the retire
+// batch-size distribution per workload cell (v1 files lack those fields;
+// consumers treat them as absent).
+const SnapshotSchema = "nbr-perf-snapshot/v2"
 
 // WorkloadPoint is one end-to-end cell.
 type WorkloadPoint struct {
@@ -47,6 +49,14 @@ type WorkloadPoint struct {
 	Garbage  uint64  `json:"garbage"`
 	P50us    float64 `json:"p50_us"`
 	P99us    float64 `json:"p99_us"`
+	// Retire batch-size distribution (schema v2): how much of the retire
+	// traffic the RetireBatch seam amortizes. BatchHist bucket i counts
+	// batches of size in [2^(i-1), 2^i).
+	Batches   uint64   `json:"retire_batches,omitempty"`
+	BatchP50  int64    `json:"batch_p50,omitempty"`
+	BatchP99  int64    `json:"batch_p99,omitempty"`
+	BatchMax  int64    `json:"batch_max,omitempty"`
+	BatchHist []uint64 `json:"batch_hist,omitempty"`
 }
 
 // ScanCostPoint measures one reservation scan (collect + sort + BagSize
@@ -83,6 +93,9 @@ var snapshotCells = []struct {
 	{"lazylist", "debra", 20_000},
 	{"lazylist", "hp", 20_000},
 	{"lazylist", "nbr+", 20_000},
+	// The subtree-unlinking tree: its merge path retires two nodes per
+	// RetireBatch, so this cell's batch histogram shows the seam working.
+	{"abtree", "nbr+", 100_000},
 }
 
 // snapshotThreads is fixed rather than host-scaled so snapshots from
@@ -112,10 +125,12 @@ func WriteSnapshot(path string, duration time.Duration, cfg SchemeConfig) error 
 		}
 		snap.Workloads = append(snap.Workloads, WorkloadPoint{
 			DS: c.ds, Scheme: c.scheme, Threads: threads, KeyRange: c.keyRange,
-			Mops:   r.Mops,
-			PeakMB: float64(r.PeakBytes) / (1 << 20),
+			Mops:    r.Mops,
+			PeakMB:  float64(r.PeakBytes) / (1 << 20),
 			Signals: r.Stats.Signals, Freed: r.Stats.Freed, Garbage: r.Stats.Garbage(),
 			P50us: float64(r.LatP50) / 1e3, P99us: float64(r.LatP99) / 1e3,
+			Batches: r.Batches, BatchP50: r.BatchP50, BatchP99: r.BatchP99,
+			BatchMax: r.BatchMax, BatchHist: r.BatchHist,
 		})
 	}
 

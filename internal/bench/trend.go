@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// This file is the snapshot-trajectory tooling behind cmd/nbrtrend: it
+// loads the BENCH_<n>.json files that accumulate one per PR and diffs
+// consecutive pairs, so a session (or CI) can see at a glance whether the
+// reclaim path got faster or slower since the last snapshot.
+
+// ReadSnapshot loads one perf snapshot. Older schema versions load too —
+// fields they lack (e.g. v1 has no batch histograms) stay zero and the
+// comparison simply skips them.
+func ReadSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(s.Schema, "nbr-perf-snapshot/") {
+		return s, fmt.Errorf("%s: schema %q is not a perf snapshot", path, s.Schema)
+	}
+	return s, nil
+}
+
+// TrendDelta is one metric compared across two snapshots.
+type TrendDelta struct {
+	Cell       string // e.g. "workload dgt/nbr+ t=8 range=200000"
+	Metric     string // e.g. "mops"
+	Prev, Next float64
+	// Pct is the relative change in the direction of the metric: positive
+	// means worse (throughput down, cost up).
+	Pct        float64
+	Regression bool
+}
+
+func (d TrendDelta) String() string {
+	arrow := "→"
+	tag := ""
+	if d.Regression {
+		tag = "  REGRESSION"
+	}
+	return fmt.Sprintf("%-44s %-10s %10.3f %s %10.3f  (%+.1f%%)%s",
+		d.Cell, d.Metric, d.Prev, arrow, d.Next, d.Pct, tag)
+}
+
+// worsePct returns how much worse next is than prev, as a percentage, for a
+// metric where `up` indicates whether larger values are worse.
+func worsePct(prev, next float64, up bool) float64 {
+	if prev == 0 {
+		return 0
+	}
+	pct := (next - prev) / prev * 100
+	if !up {
+		pct = -pct
+	}
+	return pct
+}
+
+// CompareSnapshots diffs every cell the two snapshots share. threshold is
+// the worsening percentage above which a delta is flagged as a regression
+// (throughput drops, per-scan and per-burst cost growth); informational
+// metrics (peak memory, tail latency, batch sizes) are reported but never
+// flagged, since they swing with host load. A reservation scan that starts
+// allocating is always flagged — the flat-scratch invariant is exact.
+func CompareSnapshots(prev, next Snapshot, threshold float64) []TrendDelta {
+	var out []TrendDelta
+	add := func(cell, metric string, p, n float64, up, flag bool) {
+		pct := worsePct(p, n, up)
+		out = append(out, TrendDelta{
+			Cell: cell, Metric: metric, Prev: p, Next: n, Pct: pct,
+			Regression: flag && pct > threshold,
+		})
+	}
+
+	prevW := map[string]WorkloadPoint{}
+	for _, w := range prev.Workloads {
+		prevW[fmt.Sprintf("workload %s/%s t=%d range=%d", w.DS, w.Scheme, w.Threads, w.KeyRange)] = w
+	}
+	for _, w := range next.Workloads {
+		key := fmt.Sprintf("workload %s/%s t=%d range=%d", w.DS, w.Scheme, w.Threads, w.KeyRange)
+		p, ok := prevW[key]
+		if !ok {
+			continue
+		}
+		add(key, "mops", p.Mops, w.Mops, false, true)
+		add(key, "peak_mb", p.PeakMB, w.PeakMB, true, false)
+		add(key, "p99_us", p.P99us, w.P99us, true, false)
+		if p.Batches > 0 && w.Batches > 0 {
+			add(key, "batch_p99", float64(p.BatchP99), float64(w.BatchP99), false, false)
+		}
+	}
+
+	prevS := map[string]ScanCostPoint{}
+	for _, s := range prev.ScanCost {
+		prevS[fmt.Sprintf("scan N=%d R=%d", s.Threads, s.Slots)] = s
+	}
+	for _, s := range next.ScanCost {
+		key := fmt.Sprintf("scan N=%d R=%d", s.Threads, s.Slots)
+		p, ok := prevS[key]
+		if !ok {
+			continue
+		}
+		add(key, "ns_per_scan", p.NsPerScan, s.NsPerScan, true, true)
+		if p.AllocsPerOp > 0 || s.AllocsPerOp > 0 {
+			// A scan that *starts* allocating breaks the flat-scratch
+			// invariant and is always a regression; a scan that already
+			// allocated, or stopped allocating, is reported but not flagged.
+			out = append(out, TrendDelta{
+				Cell: key, Metric: "allocs_per_op",
+				Prev: float64(p.AllocsPerOp), Next: float64(s.AllocsPerOp),
+				Pct:        worsePct(float64(p.AllocsPerOp), float64(s.AllocsPerOp), true),
+				Regression: p.AllocsPerOp == 0 && s.AllocsPerOp > 0,
+			})
+		}
+	}
+
+	prevF := map[string]FreeBurstPoint{}
+	for _, f := range prev.FreeBurst {
+		prevF[fmt.Sprintf("burst shards=%d g=%d b=%d", f.Shards, f.Goroutines, f.Burst)] = f
+	}
+	for _, f := range next.FreeBurst {
+		key := fmt.Sprintf("burst shards=%d g=%d b=%d", f.Shards, f.Goroutines, f.Burst)
+		p, ok := prevF[key]
+		if !ok {
+			continue
+		}
+		add(key, "ns_per_op", p.NsPerOp, f.NsPerOp, true, true)
+	}
+	return out
+}
+
+// Regressions filters a comparison down to the flagged deltas.
+func Regressions(deltas []TrendDelta) []TrendDelta {
+	var out []TrendDelta
+	for _, d := range deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}

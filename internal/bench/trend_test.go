@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func trendSnap(mops, scanNs, burstNs float64, scanAllocs int64) Snapshot {
+	return Snapshot{
+		Schema: SnapshotSchema,
+		Workloads: []WorkloadPoint{{
+			DS: "dgt", Scheme: "nbr+", Threads: 8, KeyRange: 1000,
+			Mops: mops, PeakMB: 1, P99us: 10,
+		}},
+		ScanCost: []ScanCostPoint{{
+			Threads: 8, Slots: 4, Entries: 32, Probes: 1024,
+			NsPerScan: scanNs, AllocsPerOp: scanAllocs,
+		}},
+		FreeBurst: []FreeBurstPoint{{
+			Shards: 4, Goroutines: 8, Burst: 256, NsPerOp: burstNs,
+		}},
+	}
+}
+
+func TestCompareSnapshotsFlagsRegressions(t *testing.T) {
+	prev := trendSnap(2.0, 1000, 100, 0)
+	next := trendSnap(1.5, 1200, 95, 0) // mops -25%, scan +20%, burst improves
+	deltas := CompareSnapshots(prev, next, 10)
+	regs := Regressions(deltas)
+	if len(regs) != 2 {
+		t.Fatalf("flagged %d regressions, want 2 (mops drop, scan cost): %v", len(regs), regs)
+	}
+	byMetric := map[string]bool{}
+	for _, r := range regs {
+		byMetric[r.Metric] = true
+	}
+	if !byMetric["mops"] || !byMetric["ns_per_scan"] {
+		t.Fatalf("wrong regressions flagged: %v", regs)
+	}
+}
+
+func TestCompareSnapshotsWithinThreshold(t *testing.T) {
+	prev := trendSnap(2.0, 1000, 100, 0)
+	next := trendSnap(1.9, 1050, 104, 0) // all within 10%
+	if regs := Regressions(CompareSnapshots(prev, next, 10)); len(regs) != 0 {
+		t.Fatalf("noise flagged as regression: %v", regs)
+	}
+}
+
+func TestCompareSnapshotsScanAllocsAlwaysFlag(t *testing.T) {
+	prev := trendSnap(2.0, 1000, 100, 0)
+	next := trendSnap(2.0, 1000, 100, 3) // scan started allocating
+	regs := Regressions(CompareSnapshots(prev, next, 10))
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Fatalf("allocating scan not flagged: %v", regs)
+	}
+	// Fewer allocations than before is an improvement, not a regression.
+	if regs := Regressions(CompareSnapshots(next, prev, 10)); len(regs) != 0 {
+		t.Fatalf("alloc improvement flagged: %v", regs)
+	}
+	// Persistent allocations are reported (so the trend is visible) but do
+	// not re-flag a regression on every subsequent diff.
+	if regs := Regressions(CompareSnapshots(next, next, 10)); len(regs) != 0 {
+		t.Fatalf("steady-state allocations re-flagged: %v", regs)
+	}
+}
+
+func TestCompareSnapshotsImprovementNotFlagged(t *testing.T) {
+	prev := trendSnap(1.0, 2000, 200, 0)
+	next := trendSnap(2.0, 1000, 100, 0)
+	if regs := Regressions(CompareSnapshots(prev, next, 10)); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+func TestReadSnapshotRoundTripAndV1(t *testing.T) {
+	// The committed BENCH_1.json is schema v1; ReadSnapshot must load it and
+	// comparisons against a v2 snapshot must work on the shared fields.
+	root := filepath.Join("..", "..")
+	v1, err := ReadSnapshot(filepath.Join(root, "BENCH_1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v1.Workloads) == 0 || len(v1.ScanCost) == 0 {
+		t.Fatalf("BENCH_1.json loaded empty: %+v", v1)
+	}
+	deltas := CompareSnapshots(v1, v1, 10)
+	if len(deltas) == 0 {
+		t.Fatal("self-comparison produced no comparable cells")
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("self-comparison flagged regressions: %v", regs)
+	}
+}
+
+func TestReadSnapshotRejectsForeignJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"something-else"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(path); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}

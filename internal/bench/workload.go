@@ -55,6 +55,13 @@ type Result struct {
 	// Series is the live-bytes timeline (one sample per 5ms tick): the
 	// sawtooth of bag growth and reclamation bursts, E2's figure over time.
 	Series []int64
+	// Retire handoff-size distribution, read from the scheme's own
+	// accounting (smr.Stats.BatchHist): every Retire counts as a handoff of
+	// 1, every RetireBatch as one handoff of its length. Shows how much of
+	// the retire traffic the RetireBatch seam actually amortizes.
+	Batches                      uint64
+	BatchP50, BatchP99, BatchMax int64
+	BatchHist                    []uint64
 }
 
 // latencySample is the per-thread operation sampling period.
@@ -97,7 +104,7 @@ func Run(w Workload) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	sch, err := NewScheme(w.Scheme, inst.Arena, total, w.Cfg)
+	sch, err := NewSchemeFor(w.Scheme, inst.Arena, total, w.Cfg, inst.Req)
 	if err != nil {
 		return Result{}, err
 	}
@@ -239,7 +246,27 @@ func Run(w Workload) (Result, error) {
 	res.LatP50 = time.Duration(lat.Quantile(0.50))
 	res.LatP99 = time.Duration(lat.Quantile(0.99))
 	res.LatMax = time.Duration(lat.Max())
+
+	res.Batches = res.Stats.RetireCalls()
+	res.BatchP50 = res.Stats.BatchQuantile(0.50)
+	res.BatchP99 = res.Stats.BatchQuantile(0.99)
+	res.BatchMax = res.Stats.BatchMax()
+	res.BatchHist = trimBuckets(res.Stats.BatchHist)
 	return res, nil
+}
+
+// trimBuckets drops the empty tail of a bucket array for compact reports.
+func trimBuckets(b [smr.BatchBuckets]uint64) []uint64 {
+	n := len(b)
+	for n > 0 && b[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	copy(out, b[:n])
+	return out
 }
 
 // prefill populates the set to the target size using all worker threads,
@@ -254,7 +281,13 @@ func prefill(inst Instance, sch smr.Scheme, w Workload) {
 	if workers > 8 {
 		workers = 8 // prefill is setup, not measurement; cap the fan-out
 	}
-	for tid := 0; tid < workers; tid++ {
+	for i := 0; i < workers; i++ {
+		// Stride the prefill workers across the full thread-id range rather
+		// than packing them into 0..workers-1: together with the hashed
+		// tid→shard map in internal/mem this spreads the prefill burst's
+		// allocation and flush traffic over the free-list shards instead of
+		// convoying it on the ids (and shards) the first few workers own.
+		tid := i * w.Threads / workers
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()

@@ -134,6 +134,7 @@ func (s *Scheme) Stats() smr.Stats {
 	var st smr.Stats
 	for _, g := range s.gs {
 		st.Retired += g.retired.Load()
+		g.batches.AddTo(&st.BatchHist)
 		st.Freed += g.freed.Load()
 		st.Scans += g.scans.Load()
 	}
@@ -174,6 +175,7 @@ type guard struct {
 	sinceScan int
 
 	retired smr.Counter
+	batches smr.BatchHist
 	freed   smr.Counter
 	scans   smr.Counter
 }
@@ -245,6 +247,30 @@ func (g *guard) Retire(p mem.Ptr) {
 	}
 	g.limbo = append(g.limbo, p.Unmarked())
 	g.retired.Inc()
+	g.batches.Record(1)
+}
+
+// RetireBatch implements smr.Guard: the whole batch pays one watermark check
+// (and, under NBR+, one LoWatermark bookkeeping step) instead of one per
+// record, then lands in the bag in a single append pass. A batch may
+// overshoot the HiWatermark by its own length — the next retire triggers the
+// reclamation — so the garbage bound stretches by at most the largest
+// subtree a data structure unlinks at once.
+func (g *guard) RetireBatch(ps []mem.Ptr) {
+	if len(ps) == 0 {
+		return
+	}
+	if g.s.cfg.Plus {
+		g.retirePlus()
+	} else if len(g.limbo) >= g.s.cfg.BagSize {
+		g.s.group.SignalAll(g.tid)
+		g.reclaimFreeable(len(g.limbo))
+	}
+	for _, p := range ps {
+		g.limbo = append(g.limbo, p.Unmarked())
+	}
+	g.retired.Add(uint64(len(ps)))
+	g.batches.Record(len(ps))
 }
 
 // retirePlus is the NBR+ watermark logic.
@@ -274,7 +300,17 @@ func (g *guard) retirePlus() {
 		}
 		g.sinceScan = 0
 		for otid := range g.s.announceTS {
-			if g.s.announceTS[otid].Load() >= g.scanTS[otid]+2 {
+			// An odd snapshot caught otid mid-broadcast: that RGP began
+			// before our bookmark, so its completion alone proves nothing
+			// about records bookmarked after its signals went out. Round the
+			// snapshot up to the next even value (the in-flight RGP's end):
+			// base+1 is then the first post-bookmark RGP begin and base+2
+			// its end, so any observed ts ≥ base+2 — the counter is monotone
+			// and steps by one, so an odd ts ≥ base+3 also proves base+2 was
+			// passed — certifies a complete post-bookmark broadcast.
+			base := g.scanTS[otid]
+			base += base & 1
+			if g.s.announceTS[otid].Load() >= base+2 {
 				// A peer began and finished a full signal broadcast after
 				// our bookmark: everything retired before the bookmark has
 				// been discarded or reserved by every thread.

@@ -46,6 +46,29 @@ func BenchmarkReclaim(b *testing.B) {
 	}
 }
 
+// BenchmarkRetireBatch measures the batched retire path end to end: a
+// subtree-sized batch lands in the bag with one watermark check, and the
+// reclamation it periodically triggers reuses the flat scratch — so the
+// whole alloc/retire/reclaim cycle runs at 0 allocs/op for any batch size.
+func BenchmarkRetireBatch(b *testing.B) {
+	for _, size := range []int{2, 16, 128} {
+		b.Run(fmt.Sprintf("batch%d", size), func(b *testing.B) {
+			pool := mem.NewPool[rec](mem.Config{MaxThreads: 2})
+			s := New(pool, 2, Config{BagSize: 1024})
+			g := s.gs[0]
+			batch := make([]mem.Ptr, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					batch[j], _ = pool.Alloc(0)
+				}
+				g.RetireBatch(batch)
+			}
+		})
+	}
+}
+
 // BenchmarkRetire measures the per-record Retire fast path (no reclamation
 // triggered): the bound the read-path-is-free claim leans on.
 func BenchmarkRetire(b *testing.B) {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"nbr/internal/mem"
 	"nbr/internal/sigsim"
@@ -124,24 +126,32 @@ func TestConcurrentNeutralizationStorm(t *testing.T) {
 			}
 		}(tid)
 	}
+	var stopReclaim atomic.Bool
 	for tid := readers; tid < readers+reclaimers; tid++ {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
 			g := s.Guard(tid)
-			for i := 0; i < 3000; i++ {
+			for i := 0; i < 3000 || !stopReclaim.Load(); i++ {
 				h, _ := pool.Alloc(tid)
 				g.Retire(h)
 			}
 		}(tid)
 	}
-	// Reclaimers finish first, then stop the readers.
-	wgWait := make(chan struct{})
-	go func() { wg.Wait(); close(wgWait) }()
-	for s.Stats().Freed == 0 {
+	// A signal only neutralizes if it lands *inside* a read phase
+	// (SetRestartable absorbs anything posted earlier), so a fixed-length
+	// storm can in principle miss every reader's window — the storm must
+	// run until a neutralization is actually observed, bounded by a
+	// deadline that turns genuine breakage into the assertion failures
+	// below. The yield keeps this wait loop from starving the workers on
+	// small GOMAXPROCS.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Neutralized == 0 && time.Now().Before(deadline) {
+		runtime.Gosched()
 	}
+	stopReclaim.Store(true)
 	stop.Store(true)
-	<-wgWait
+	wg.Wait()
 
 	st := s.Stats()
 	if st.Neutralized == 0 {

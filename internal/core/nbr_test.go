@@ -362,6 +362,38 @@ func TestPlusIncompleteRGPDoesNotReclaim(t *testing.T) {
 	}
 }
 
+func TestPlusMidRGPSnapshotRequiresFullPostBookmarkRGP(t *testing.T) {
+	// The bookmark may snapshot a peer *mid*-RGP (odd timestamp). A naive
+	// snapshot+2 comparison is then odd as well — an RGP that has merely
+	// begun — so the bookmarked prefix could be freed before any complete
+	// post-bookmark broadcast. The snapshot must round up to the next even
+	// value (the in-flight RGP's end) before the +2 comparison.
+	const bag, scanFreq = 64, 4
+	s, pool := newScheme(t, 2, Config{Plus: true, BagSize: bag, ScanFreq: scanFreq})
+	g0 := s.Guard(0)
+
+	s.announceTS[1].Add(1)     // pin the peer mid-RGP (odd)…
+	fill(g0, pool, 0, bag/2+1) // …so the bookmark snapshots the odd value
+
+	s.announceTS[1].Add(1) // the pre-bookmark RGP ends
+	fill(g0, pool, 0, scanFreq+1)
+	if g := g0.(*guard); g.freed.Load() != 0 {
+		t.Fatal("reclaimed on an RGP that began before the bookmark")
+	}
+
+	s.announceTS[1].Add(1) // a post-bookmark RGP begins: odd, == snapshot+2
+	fill(g0, pool, 0, scanFreq+1)
+	if g := g0.(*guard); g.freed.Load() != 0 {
+		t.Fatal("reclaimed on a begun-but-unfinished post-bookmark RGP")
+	}
+
+	s.announceTS[1].Add(1) // the post-bookmark RGP ends: even, rounded+2
+	fill(g0, pool, 0, scanFreq+1)
+	if g := g0.(*guard); g.freed.Load() == 0 {
+		t.Fatal("failed to reclaim after a complete post-bookmark RGP")
+	}
+}
+
 func TestPlusRebookmarksAfterReclaim(t *testing.T) {
 	const bag, scanFreq = 64, 2
 	s, pool := newScheme(t, 2, Config{Plus: true, BagSize: bag, ScanFreq: scanFreq})

@@ -81,13 +81,17 @@ func (v *view) find(key uint64) bool {
 
 // Tree is an (a,b)-tree set.
 type Tree struct {
-	pool  *mem.Pool[node]
-	entry mem.Ptr // fixed sentinel: internal, size 1, children[0] = root
+	pool      *mem.Pool[node]
+	entry     mem.Ptr     // fixed sentinel: internal, size 1, children[0] = root
+	retireBuf [][]mem.Ptr // per-thread RetireBatch scratch, reused across unlinks
 }
 
 // New creates a tree sized for the given number of threads.
 func New(threads int) *Tree {
-	t := &Tree{pool: mem.NewPool[node](mem.Config{MaxThreads: threads})}
+	t := &Tree{
+		pool:      mem.NewPool[node](mem.Config{MaxThreads: threads}),
+		retireBuf: ds.NewRetireScratch(threads),
+	}
 	rootP, rootN := t.pool.Alloc(0)
 	initNode(rootN, true)
 	entryP, entryN := t.pool.Alloc(0)
@@ -115,6 +119,13 @@ func initNode(n *node, leaf bool) {
 
 // Arena exposes the tree's allocator to reclamation schemes.
 func (t *Tree) Arena() mem.Arena { return t.pool }
+
+// Requirements implements the per-DS width hook: descents alternate two
+// Protect slots (parent/child), and the widest write phase (fixUnderfull)
+// reserves parent, child and sibling.
+func (t *Tree) Requirements() ds.Requirements {
+	return ds.Requirements{Slots: 2, Reservations: 3}
+}
 
 // MemStats reports allocator statistics.
 func (t *Tree) MemStats() mem.Stats { return t.pool.Stats() }
@@ -589,8 +600,10 @@ func (t *Tree) fixUnderfull(g smr.Guard, parent, child mem.Ptr, i int, sib mem.P
 	kill(ln)
 	kill(hn)
 	release()
-	g.Retire(loPtr)
-	g.Retire(hiPtr)
+	// Both halves of the subtree go to the scheme in one batch: one
+	// watermark check and at most one scan for the whole unlink (the
+	// scratch handoff is alloc-free — see ds.NewRetireScratch).
+	g.RetireBatch(append(t.retireBuf[g.Tid()][:0], loPtr, hiPtr))
 }
 
 // collapseRoot replaces a unary internal root with its only child.

@@ -45,13 +45,17 @@ func (v view) leaf() bool { return v.left.IsNull() }
 // Tree is a DGT external BST set. Keys must stay below ds.MaxKey-1 (the two
 // largest values are the sentinel leaves).
 type Tree struct {
-	pool *mem.Pool[node]
-	root mem.Ptr // sentinel internal node; never removed
+	pool      *mem.Pool[node]
+	root      mem.Ptr     // sentinel internal node; never removed
+	retireBuf [][]mem.Ptr // per-thread RetireBatch scratch, reused across deletes
 }
 
 // New creates a tree sized for the given number of threads.
 func New(threads int) *Tree {
-	t := &Tree{pool: mem.NewPool[node](mem.Config{MaxThreads: threads})}
+	t := &Tree{
+		pool:      mem.NewPool[node](mem.Config{MaxThreads: threads}),
+		retireBuf: ds.NewRetireScratch(threads),
+	}
 	l1, n1 := t.pool.Alloc(0) // left sentinel leaf: MaxKey-1
 	atomic.StoreUint64(&n1.key, ds.MaxKey-1)
 	l2, n2 := t.pool.Alloc(0) // right sentinel leaf: MaxKey
@@ -66,6 +70,13 @@ func New(threads int) *Tree {
 
 // Arena exposes the tree's allocator to reclamation schemes.
 func (t *Tree) Arena() mem.Arena { return t.pool }
+
+// Requirements implements the per-DS width hook: the search keeps
+// grandparent, parent and leaf protected in three rotating slots, and a
+// delete reserves the same three records.
+func (t *Tree) Requirements() ds.Requirements {
+	return ds.Requirements{Slots: 3, Reservations: 3}
+}
 
 // MemStats reports allocator statistics.
 func (t *Tree) MemStats() mem.Stats { return t.pool.Stats() }
@@ -269,8 +280,10 @@ func (t *Tree) Delete(g smr.Guard, key uint64) bool {
 			setChild(gn, gLeft, sibling)
 			t.unlock(pn)
 			t.unlock(gn)
-			g.Retire(par)
-			g.Retire(leaf)
+			// The spliced-out subtree (router + leaf) goes to the scheme in
+			// one batch: one watermark check for the whole unlink (the
+			// scratch handoff is alloc-free — see ds.NewRetireScratch).
+			g.RetireBatch(append(t.retireBuf[g.Tid()][:0], par, leaf))
 			return true
 		}
 	})

@@ -6,6 +6,7 @@
 package ds
 
 import (
+	"nbr/internal/mem"
 	"nbr/internal/smr"
 )
 
@@ -14,6 +15,36 @@ const (
 	MinKey uint64 = 0
 	MaxKey uint64 = ^uint64(0)
 )
+
+// Requirements declares the per-thread announcement widths a data structure
+// needs from its reclamation scheme: Slots is the number of Protect slots
+// (hazard-pointer/era announcements), Reservations the number of Reserve
+// slots (NBR's R). Every scan a scheme performs walks N·width entries, so a
+// structure declaring its true width — the paper's structures need at most
+// 3 reservations — shrinks every reclamation scan in the system.
+type Requirements struct {
+	Slots        int
+	Reservations int
+}
+
+// DefaultRequirements is the conservative width used when no structure is
+// known at scheme construction: 8 hazard slots (the HP default) and 4
+// reservations (one more than any structure in the harness needs).
+var DefaultRequirements = Requirements{Slots: 8, Reservations: 4}
+
+// NewRetireScratch builds the per-thread RetireBatch scratch buffers the
+// subtree-unlinking structures hand to Guard.RetireBatch. Each buffer is
+// pre-sized to a full cache line of handles: a smaller backing array would
+// land in a sub-line size class and pack several threads' scratches into one
+// line, false-sharing every unlink's writes. A handoff that never outgrows
+// the capacity is alloc-free and never writes the shared slice header back.
+func NewRetireScratch(threads int) [][]mem.Ptr {
+	bufs := make([][]mem.Ptr, threads)
+	for i := range bufs {
+		bufs[i] = make([]mem.Ptr, 0, 8)
+	}
+	return bufs
+}
 
 // Set is an ordered concurrent set. Len and Validate are quiescent
 // operations: callers must ensure no concurrent mutators.
@@ -29,4 +60,9 @@ type Set interface {
 	// Validate checks structural invariants (quiescent), returning a
 	// descriptive error on corruption.
 	Validate() error
+	// Requirements declares the announcement widths this structure needs
+	// from its reclamation scheme; schemes are constructed at exactly
+	// these widths, so the harness and correctness suites always run the
+	// configuration the structure declares.
+	Requirements() Requirements
 }

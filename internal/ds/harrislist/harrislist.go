@@ -60,6 +60,13 @@ func New(threads int) *List {
 // Arena exposes the list's allocator to reclamation schemes.
 func (l *List) Arena() mem.Arena { return l.pool }
 
+// Requirements implements the per-DS width hook: left holds slot 0 while
+// the cursor alternates slots 1 and 2; only left and right are reserved
+// (Algorithm 3 line 31).
+func (l *List) Requirements() ds.Requirements {
+	return ds.Requirements{Slots: 3, Reservations: 2}
+}
+
 // MemStats reports allocator statistics.
 func (l *List) MemStats() mem.Stats { return l.pool.Stats() }
 
@@ -161,11 +168,9 @@ searchAgain:
 		}
 
 		// Splice out the marked chain [leftNext, right) — the auxiliary
-		// write phase. The winner retires the chain.
+		// write phase. The winner retires the whole chain in one batch.
 		if l.casNext(left, leftNext, right) {
-			for _, p := range *scratch {
-				g.Retire(p)
-			}
+			g.RetireBatch(*scratch)
 			if right != l.tail && l.rawNext(g, right).Marked() {
 				continue searchAgain
 			}

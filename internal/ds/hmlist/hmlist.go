@@ -65,6 +65,12 @@ func New(threads int, v Variant) *List {
 // Arena exposes the list's allocator to reclamation schemes.
 func (l *List) Arena() mem.Arena { return l.pool }
 
+// Requirements implements the per-DS width hook: find alternates two
+// Protect slots (prev/curr) and reserves the same pair.
+func (l *List) Requirements() ds.Requirements {
+	return ds.Requirements{Slots: 2, Reservations: 2}
+}
+
 // MemStats reports allocator statistics.
 func (l *List) MemStats() mem.Stats { return l.pool.Stats() }
 

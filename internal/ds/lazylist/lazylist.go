@@ -63,6 +63,12 @@ func New(threads int) *List {
 // Arena exposes the list's allocator to reclamation schemes.
 func (l *List) Arena() mem.Arena { return l.pool }
 
+// Requirements implements the per-DS width hook: the search alternates
+// two Protect slots (pred/curr) and reserves the same pair.
+func (l *List) Requirements() ds.Requirements {
+	return ds.Requirements{Slots: 2, Reservations: 2}
+}
+
 // MemStats reports allocator statistics (live records ≈ resident memory).
 func (l *List) MemStats() mem.Stats { return l.pool.Stats() }
 

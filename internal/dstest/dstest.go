@@ -43,21 +43,28 @@ type Factory struct {
 }
 
 // config returns aggressive-reclamation settings so the suites exercise
-// freeing and neutralization constantly rather than only at scale.
+// freeing and neutralization constantly rather than only at scale. Slots
+// stays 0 (auto) so the suites run the same narrow per-DS widths the
+// benchmarks use.
 func config() bench.SchemeConfig {
 	return bench.SchemeConfig{
 		BagSize:    128,
 		LoFraction: 0.5,
 		ScanFreq:   4,
-		Slots:      4,
 		Threshold:  48,
 		EraFreq:    16,
 	}
 }
 
-func newScheme(t *testing.T, name string, arena mem.Arena, threads int) smr.Scheme {
+// maxSlots bounds the reservation width in garbage assertions; schemes may
+// run narrower per ds.Requirements, which only shrinks true garbage.
+var maxSlots = ds.DefaultRequirements.Reservations
+
+func newScheme(t *testing.T, name string, inst Instance, threads int) smr.Scheme {
 	t.Helper()
-	s, err := bench.NewScheme(name, arena, threads, config())
+	// Schemes are sized to the structure's declared announcement widths,
+	// exactly as bench.Run constructs the measured configurations.
+	s, err := bench.NewSchemeFor(name, inst.Arena, threads, config(), inst.Set.Requirements())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +88,7 @@ func RunAll(t *testing.T, f Factory) {
 // Sequential compares the structure against a map model under one thread.
 func Sequential(t *testing.T, f Factory, scheme string) {
 	inst := f.New(1)
-	g := newScheme(t, scheme, inst.Arena, 1).Guard(0)
+	g := newScheme(t, scheme, inst, 1).Guard(0)
 	model := make(map[uint64]bool)
 	rng := rand.New(rand.NewSource(42))
 	const keys = 64
@@ -126,7 +133,7 @@ func Sequential(t *testing.T, f Factory, scheme string) {
 // conservation law plus structural invariants.
 func Concurrent(t *testing.T, f Factory, scheme string, threads int, keys int) {
 	inst := f.New(threads)
-	sch := newScheme(t, scheme, inst.Arena, threads)
+	sch := newScheme(t, scheme, inst, threads)
 	ops := 2500
 	if testing.Short() {
 		ops = 500
@@ -204,7 +211,7 @@ func Stall(t *testing.T, f Factory, scheme string) {
 	const workers = 4
 	threads := workers + 1
 	inst := f.New(threads)
-	sch := newScheme(t, scheme, inst.Arena, threads)
+	sch := newScheme(t, scheme, inst, threads)
 	cfg := config()
 
 	// The stalled thread enters an operation mid-read-phase and stops.
@@ -239,7 +246,7 @@ func Stall(t *testing.T, f Factory, scheme string) {
 	garbage := st.Garbage()
 	switch scheme {
 	case "nbr", "nbr+":
-		bound := uint64(threads * (cfg.BagSize + threads*cfg.Slots))
+		bound := uint64(threads * (cfg.BagSize + threads*maxSlots))
 		if garbage > bound {
 			t.Fatalf("bounded-garbage violation: %d > %d", garbage, bound)
 		}

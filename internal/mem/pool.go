@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -135,6 +136,7 @@ type slot[T any] struct {
 type globalFree struct {
 	shards []freeShard
 	mask   int           // len(shards)-1; len is a power of two
+	shift  uint          // 64 - log2(len(shards)); see Pool.shardOf
 	ops    atomic.Uint64 // lock acquisitions, reported in Stats
 }
 
@@ -191,13 +193,25 @@ func NewPool[T any](cfg Config) *Pool[T] {
 	p.threads = make([]tcache, p.cfg.MaxThreads)
 	p.global.shards = make([]freeShard, p.cfg.Shards)
 	p.global.mask = p.cfg.Shards - 1
+	p.global.shift = 64 - uint(bits.Len(uint(p.global.mask)))
 	p.cursor.Store(1) // reserve slot 0
 	return p
 }
 
-// homeShard maps a thread id onto its free-list shard.
+// shardOf maps a thread id onto a shard index. Callers number threads
+// densely from zero, so a plain tid&mask would leave every shard above the
+// thread count cold — all flush traffic would convoy on the low shards
+// whenever threads < Shards. A Fibonacci multiplicative hash spreads
+// consecutive tids across the shard space (the golden-ratio sequence is
+// low-discrepancy), covering it near-evenly at any threads/Shards ratio.
+func (p *Pool[T]) shardOf(tid int) int {
+	// With one shard the shift is 64, which Go defines to yield 0.
+	return int((uint64(tid) * 0x9e3779b97f4a7c15) >> p.global.shift)
+}
+
+// homeShard returns a thread's free-list shard.
 func (p *Pool[T]) homeShard(tid int) *freeShard {
-	return &p.global.shards[tid&p.global.mask]
+	return &p.global.shards[p.shardOf(tid)]
 }
 
 // MaxThreads returns the number of thread ids the pool was sized for.
@@ -317,7 +331,7 @@ func (p *Pool[T]) FreeBatch(tid int, qs []Ptr) {
 // when producers and consumers hash to different shards), and fresh slots
 // carved from the bump cursor as the last resort.
 func (p *Pool[T]) refill(tc *tcache, tid int) {
-	home := tid & p.global.mask
+	home := p.shardOf(tid)
 	for i := 0; i <= p.global.mask; i++ {
 		sh := &p.global.shards[(home+i)&p.global.mask]
 		tc.free = sh.pop(&p.global.ops, tc.free, refillBatch)

@@ -92,6 +92,37 @@ func TestFreeBatchMarkedHandles(t *testing.T) {
 	}
 }
 
+// TestShardCoverageDenseTids asserts the shard-cold-tid fix: callers number
+// worker threads densely from zero, so the tid→shard map must spread dense
+// ids across the whole shard space instead of convoying every flush on the
+// low shards whenever threads < Shards.
+func TestShardCoverageDenseTids(t *testing.T) {
+	p := NewPool[rec](Config{MaxThreads: 8, Shards: 8})
+	seen := map[int]bool{}
+	for tid := 0; tid < 8; tid++ {
+		sh := p.shardOf(tid)
+		if sh < 0 || sh > p.global.mask {
+			t.Fatalf("shardOf(%d) = %d out of range", tid, sh)
+		}
+		seen[sh] = true
+	}
+	if len(seen) < 6 {
+		t.Fatalf("8 dense tids cover only %d of 8 shards", len(seen))
+	}
+	// The regime the fix targets: two threads on an 8-shard pool must not
+	// share a home shard.
+	if p.shardOf(0) == p.shardOf(1) {
+		t.Fatalf("tids 0 and 1 share home shard %d", p.shardOf(0))
+	}
+	// A single-shard pool must still map every tid to the only shard.
+	p1 := NewPool[rec](Config{MaxThreads: 8, Shards: 1})
+	for tid := 0; tid < 8; tid++ {
+		if got := p1.shardOf(tid); got != 0 {
+			t.Fatalf("single-shard shardOf(%d) = %d", tid, got)
+		}
+	}
+}
+
 // TestShardStealing pins a producer and a consumer to different home shards
 // and checks the consumer recycles the producer's slots instead of carving
 // fresh memory — the invariant that keeps sharding from unbounding the pool.
@@ -104,8 +135,12 @@ func TestShardStealing(t *testing.T) {
 	}
 	p.FreeBatch(0, hs) // lands in thread 0's home shard
 	carved := p.cursor.Load()
+	consumer := 1 // hashes to a different home shard than tid 0
+	if p.shardOf(consumer) == p.shardOf(0) {
+		t.Fatalf("test needs distinct home shards, got %d for both", p.shardOf(0))
+	}
 	for i := 0; i < 128; i++ {
-		p.Alloc(5) // home shard 5 is empty; must steal from shard 0
+		p.Alloc(consumer) // its home shard is empty; must steal from tid 0's
 	}
 	if got := p.cursor.Load(); got != carved {
 		t.Fatalf("consumer carved fresh slots (cursor %d → %d) instead of stealing", carved, got)

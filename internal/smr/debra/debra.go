@@ -54,6 +54,7 @@ func (s *Scheme) Stats() smr.Stats {
 	var st smr.Stats
 	for _, g := range s.gs {
 		st.Retired += g.retired.Load()
+		g.batches.AddTo(&st.BatchHist)
 		st.Freed += g.freed.Load()
 		st.Advances += g.advances.Load()
 	}
@@ -68,6 +69,7 @@ type guard struct {
 	scanAt int // next peer to check in the amortized scan
 
 	retired  smr.Counter
+	batches  smr.BatchHist
 	freed    smr.Counter
 	advances smr.Counter
 }
@@ -127,6 +129,26 @@ func (g *guard) Retire(p mem.Ptr) {
 	}
 	g.bags[g.localE%3] = append(g.bags[g.localE%3], p.Unmarked())
 	g.retired.Inc()
+	g.batches.Record(1)
+}
+
+// RetireBatch implements smr.Guard: one epoch check (and at most one
+// rotation) files the whole batch into the current bag. The epoch is read
+// after every record in the batch was unlinked, so no record is filed under
+// an epoch older than a per-record Retire loop would have used.
+func (g *guard) RetireBatch(ps []mem.Ptr) {
+	if len(ps) == 0 {
+		return
+	}
+	if e := g.s.epoch.Load(); e != g.localE {
+		g.rotate(e)
+	}
+	bag := &g.bags[g.localE%3]
+	for _, p := range ps {
+		*bag = append(*bag, p.Unmarked())
+	}
+	g.retired.Add(uint64(len(ps)))
+	g.batches.Record(len(ps))
 }
 
 // rotate adopts epoch e. Records in the bag for epoch e-2 (and older, if the

@@ -71,6 +71,7 @@ func (s *Scheme) Stats() smr.Stats {
 	var st smr.Stats
 	for _, g := range s.gs {
 		st.Retired += g.retired.Load()
+		g.batches.AddTo(&st.BatchHist)
 		st.Freed += g.freed.Load()
 		st.Scans += g.scans.Load()
 	}
@@ -88,6 +89,7 @@ type guard struct {
 	freeables []mem.Ptr   // scan scratch: the batch handed to FreeBatch
 
 	retired smr.Counter
+	batches smr.BatchHist
 	freed   smr.Counter
 	scans   smr.Counter
 }
@@ -133,6 +135,24 @@ func (g *guard) OnStale(p mem.Ptr) {
 func (g *guard) Retire(p mem.Ptr) {
 	g.bag = append(g.bag, p.Unmarked())
 	g.retired.Inc()
+	g.batches.Record(1)
+	if len(g.bag) >= g.s.cfg.Threshold {
+		g.doScan()
+	}
+}
+
+// RetireBatch implements smr.Guard: the batch lands in the buffer in one
+// append pass with a single threshold check — and therefore at most one
+// announcement scan — for the whole unlink.
+func (g *guard) RetireBatch(ps []mem.Ptr) {
+	if len(ps) == 0 {
+		return
+	}
+	for _, p := range ps {
+		g.bag = append(g.bag, p.Unmarked())
+	}
+	g.retired.Add(uint64(len(ps)))
+	g.batches.Record(len(ps))
 	if len(g.bag) >= g.s.cfg.Threshold {
 		g.doScan()
 	}

@@ -76,6 +76,7 @@ func (s *Scheme) Stats() smr.Stats {
 	var st smr.Stats
 	for _, g := range s.gs {
 		st.Retired += g.retired.Load()
+		g.batches.AddTo(&st.BatchHist)
 		st.Freed += g.freed.Load()
 		st.Scans += g.scans.Load()
 		st.Advances += g.advances.Load()
@@ -92,6 +93,7 @@ type guard struct {
 	his    []uint64 // sweep scratch, reused
 
 	retired  smr.Counter
+	batches  smr.BatchHist
 	freed    smr.Counter
 	scans    smr.Counter
 	advances smr.Counter
@@ -144,16 +146,43 @@ func (g *guard) Retire(p mem.Ptr) {
 	g.s.arena.Hdr(p).SetRetire(g.s.era.Load())
 	g.bag = append(g.bag, p)
 	g.retired.Inc()
+	g.batches.Record(1)
 	g.tick()
 	if len(g.bag) >= g.s.cfg.Threshold {
 		g.sweep()
 	}
 }
 
-func (g *guard) tick() {
-	g.events++
-	if g.events >= g.s.cfg.EraFreq {
-		g.events = 0
+// RetireBatch implements smr.Guard: one era load stamps the whole batch
+// (read after every record was unlinked, so no stamp is older than a
+// single-record Retire would have written), the event clock ticks once by
+// the batch length, and at most one sweep runs.
+func (g *guard) RetireBatch(ps []mem.Ptr) {
+	if len(ps) == 0 {
+		return
+	}
+	e := g.s.era.Load()
+	for _, p := range ps {
+		p = p.Unmarked()
+		g.s.arena.Hdr(p).SetRetire(e)
+		g.bag = append(g.bag, p)
+	}
+	g.retired.Add(uint64(len(ps)))
+	g.batches.Record(len(ps))
+	g.tickN(len(ps))
+	if len(g.bag) >= g.s.cfg.Threshold {
+		g.sweep()
+	}
+}
+
+func (g *guard) tick() { g.tickN(1) }
+
+// tickN advances the event clock by n, advancing the era exactly as n
+// single-event ticks would.
+func (g *guard) tickN(n int) {
+	g.events += n
+	for g.events >= g.s.cfg.EraFreq {
+		g.events -= g.s.cfg.EraFreq
 		g.s.era.Add(1)
 		g.advances.Inc()
 	}

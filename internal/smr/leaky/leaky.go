@@ -35,6 +35,7 @@ func (s *Scheme) Stats() smr.Stats {
 	var st smr.Stats
 	for _, g := range s.gs {
 		st.Retired += g.retired.Load()
+		g.batches.AddTo(&st.BatchHist)
 	}
 	return st
 }
@@ -42,6 +43,7 @@ func (s *Scheme) Stats() smr.Stats {
 type guard struct {
 	tid     int
 	retired smr.Counter
+	batches smr.BatchHist
 }
 
 func (g *guard) Tid() int              { return g.tid }
@@ -53,7 +55,14 @@ func (g *guard) EndRead()              {}
 func (g *guard) Protect(int, mem.Ptr)  {}
 func (g *guard) NeedsValidation() bool { return false }
 func (g *guard) OnAlloc(mem.Ptr)       {}
-func (g *guard) Retire(mem.Ptr)        { g.retired.Inc() }
+func (g *guard) Retire(mem.Ptr)        { g.retired.Inc(); g.batches.Record(1) }
+func (g *guard) RetireBatch(ps []mem.Ptr) {
+	if len(ps) == 0 {
+		return
+	}
+	g.retired.Add(uint64(len(ps)))
+	g.batches.Record(len(ps))
+}
 func (g *guard) OnStale(p mem.Ptr) {
 	panic("leaky: use-after-free detected (impossible: leaky never frees): " + p.String())
 }

@@ -1,6 +1,9 @@
 package smr
 
-import "sync/atomic"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // Pad64 is an atomic uint64 padded to a cache line, used for per-thread
 // announcement slots (epochs, eras, hazard pointers, reservations) so that
@@ -24,3 +27,33 @@ func (c *Counter) Add(n uint64) { c.v.Store(c.v.Load() + n) }
 
 // Load returns the current value.
 func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// BatchBuckets is the number of power-of-two buckets in the retire
+// handoff-size histogram (Stats.BatchHist); the top bucket absorbs any
+// batch of 2^(BatchBuckets-1) records or more.
+const BatchBuckets = 17
+
+// BatchHist counts a guard's retire handoffs by size: Retire records size 1,
+// RetireBatch its batch length. Written only by the owning thread, read
+// concurrently by Stats aggregation — the same discipline as Counter. The
+// cost sits on the retire path only (one increment per handoff), never on
+// the read path.
+type BatchHist struct {
+	b [BatchBuckets]Counter
+}
+
+// Record counts one handoff of n records.
+func (h *BatchHist) Record(n int) {
+	i := bits.Len(uint(n))
+	if i >= BatchBuckets {
+		i = BatchBuckets - 1
+	}
+	h.b[i].Inc()
+}
+
+// AddTo folds the histogram into a Stats bucket array.
+func (h *BatchHist) AddTo(agg *[BatchBuckets]uint64) {
+	for i := range h.b {
+		agg[i] += h.b[i].Load()
+	}
+}

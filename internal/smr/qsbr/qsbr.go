@@ -57,6 +57,7 @@ func (s *Scheme) Stats() smr.Stats {
 	var st smr.Stats
 	for _, g := range s.gs {
 		st.Retired += g.retired.Load()
+		g.batches.AddTo(&st.BatchHist)
 		st.Freed += g.freed.Load()
 		st.Scans += g.scans.Load()
 		st.Advances += g.advances.Load()
@@ -76,6 +77,7 @@ type guard struct {
 	sinceSweep int
 
 	retired  smr.Counter
+	batches  smr.BatchHist
 	freed    smr.Counter
 	scans    smr.Counter
 	advances smr.Counter
@@ -104,10 +106,33 @@ func (g *guard) OnStale(p mem.Ptr) {
 func (g *guard) Retire(p mem.Ptr) {
 	g.bag = append(g.bag, entry{p.Unmarked(), g.s.epoch.Load()})
 	g.retired.Inc()
+	g.batches.Record(1)
 	g.sinceSweep++
 	// Amortize: when the epoch is stuck (a delayed thread), re-scanning on
 	// every retire would turn the bag into an O(n) cost per operation; real
 	// QSBR implementations retry a grace-period check only periodically.
+	if len(g.bag) >= g.s.cfg.Threshold && g.sinceSweep >= g.s.cfg.Threshold/4 {
+		g.sinceSweep = 0
+		g.tryAdvance()
+		g.sweep()
+	}
+}
+
+// RetireBatch implements smr.Guard: one epoch load tags the whole batch
+// (read after every record was unlinked, so no tag is older than a
+// per-record loop would have written) and the amortized sweep check runs
+// once for the batch.
+func (g *guard) RetireBatch(ps []mem.Ptr) {
+	if len(ps) == 0 {
+		return
+	}
+	tag := g.s.epoch.Load()
+	for _, p := range ps {
+		g.bag = append(g.bag, entry{p.Unmarked(), tag})
+	}
+	g.retired.Add(uint64(len(ps)))
+	g.batches.Record(len(ps))
+	g.sinceSweep += len(ps)
 	if len(g.bag) >= g.s.cfg.Threshold && g.sinceSweep >= g.s.cfg.Threshold/4 {
 		g.sinceSweep = 0
 		g.tryAdvance()

@@ -19,7 +19,8 @@
 //     under NBR and panics — a detected use-after-free — everywhere else);
 //   - calls Reserve then EndRead before its write phase (endΦread with the
 //     reservation set; no-ops outside NBR);
-//   - calls Retire for every unlinked record.
+//   - calls Retire for every unlinked record, or RetireBatch when one
+//     operation unlinks a whole subtree or chain.
 //
 // Allocation is only permitted in write phases (never between BeginRead and
 // EndRead), matching the paper's Φread rules and guaranteeing neutralization
@@ -27,6 +28,8 @@
 package smr
 
 import (
+	"math"
+
 	"nbr/internal/mem"
 	"nbr/internal/sigsim"
 )
@@ -62,6 +65,14 @@ type Guard interface {
 
 	// Retire hands an unlinked record to the scheme for eventual freeing.
 	Retire(p mem.Ptr)
+	// RetireBatch hands a whole unlinked subtree or chain to the scheme at
+	// once. It is observationally equivalent to calling Retire on each
+	// element in order, but the scheme performs its per-retire bookkeeping —
+	// watermark/threshold check, era stamp, reclamation scan — once per
+	// batch instead of once per record, so a subtree unlink costs O(1)
+	// amortized shared interactions regardless of its size. The slice is not
+	// retained.
+	RetireBatch(ps []mem.Ptr)
 	// OnAlloc is invoked right after allocating a record (era schemes stamp
 	// the birth era).
 	OnAlloc(p mem.Ptr)
@@ -84,13 +95,86 @@ type Scheme interface {
 
 // Stats aggregates reclamation activity across all threads of a scheme.
 type Stats struct {
-	Retired     uint64 // records handed to Retire
+	Retired     uint64 // records handed to Retire/RetireBatch
 	Freed       uint64 // records returned to the allocator
 	Signals     uint64 // neutralization signals sent (NBR family)
 	Neutralized uint64 // read-phase restarts caused by signals
 	Ignored     uint64 // signals delivered to non-restartable threads
 	Scans       uint64 // reservation/hazard/era scans performed
 	Advances    uint64 // epoch or era advances
+	// BatchHist is the retire handoff-size distribution: bucket i counts
+	// handoffs of size s with bitlen(s) == i, i.e. s in [2^(i-1), 2^i).
+	// A Retire call is one handoff of size 1; a RetireBatch call is one
+	// handoff of its batch length. Retired divided by the handoff count is
+	// the average amortization the RetireBatch seam achieves.
+	BatchHist [BatchBuckets]uint64
+}
+
+// RetireCalls returns the number of retire handoffs (Retire calls plus
+// non-empty RetireBatch calls).
+func (s Stats) RetireCalls() uint64 {
+	var n uint64
+	for _, c := range s.BatchHist {
+		n += c
+	}
+	return n
+}
+
+// BatchQuantile returns an upper bound for the q-quantile handoff size: the
+// upper edge of the power-of-two bucket containing it. Returns 0 when no
+// handoffs were recorded.
+func (s Stats) BatchQuantile(q float64) int64 {
+	total := s.RetireCalls()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank: the smallest value with at least ceil(q·total) recorded
+	// handoffs at or below it, i.e. 0-indexed rank ceil(q·total)−1.
+	r := math.Ceil(q * float64(total))
+	if r < 1 {
+		r = 1
+	}
+	rank := uint64(r) - 1
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range s.BatchHist {
+		seen += c
+		if rank < seen {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(BatchBuckets - 1)
+}
+
+// BatchMax returns an upper bound for the largest handoff recorded (the
+// upper edge of the top non-empty bucket), or 0 if none.
+func (s Stats) BatchMax() int64 {
+	for i := BatchBuckets - 1; i >= 0; i-- {
+		if s.BatchHist[i] != 0 {
+			return bucketUpper(i)
+		}
+	}
+	return 0
+}
+
+// bucketUpper is the largest size bucket i can hold: bitlen(s) == i means
+// s ≤ 2^i - 1. The top bucket is open-ended (Record saturates batches of
+// 2^(BatchBuckets-1) or more into it), so for it the returned value is a
+// saturation cap, not a true upper bound — BatchQuantile/BatchMax report at
+// most 2^(BatchBuckets-1) - 1 however large the actual handoff was.
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1)<<i - 1
 }
 
 // Garbage returns the number of retired-but-unfreed records.

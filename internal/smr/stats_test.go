@@ -1,0 +1,43 @@
+package smr
+
+import "testing"
+
+func TestBatchQuantileNearestRank(t *testing.T) {
+	var s Stats
+	s.BatchHist[1] = 1  // one handoff of size 1
+	s.BatchHist[10] = 1 // one handoff of size ~1000
+	if got := s.BatchQuantile(0.50); got != 1 {
+		t.Fatalf("p50 of {1, ~1000} = %d, want 1 (nearest rank)", got)
+	}
+	if got := s.BatchQuantile(0.99); got != bucketUpper(10) {
+		t.Fatalf("p99 of {1, ~1000} = %d, want %d", got, bucketUpper(10))
+	}
+	if got := s.BatchQuantile(0); got != 1 {
+		t.Fatalf("p0 = %d, want 1", got)
+	}
+	if got := s.BatchQuantile(1); got != bucketUpper(10) {
+		t.Fatalf("p100 = %d, want %d", got, bucketUpper(10))
+	}
+	if got := (Stats{}).BatchQuantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	if got, want := s.RetireCalls(), uint64(2); got != want {
+		t.Fatalf("RetireCalls = %d, want %d", got, want)
+	}
+	if got := s.BatchMax(); got != bucketUpper(10) {
+		t.Fatalf("BatchMax = %d, want %d", got, bucketUpper(10))
+	}
+}
+
+func TestBatchHistRecordBuckets(t *testing.T) {
+	var h BatchHist
+	h.Record(1)
+	h.Record(2)
+	h.Record(3)
+	h.Record(1 << 20) // saturates into the open-ended top bucket
+	var agg [BatchBuckets]uint64
+	h.AddTo(&agg)
+	if agg[1] != 1 || agg[2] != 2 || agg[BatchBuckets-1] != 1 {
+		t.Fatalf("buckets = %v", agg)
+	}
+}
