@@ -38,6 +38,8 @@ func main() {
 
 		snapshot = flag.String("snapshot", "", "write a machine-readable perf snapshot JSON to this path (e.g. BENCH_1.json) and exit")
 
+		assertBound = flag.Bool("assert-bound", false, "fail (exit 1) if any run's sampled garbage peak exceeds the scheme's declared GarbageBound; applies to -custom and -snapshot")
+
 		custom      = flag.Bool("custom", false, "run a single custom cell instead of a preset")
 		dsName      = flag.String("ds", "lazylist", "custom: data structure")
 		scheme      = flag.String("scheme", "nbr+", "custom: reclamation scheme")
@@ -72,7 +74,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("# writing perf snapshot to %s (duration %v per cell, fixed 8-thread suite)\n", *snapshot, *duration)
-		if err := bench.WriteSnapshot(*snapshot, *duration, cfg); err != nil {
+		if err := bench.WriteSnapshot(*snapshot, *duration, cfg, *assertBound); err != nil {
 			fmt.Fprintln(os.Stderr, "nbrbench:", err)
 			os.Exit(1)
 		}
@@ -90,10 +92,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "nbrbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s/%s threads=%d range=%d %di-%dd: %.3f Mops/s, peak %.2f MB, %d signals, %d neutralized, garbage %d\n",
+		bound := "unbounded"
+		if r.Bound >= 0 {
+			bound = fmt.Sprint(r.Bound)
+		}
+		fmt.Printf("%s/%s threads=%d range=%d %di-%dd: %.3f Mops/s, peak %.2f MB, %d signals, %d neutralized, garbage %d (peak %d, bound %s)\n",
 			r.DS, r.Scheme, r.Threads, r.KeyRange, r.InsPct, r.DelPct,
 			r.Mops, float64(r.PeakBytes)/(1<<20), r.Stats.Signals,
-			r.Stats.Neutralized, r.Stats.Garbage())
+			r.Stats.Neutralized, r.Stats.Garbage(), r.GarbagePeak, bound)
+		if *assertBound && r.BoundExceeded() {
+			fmt.Fprintf(os.Stderr, "nbrbench: garbage-bound contract violated: peak %d > declared bound %d\n",
+				r.GarbagePeak, r.Bound)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -62,6 +62,9 @@ func main() {
 	for i := 1; i < len(snaps); i++ {
 		fmt.Printf("# %s → %s (%s → %s, threshold %.0f%%)\n",
 			paths[i-1], paths[i], snaps[i-1].Schema, snaps[i].Schema, *threshold)
+		if mismatch := bench.HostShapeMismatch(snaps[i-1], snaps[i]); mismatch != "" {
+			fmt.Printf("  WARNING: host shape differs (%s); deltas below are untrusted and not flagged\n", mismatch)
+		}
 		deltas := bench.CompareSnapshots(snaps[i-1], snaps[i], *threshold)
 		if len(deltas) == 0 {
 			fmt.Println("  (no comparable cells)")

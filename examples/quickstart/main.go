@@ -53,8 +53,8 @@ func main() {
 
 	st := scheme.Stats()
 	ms := list.MemStats()
-	fmt.Printf("retired=%d freed=%d garbage=%d (bound per thread: %d)\n",
-		st.Retired, st.Freed, st.Garbage(), scheme.GarbageBound())
+	fmt.Printf("retired=%d freed=%d garbage=%d (bound: %d per thread, %d total)\n",
+		st.Retired, st.Freed, st.Garbage(), scheme.ThreadBound(), scheme.GarbageBound())
 	fmt.Printf("signals sent=%d, read-phase restarts=%d\n", st.Signals, st.Neutralized)
 	fmt.Printf("live records=%d (%.1f KiB)\n", ms.Live, float64(ms.LiveBytes)/1024)
 

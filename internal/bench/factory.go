@@ -40,7 +40,9 @@ type SchemeConfig struct {
 	// SendSpin and HandleSpin are the simulated signal costs.
 	SendSpin, HandleSpin int
 	// Threshold is the bag limit of the epoch/pointer schemes
-	// (qsbr/rcu/hp/ibr/he); 0 selects each scheme's default.
+	// (qsbr/rcu/hp/ibr/he); 0 (the default) adopts the data structure's
+	// declared per-peer depth (ds.Requirements.Threshold) when known, else
+	// each scheme's own default.
 	Threshold int
 	// EraFreq is the IBR/HE era-advance period.
 	EraFreq int
@@ -71,7 +73,11 @@ func NewScheme(name string, arena mem.Arena, threads int, cfg SchemeConfig) (smr
 // declared widths: req.Reservations becomes NBR's R when cfg.Slots is 0
 // (auto), and req.Slots sizes the hazard-pointer/era announcement arrays —
 // every reservation or hazard scan then walks N·width entries for the width
-// the structure actually uses instead of a global worst case.
+// the structure actually uses instead of a global worst case. req.Threshold
+// (per peer thread) sizes the threshold-triggered schemes' retire buffers
+// when cfg.Threshold is 0 (auto), decoupling their scan frequency from the
+// narrow per-DS Slots that would otherwise drag hp's 2·N·Slots default down
+// with it; the 64-record floor matches the schemes' own minimum.
 func NewSchemeFor(name string, arena mem.Arena, threads int, cfg SchemeConfig, req ds.Requirements) (smr.Scheme, error) {
 	if req.Slots <= 0 {
 		req.Slots = ds.DefaultRequirements.Slots
@@ -81,6 +87,12 @@ func NewSchemeFor(name string, arena mem.Arena, threads int, cfg SchemeConfig, r
 	}
 	if cfg.Slots == 0 {
 		cfg.Slots = req.Reservations
+	}
+	if cfg.Threshold == 0 && req.Threshold > 0 {
+		cfg.Threshold = threads * req.Threshold
+		if cfg.Threshold < 64 {
+			cfg.Threshold = 64
+		}
 	}
 	sig := sigsim.Config{SendSpin: cfg.SendSpin, HandleSpin: cfg.HandleSpin}
 	switch name {

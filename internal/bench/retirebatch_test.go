@@ -92,6 +92,107 @@ func TestRetireBatchEquivalence(t *testing.T) {
 	}
 }
 
+// TestRetireSplitEquivalence is the batch-split property test: retiring the
+// same records through one oversized RetireBatch, through misaligned chunked
+// RetireBatch calls, or through a per-record Retire loop must be stats-exact
+// for every scheme whose trigger is a pure bag-length condition — the split
+// paths fire their scans and signals at exactly the bag lengths the loop
+// hits, whatever the handoff shape. qsbr/rcu amortize their sweep over a
+// separate retire counter whose trigger can land mid-chunk, so for them the
+// chunk sizes must divide the amortization period (as the structures'
+// real handoffs do); misaligned shapes are exercised for the rest.
+func TestRetireSplitEquivalence(t *testing.T) {
+	const total, threads = 300, 2
+	run := func(t *testing.T, scheme string, batch int) (smr.Stats, mem.Stats) {
+		pool := mem.NewPool[retireRec](mem.Config{MaxThreads: threads})
+		sch, err := NewScheme(scheme, pool, threads, retireCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := sch.Guard(0)
+		buf := make([]mem.Ptr, 0, batch)
+		for i := 0; i < total; i++ {
+			p, _ := pool.Alloc(0)
+			g.OnAlloc(p)
+			if i%3 == 0 {
+				p = p.WithMark()
+			}
+			if batch == 1 {
+				g.Retire(p)
+				continue
+			}
+			buf = append(buf, p)
+			if len(buf) == batch || i == total-1 {
+				g.RetireBatch(buf)
+				buf = buf[:0]
+			}
+		}
+		return sch.Stats(), pool.Stats()
+	}
+	shapes := map[string][]int{
+		// Misaligned chunks and one whole-splice handoff: exactness must
+		// hold for arbitrary shapes on the split schemes.
+		"default": {7, 31, 64, total},
+		// Aligned with Threshold/4 = 16, the qsbr/rcu sweep amortization.
+		"qsbr": {4, 16}, "rcu": {4, 16},
+	}
+	for _, scheme := range SchemeNames {
+		sizes, ok := shapes[scheme]
+		if !ok {
+			sizes = shapes["default"]
+		}
+		t.Run(scheme, func(t *testing.T) {
+			loopS, loopM := run(t, scheme, 1)
+			for _, batch := range sizes {
+				gotS, gotM := run(t, scheme, batch)
+				// Handoff histograms legitimately differ; everything else
+				// must be identical.
+				loopCmp, gotCmp := loopS, gotS
+				loopCmp.BatchHist, gotCmp.BatchHist = [smr.BatchBuckets]uint64{}, [smr.BatchBuckets]uint64{}
+				if loopCmp != gotCmp {
+					t.Fatalf("batch %d: stats diverge\n  loop  %+v\n  batch %+v", batch, loopCmp, gotCmp)
+				}
+				if loopM.Allocs != gotM.Allocs || loopM.Frees != gotM.Frees {
+					t.Fatalf("batch %d: allocator accounting diverges: loop frees=%d batch frees=%d",
+						batch, loopM.Frees, gotM.Frees)
+				}
+			}
+		})
+	}
+}
+
+// TestGarbageBoundDeclarations pins the GarbageBound contract's shape for
+// every scheme: the P2 claimants declare a finite positive bound that grows
+// with the thread count, everyone else the Unbounded sentinel.
+func TestGarbageBoundDeclarations(t *testing.T) {
+	bounded := map[string]bool{"nbr": true, "nbr+": true, "hp": true, "he": true, "ibr": true}
+	for _, scheme := range SchemeNames {
+		t.Run(scheme, func(t *testing.T) {
+			bound := func(threads int) int {
+				pool := mem.NewPool[retireRec](mem.Config{MaxThreads: threads})
+				sch, err := NewScheme(scheme, pool, threads, retireCfg())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sch.GarbageBound()
+			}
+			b2, b4 := bound(2), bound(4)
+			if !bounded[scheme] {
+				if b2 != smr.Unbounded || b4 != smr.Unbounded {
+					t.Fatalf("want Unbounded sentinel, got %d / %d", b2, b4)
+				}
+				return
+			}
+			if b2 <= 0 || b4 <= 0 {
+				t.Fatalf("bounded scheme declared non-positive bound: %d / %d", b2, b4)
+			}
+			if b4 <= b2 {
+				t.Fatalf("bound must grow with thread count: N=2 → %d, N=4 → %d", b2, b4)
+			}
+		})
+	}
+}
+
 // TestRetireBatchEmptyIsNoop checks the degenerate batch for every scheme.
 func TestRetireBatchEmptyIsNoop(t *testing.T) {
 	for _, scheme := range SchemeNames {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -31,10 +32,11 @@ type Snapshot struct {
 	FreeBurst []FreeBurstPoint `json:"free_burst"`
 }
 
-// SnapshotSchema names the current snapshot layout. v2 adds the retire
-// batch-size distribution per workload cell (v1 files lack those fields;
-// consumers treat them as absent).
-const SnapshotSchema = "nbr-perf-snapshot/v2"
+// SnapshotSchema names the current snapshot layout. v2 added the retire
+// batch-size distribution per workload cell; v3 adds the garbage-bound
+// contract columns (declared bound + sampled garbage peak). Older files
+// lack the newer fields; consumers treat them as absent.
+const SnapshotSchema = "nbr-perf-snapshot/v3"
 
 // WorkloadPoint is one end-to-end cell.
 type WorkloadPoint struct {
@@ -57,6 +59,12 @@ type WorkloadPoint struct {
 	BatchP99  int64    `json:"batch_p99,omitempty"`
 	BatchMax  int64    `json:"batch_max,omitempty"`
 	BatchHist []uint64 `json:"batch_hist,omitempty"`
+	// Garbage-bound contract (schema v3): the scheme's declared bound
+	// (smr.Unbounded = -1 for the epoch schemes and leaky) and the largest
+	// garbage the run's sampler observed. GarbagePeak above a non-negative
+	// Bound is a contract violation, not noise.
+	Bound       int    `json:"bound"`
+	GarbagePeak uint64 `json:"garbage_peak"`
 }
 
 // ScanCostPoint measures one reservation scan (collect + sort + BagSize
@@ -103,8 +111,12 @@ var snapshotCells = []struct {
 // oversubscribed regime (and its signal traffic) even on small containers.
 const snapshotThreads = 8
 
-// WriteSnapshot runs the snapshot suite and writes the JSON to path.
-func WriteSnapshot(path string, duration time.Duration, cfg SchemeConfig) error {
+// WriteSnapshot runs the snapshot suite and writes the JSON to path. With
+// assertBound it additionally fails on any cell whose sampled garbage peak
+// exceeded the scheme's declared GarbageBound (the `nbrbench -assert-bound`
+// mode) — the snapshot is still written so the violating numbers are
+// inspectable.
+func WriteSnapshot(path string, duration time.Duration, cfg SchemeConfig, assertBound bool) error {
 	threads := snapshotThreads
 	snap := Snapshot{
 		Schema:     SnapshotSchema,
@@ -115,6 +127,7 @@ func WriteSnapshot(path string, duration time.Duration, cfg SchemeConfig) error 
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
+	var violations []string
 	for _, c := range snapshotCells {
 		r, err := Run(Workload{
 			DS: c.ds, Scheme: c.scheme, Threads: threads, KeyRange: c.keyRange,
@@ -131,7 +144,13 @@ func WriteSnapshot(path string, duration time.Duration, cfg SchemeConfig) error 
 			P50us: float64(r.LatP50) / 1e3, P99us: float64(r.LatP99) / 1e3,
 			Batches: r.Batches, BatchP50: r.BatchP50, BatchP99: r.BatchP99,
 			BatchMax: r.BatchMax, BatchHist: r.BatchHist,
+			Bound: r.Bound, GarbagePeak: r.GarbagePeak,
 		})
+		if r.BoundExceeded() {
+			violations = append(violations,
+				fmt.Sprintf("%s/%s: garbage peak %d > declared bound %d",
+					c.ds, c.scheme, r.GarbagePeak, r.Bound))
+		}
 	}
 
 	for _, dim := range []struct{ threads, slots int }{
@@ -148,7 +167,14 @@ func WriteSnapshot(path string, duration time.Duration, cfg SchemeConfig) error 
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if assertBound && len(violations) > 0 {
+		return fmt.Errorf("garbage-bound contract violated in %d cell(s):\n  %s",
+			len(violations), strings.Join(violations, "\n  "))
+	}
+	return nil
 }
 
 // measureScanCost times the reclaim-path scan primitive: snapshot N·R

@@ -39,16 +39,40 @@ type TrendDelta struct {
 	// means worse (throughput down, cost up).
 	Pct        float64
 	Regression bool
+	// Untrusted marks a delta between snapshots from different host shapes
+	// (gomaxprocs/goarch): the numbers are shown but never flagged, because
+	// the machines are not comparable.
+	Untrusted bool
 }
 
 func (d TrendDelta) String() string {
 	arrow := "→"
 	tag := ""
-	if d.Regression {
+	switch {
+	case d.Regression:
+		// Host-independent invariants (a scan that starts allocating) stay
+		// flagged even across host shapes.
 		tag = "  REGRESSION"
+	case d.Untrusted:
+		tag = "  UNTRUSTED(host shape differs)"
 	}
 	return fmt.Sprintf("%-44s %-10s %10.3f %s %10.3f  (%+.1f%%)%s",
 		d.Cell, d.Metric, d.Prev, arrow, d.Next, d.Pct, tag)
+}
+
+// HostShapeMismatch describes why two snapshots' numbers are not comparable
+// (different gomaxprocs or goarch), or returns "" when they are. Deltas
+// computed across a mismatch are marked Untrusted and never flagged as
+// regressions — a slower machine is not a slower reclaim path.
+func HostShapeMismatch(prev, next Snapshot) string {
+	var reasons []string
+	if prev.GOMAXPROCS != next.GOMAXPROCS {
+		reasons = append(reasons, fmt.Sprintf("gomaxprocs %d → %d", prev.GOMAXPROCS, next.GOMAXPROCS))
+	}
+	if prev.GOARCH != next.GOARCH {
+		reasons = append(reasons, fmt.Sprintf("goarch %s → %s", prev.GOARCH, next.GOARCH))
+	}
+	return strings.Join(reasons, ", ")
 }
 
 // worsePct returns how much worse next is than prev, as a percentage, for a
@@ -72,11 +96,13 @@ func worsePct(prev, next float64, up bool) float64 {
 // allocating is always flagged — the flat-scratch invariant is exact.
 func CompareSnapshots(prev, next Snapshot, threshold float64) []TrendDelta {
 	var out []TrendDelta
+	untrusted := HostShapeMismatch(prev, next) != ""
 	add := func(cell, metric string, p, n float64, up, flag bool) {
 		pct := worsePct(p, n, up)
 		out = append(out, TrendDelta{
 			Cell: cell, Metric: metric, Prev: p, Next: n, Pct: pct,
-			Regression: flag && pct > threshold,
+			Regression: flag && pct > threshold && !untrusted,
+			Untrusted:  untrusted,
 		})
 	}
 
@@ -95,6 +121,12 @@ func CompareSnapshots(prev, next Snapshot, threshold float64) []TrendDelta {
 		add(key, "p99_us", p.P99us, w.P99us, true, false)
 		if p.Batches > 0 && w.Batches > 0 {
 			add(key, "batch_p99", float64(p.BatchP99), float64(w.BatchP99), false, false)
+		}
+		// Garbage-bound contract column (schema v3): informational in the
+		// diff — the hard check is nbrbench -assert-bound and dstest — but
+		// a growing peak against a fixed bound is worth seeing here.
+		if p.GarbagePeak > 0 && w.GarbagePeak > 0 {
+			add(key, "garbage_pk", float64(p.GarbagePeak), float64(w.GarbagePeak), true, false)
 		}
 	}
 
@@ -116,8 +148,11 @@ func CompareSnapshots(prev, next Snapshot, threshold float64) []TrendDelta {
 			out = append(out, TrendDelta{
 				Cell: key, Metric: "allocs_per_op",
 				Prev: float64(p.AllocsPerOp), Next: float64(s.AllocsPerOp),
-				Pct:        worsePct(float64(p.AllocsPerOp), float64(s.AllocsPerOp), true),
+				Pct: worsePct(float64(p.AllocsPerOp), float64(s.AllocsPerOp), true),
+				// The flat-scratch invariant is host-independent: a scan
+				// that starts allocating is a regression on any machine.
 				Regression: p.AllocsPerOp == 0 && s.AllocsPerOp > 0,
+				Untrusted:  untrusted,
 			})
 		}
 	}

@@ -74,6 +74,49 @@ func TestCompareSnapshotsImprovementNotFlagged(t *testing.T) {
 	}
 }
 
+func TestCompareSnapshotsHostShapeMismatchUntrusted(t *testing.T) {
+	prev := trendSnap(2.0, 1000, 100, 0)
+	prev.GOMAXPROCS, prev.GOARCH = 8, "amd64"
+	next := trendSnap(1.0, 2000, 200, 0) // huge worsening, wrong machine
+	next.GOMAXPROCS, next.GOARCH = 1, "amd64"
+
+	if msg := HostShapeMismatch(prev, next); msg == "" {
+		t.Fatal("gomaxprocs 8 → 1 not reported as a host-shape mismatch")
+	}
+	if msg := HostShapeMismatch(prev, prev); msg != "" {
+		t.Fatalf("same shape reported as mismatch: %q", msg)
+	}
+
+	deltas := CompareSnapshots(prev, next, 10)
+	if len(deltas) == 0 {
+		t.Fatal("mismatched snapshots produced no deltas at all")
+	}
+	for _, d := range deltas {
+		if !d.Untrusted {
+			t.Fatalf("delta across host shapes not marked untrusted: %v", d)
+		}
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("untrusted deltas flagged as regressions: %v", regs)
+	}
+
+	// goarch alone also breaks comparability.
+	arm := prev
+	arm.GOARCH = "arm64"
+	if msg := HostShapeMismatch(prev, arm); msg == "" {
+		t.Fatal("goarch change not reported as a host-shape mismatch")
+	}
+
+	// The flat-scratch invariant is host-independent: a scan that starts
+	// allocating stays flagged even across host shapes.
+	alloc := trendSnap(2.0, 1000, 100, 5)
+	alloc.GOMAXPROCS = 1
+	regs := Regressions(CompareSnapshots(prev, alloc, 10))
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Fatalf("allocating scan suppressed by host-shape mismatch: %v", regs)
+	}
+}
+
 func TestReadSnapshotRoundTripAndV1(t *testing.T) {
 	// The committed BENCH_1.json is schema v1; ReadSnapshot must load it and
 	// comparisons against a v2 snapshot must work on the shared fields.

@@ -49,6 +49,12 @@ type Result struct {
 	PeakLive  int64   // peak live records
 	Stats     smr.Stats
 	AllocOps  uint64 // shared-free-list lock acquisitions (burst contention)
+	// Bound is the scheme's declared garbage bound (smr.Unbounded for the
+	// epoch schemes and leaky) and GarbagePeak the largest Stats().Garbage()
+	// the sampler observed during the run — together they make the bound a
+	// measured contract in every cell, not a doc comment.
+	Bound       int
+	GarbagePeak uint64
 	// Sampled operation latency (every latencySample-th op): P1 is about
 	// latency as well as throughput, and reclamation bursts surface here.
 	LatP50, LatP99, LatMax time.Duration
@@ -119,8 +125,12 @@ func Run(w Workload) (Result, error) {
 		lats     = make([]hist.Histogram, w.Threads)
 	)
 
-	// Peak-memory sampler (the E2 metric) and live-bytes timeline.
+	// Peak-memory sampler (the E2 metric), live-bytes timeline, and the
+	// garbage-bound probe: Stats().Garbage() is raced against the scheme's
+	// declared GarbageBound, so a bound violation that is only visible
+	// mid-run (an oversized splice transiting a bag) still gets caught.
 	var peakBytes, peakLive atomic.Int64
+	var peakGarbage atomic.Uint64
 	var series []int64
 	samplerDone := make(chan struct{})
 	go func() {
@@ -134,6 +144,9 @@ func Run(w Workload) (Result, error) {
 			}
 			if st.Live > peakLive.Load() {
 				peakLive.Store(st.Live)
+			}
+			if g := sch.Stats().Garbage(); g > peakGarbage.Load() {
+				peakGarbage.Store(g)
 			}
 			series = append(series, st.LiveBytes)
 			<-tick.C
@@ -233,6 +246,11 @@ func Run(w Workload) (Result, error) {
 		Stats:     sch.Stats(),
 		AllocOps:  st.GlobalOps,
 		Series:    series, // sampler goroutine has exited; safe to hand off
+		Bound:     sch.GarbageBound(),
+	}
+	res.GarbagePeak = peakGarbage.Load()
+	if g := res.Stats.Garbage(); g > res.GarbagePeak {
+		res.GarbagePeak = g // bags may have peaked right at the end
 	}
 	for _, c := range opCounts {
 		res.Ops += c
@@ -253,6 +271,12 @@ func Run(w Workload) (Result, error) {
 	res.BatchMax = res.Stats.BatchMax()
 	res.BatchHist = trimBuckets(res.Stats.BatchHist)
 	return res, nil
+}
+
+// BoundExceeded reports whether the sampled garbage peak violated the
+// scheme's declared bound. Always false for unbounded schemes.
+func (r Result) BoundExceeded() bool {
+	return r.Bound != smr.Unbounded && r.GarbagePeak > uint64(r.Bound)
 }
 
 // trimBuckets drops the empty tail of a bucket array for compact reports.

@@ -145,15 +145,29 @@ func (s *Scheme) Stats() smr.Stats {
 	return st
 }
 
-// GarbageBound returns the worst-case number of unreclaimed records one
-// thread can hold (Lemma 10): a full bag plus every peer's reservations.
+// ThreadBound returns the worst-case number of unreclaimed records one
+// thread can hold: Lemma 10's HiWatermark + R·(N−1), with the batch-split
+// overshoot folded in. RetireBatch appends at most one bag-sized chunk
+// between watermark checks, so a splice of any length stretches the bag by
+// at most BagSize beyond the watermark — 2·BagSize + N·R total, instead of
+// the unbounded +len(batch) the unsplit seam allowed.
+func (s *Scheme) ThreadBound() int {
+	return 2*s.cfg.BagSize + len(s.gs)*s.cfg.Slots
+}
+
+// GarbageBound implements smr.Scheme: the enforced system-wide bound is
+// every thread at its Lemma 10 worst case simultaneously.
 func (s *Scheme) GarbageBound() int {
-	return s.cfg.BagSize + len(s.gs)*s.cfg.Slots
+	return len(s.gs) * s.ThreadBound()
 }
 
 // LimboLen reports thread tid's current limbo-bag population (test hook;
 // call only from tid or while tid is quiescent).
 func (s *Scheme) LimboLen(tid int) int { return len(s.gs[tid].limbo) }
+
+// TSScans reports how many announceTS scans thread tid has performed (test
+// hook for the record-counted ScanFreq cadence; NBR+ only).
+func (s *Scheme) TSScans(tid int) uint64 { return s.gs[tid].tsScans.Load() }
 
 type guard struct {
 	s   *Scheme
@@ -178,6 +192,7 @@ type guard struct {
 	batches smr.BatchHist
 	freed   smr.Counter
 	scans   smr.Counter
+	tsScans smr.Counter // NBR+ announceTS scans (cadence observability)
 }
 
 func (g *guard) Tid() int { return g.tid }
@@ -239,42 +254,86 @@ func (g *guard) OnStale(p mem.Ptr) {
 // Retire implements Algorithm 1 lines 14–20 (NBR) or Algorithm 2 lines 5–26
 // (NBR+).
 func (g *guard) Retire(p mem.Ptr) {
-	if g.s.cfg.Plus {
-		g.retirePlus()
-	} else if len(g.limbo) >= g.s.cfg.BagSize {
-		g.s.group.SignalAll(g.tid)
-		g.reclaimFreeable(len(g.limbo))
-	}
+	g.beforeRetire(1)
 	g.limbo = append(g.limbo, p.Unmarked())
 	g.retired.Inc()
 	g.batches.Record(1)
 }
 
-// RetireBatch implements smr.Guard: the whole batch pays one watermark check
-// (and, under NBR+, one LoWatermark bookkeeping step) instead of one per
-// record, then lands in the bag in a single append pass. A batch may
-// overshoot the HiWatermark by its own length — the next retire triggers the
-// reclamation — so the garbage bound stretches by at most the largest
-// subtree a data structure unlinks at once.
+// RetireBatch implements smr.Guard: the batch lands in the bag in chunks of
+// at most one bag's worth of records, with the watermark bookkeeping running
+// once per chunk instead of once per record — still O(1) amortized shared
+// interactions per unlink, but the HiWatermark check can never be outrun by
+// a single oversized splice. The trigger points are exactly the ones a
+// per-record Retire loop would hit (the chunk boundary lands on the record
+// that fills the bag), so splitting is observationally equivalent to the
+// loop while restoring Lemma 10's bound: the bag holds at most BagSize
+// records plus the one in-flight chunk (see Scheme.ThreadBound).
 func (g *guard) RetireBatch(ps []mem.Ptr) {
 	if len(ps) == 0 {
 		return
 	}
+	g.batches.Record(len(ps))
+	for len(ps) > 0 {
+		take := g.beforeRetire(len(ps))
+		for _, p := range ps[:take] {
+			g.limbo = append(g.limbo, p.Unmarked())
+		}
+		// Counted per chunk, not per handoff: a concurrent Stats sampler
+		// must never see a whole splice as garbage before the split has had
+		// a chance to reclaim between its chunks.
+		g.retired.Add(uint64(take))
+		ps = ps[take:]
+	}
+}
+
+// beforeRetire runs the watermark bookkeeping for the next chunk of records
+// about to land in the bag (avail are ready) and returns how many of them
+// may be appended before the next check. Chunks are capped so that every
+// trigger the per-record loop would hit lands exactly on a chunk boundary:
+// the HiWatermark (reclamation), and under NBR+ also the LoWatermark (the
+// bookmark must be taken at lo, not skipped by a chunk that jumps straight
+// to hi — otherwise batch-heavy traffic never enters the passive RGP path
+// and pays the full signalAll cost) and the remaining ScanFreq budget (so
+// announceTS scans fire at the same record counts as the loop, with no
+// overshoot discarded).
+func (g *guard) beforeRetire(avail int) int {
 	if g.s.cfg.Plus {
-		g.retirePlus()
+		g.checkPlus()
 	} else if len(g.limbo) >= g.s.cfg.BagSize {
 		g.s.group.SignalAll(g.tid)
 		g.reclaimFreeable(len(g.limbo))
 	}
-	for _, p := range ps {
-		g.limbo = append(g.limbo, p.Unmarked())
+	take := g.s.cfg.BagSize - len(g.limbo)
+	if g.s.cfg.Plus {
+		if !g.atLoWm {
+			if room := g.s.loWm - len(g.limbo); room > 0 && room < take {
+				take = room
+			}
+		} else if room := g.s.cfg.ScanFreq - g.sinceScan; room > 0 && room < take {
+			take = room
+		}
 	}
-	g.retired.Add(uint64(len(ps)))
-	g.batches.Record(len(ps))
+	if take < 1 {
+		// Unreachable when N·R < BagSize (reclamation leaves at most N·R
+		// survivors); degrade to per-record checks rather than stalling.
+		take = 1
+	}
+	if take > avail {
+		take = avail
+	}
+	if g.s.cfg.Plus && g.atLoWm {
+		// The announceTS scan cadence counts records, not retire handoffs:
+		// a structure retiring mostly via RetireBatch must reach the
+		// passive-reclamation scan exactly as often as one retiring the
+		// same records one by one (ROADMAP item from PR 2).
+		g.sinceScan += take
+	}
+	return take
 }
 
-// retirePlus is the NBR+ watermark logic.
-func (g *guard) retirePlus() {
+// checkPlus is the NBR+ watermark logic.
+func (g *guard) checkPlus() {
 	hi, lo := g.s.cfg.BagSize, g.s.loWm
 	switch {
 	case len(g.limbo) >= hi:
@@ -294,11 +353,11 @@ func (g *guard) retirePlus() {
 			g.sinceScan = 0
 			return
 		}
-		g.sinceScan++
 		if g.sinceScan < g.s.cfg.ScanFreq {
 			return
 		}
 		g.sinceScan = 0
+		g.tsScans.Inc()
 		for otid := range g.s.announceTS {
 			// An odd snapshot caught otid mid-broadcast: that RGP began
 			// before our bookmark, so its completion alone proves nothing

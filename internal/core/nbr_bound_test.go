@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+
+	"nbr/internal/mem"
+)
+
+// TestPlusScanCadenceCountsRecords pins the record-counted ScanFreq cadence
+// under RetireBatch (a ROADMAP item from PR 2): a structure retiring mostly
+// via batches must reach the NBR+ announceTS scan after ScanFreq *records*,
+// not ScanFreq retire handoffs. The pre-fix code counted handoffs, so the
+// two 4-record batches below (8 records ≥ ScanFreq) would advance the
+// cadence by only 2 and never scan.
+func TestPlusScanCadenceCountsRecords(t *testing.T) {
+	const bag, scanFreq, batch = 64, 8, 4
+	s, pool := newScheme(t, 2, Config{Plus: true, BagSize: bag, ScanFreq: scanFreq})
+	g := s.Guard(0)
+
+	// Cross the LoWatermark (bag/2) so the bookmark is taken and cadence
+	// counting begins.
+	fill(g, pool, 0, bag/2+1)
+	if got := s.TSScans(0); got != 0 {
+		t.Fatalf("scan before any post-bookmark retire: tsScans = %d", got)
+	}
+
+	// ScanFreq records arrive in ScanFreq/batch handoffs; the cadence must
+	// fire at least once. Stay well below the HiWatermark so the hi-trigger
+	// path cannot mask a missing scan.
+	buf := make([]mem.Ptr, batch)
+	for handoff := 0; handoff < (scanFreq/batch)+1; handoff++ {
+		for i := range buf {
+			buf[i], _ = pool.Alloc(0)
+		}
+		g.RetireBatch(buf)
+	}
+	if s.LimboLen(0) >= bag {
+		t.Fatalf("test outgrew the HiWatermark (limbo %d); cadence unobservable", s.LimboLen(0))
+	}
+	if got := s.TSScans(0); got == 0 {
+		t.Fatalf("no announceTS scan after %d records in %d handoffs (ScanFreq %d records)",
+			(scanFreq/batch+1)*batch, scanFreq/batch+1, scanFreq)
+	}
+}
+
+// TestPlusScanCadenceMatchesRetireLoop pins handoff-shape independence of
+// the cadence: the same records produce exactly the same number of
+// announceTS scans whether they arrive one by one or in batches — chunks
+// are capped at the remaining ScanFreq budget, so every crossing lands on
+// a chunk boundary. Under the pre-fix handoff counting, batch-4 traffic
+// produced a quarter of the loop's scans.
+func TestPlusScanCadenceMatchesRetireLoop(t *testing.T) {
+	const bag, scanFreq, total = 256, 8, 64
+	run := func(batch int) uint64 {
+		s, pool := newScheme(t, 2, Config{Plus: true, BagSize: bag, ScanFreq: scanFreq})
+		g := s.Guard(0)
+		fill(g, pool, 0, bag/2+1) // bookmark
+		buf := make([]mem.Ptr, batch)
+		for n := 0; n < total; n += batch {
+			for i := range buf {
+				buf[i], _ = pool.Alloc(0)
+			}
+			if batch == 1 {
+				g.Retire(buf[0])
+			} else {
+				g.RetireBatch(buf)
+			}
+		}
+		return s.TSScans(0)
+	}
+	loop := run(1)
+	if loop == 0 {
+		t.Fatalf("retire loop of %d records never scanned (ScanFreq %d)", total, scanFreq)
+	}
+	for _, batch := range []int{2, 4, 8, 11, total} {
+		if got := run(batch); got != loop {
+			t.Fatalf("batch %d: %d scans, retire loop: %d — cadence depends on handoff shape",
+				batch, got, loop)
+		}
+	}
+}
+
+// TestPlusBatchCrossesLoWatermarkBookmarks pins the bookmark trigger under
+// batch traffic: a RetireBatch that spans the LoWatermark must stop a chunk
+// exactly at lo and take the bookmark there, like the per-record loop —
+// not jump past it — so batch-heavy structures still get NBR+'s passive
+// (signal-free) reclamation. The pre-fix chunking filled straight to the
+// HiWatermark; the bookmark was then taken at the *next* handoff with a
+// timestamp snapshot that post-dated the peer's RGP, and the prefix below
+// could only ever be reclaimed by paying a full signal broadcast.
+func TestPlusBatchCrossesLoWatermarkBookmarks(t *testing.T) {
+	const bag, scanFreq = 64, 4
+	s, pool := newScheme(t, 2, Config{Plus: true, BagSize: bag, ScanFreq: scanFreq})
+	g := s.Guard(0)
+
+	// One batch from an empty bag to well past lo (32) but below hi: the
+	// lo crossing happens mid-batch and must bookmark at exactly lo.
+	big := make([]mem.Ptr, bag/2+10)
+	for i := range big {
+		big[i], _ = pool.Alloc(0)
+	}
+	g.RetireBatch(big)
+
+	// A peer completes an RGP after the bookmark; within ScanFreq further
+	// records (staying between the watermarks) the passive scan must
+	// reclaim the bookmarked prefix without this thread sending signals.
+	s.announceTS[1].Add(2)
+	small := make([]mem.Ptr, 1)
+	for i := 0; i < scanFreq+1; i++ {
+		small[0], _ = pool.Alloc(0)
+		g.RetireBatch(small)
+	}
+	st := s.Stats()
+	if st.Signals != 0 {
+		t.Fatalf("passive reclamation sent %d signals", st.Signals)
+	}
+	if st.Freed == 0 {
+		t.Fatal("batch that crossed the LoWatermark never bookmarked: no passive reclamation")
+	}
+	if st.Freed < bag/2 {
+		t.Fatalf("freed %d < the bookmarked prefix %d", st.Freed, bag/2)
+	}
+}
+
+// TestOversizedBatchSplitRespectsBound is the deterministic oversized-batch
+// regression: a single RetireBatch many times the bag size (the Harris
+// marked-chain splice has no length cap) must be split at the HiWatermark,
+// reclaiming between chunks, so the bag — and with it the observable
+// garbage — never stretches past the declared bound. The pre-fix code
+// appended the whole splice after one watermark check and held all of it as
+// garbage until the next retire.
+func TestOversizedBatchSplitRespectsBound(t *testing.T) {
+	for _, plus := range []bool{false, true} {
+		name := map[bool]string{false: "nbr", true: "nbr+"}[plus]
+		t.Run(name, func(t *testing.T) {
+			const threads, bag, splice = 2, 32, 400
+			s, pool := newScheme(t, threads, Config{Plus: plus, BagSize: bag, Slots: 2})
+			g := s.Guard(0)
+			big := make([]mem.Ptr, splice)
+			for i := range big {
+				big[i], _ = pool.Alloc(0)
+			}
+			g.RetireBatch(big)
+
+			if got, bound := s.LimboLen(0), s.ThreadBound(); got > bound {
+				t.Fatalf("one splice left limbo at %d, above the per-thread bound %d", got, bound)
+			}
+			st := s.Stats()
+			if st.Retired != splice {
+				t.Fatalf("retired = %d, want %d", st.Retired, splice)
+			}
+			if g := st.Garbage(); g > uint64(s.GarbageBound()) {
+				t.Fatalf("garbage %d > declared bound %d after an oversized splice",
+					g, s.GarbageBound())
+			}
+			if st.Freed == 0 {
+				t.Fatal("split retire never reclaimed between chunks")
+			}
+		})
+	}
+}
+
+// TestRetireBatchSplitEquivalentToLoop pins chunk alignment: splitting at
+// the HiWatermark must fire signals and scans at exactly the bag lengths a
+// per-record Retire loop hits, for batch shapes that do NOT divide the bag.
+func TestRetireBatchSplitEquivalentToLoop(t *testing.T) {
+	const total = 300
+	for _, plus := range []bool{false, true} {
+		loopS := retireVia(t, plus, 1, total)
+		for _, batch := range []int{7, 31, total} {
+			gotS := retireVia(t, plus, batch, total)
+			if loopS != gotS {
+				t.Fatalf("plus=%v batch=%d: stats diverge\n  loop  %+v\n  batch %+v",
+					plus, batch, loopS, gotS)
+			}
+		}
+	}
+}
+
+type splitStats struct {
+	retired, freed, scans, signals uint64
+}
+
+func retireVia(t *testing.T, plus bool, batch, total int) splitStats {
+	t.Helper()
+	s, pool := newScheme(t, 2, Config{Plus: plus, BagSize: 32, Slots: 2})
+	g := s.Guard(0)
+	buf := make([]mem.Ptr, 0, batch)
+	for i := 0; i < total; i++ {
+		p, _ := pool.Alloc(0)
+		if batch == 1 {
+			g.Retire(p)
+			continue
+		}
+		buf = append(buf, p)
+		if len(buf) == batch || i == total-1 {
+			g.RetireBatch(buf)
+			buf = buf[:0]
+		}
+	}
+	st := s.Stats()
+	return splitStats{st.Retired, st.Freed, st.Scans, st.Signals}
+}

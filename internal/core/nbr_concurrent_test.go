@@ -52,7 +52,7 @@ func TestConcurrentRetireStorm(t *testing.T) {
 		t.Fatal("storm never reclaimed")
 	}
 	for tid := 0; tid < threads; tid++ {
-		if got, bound := s.LimboLen(tid), s.GarbageBound(); got > bound {
+		if got, bound := s.LimboLen(tid), s.ThreadBound(); got > bound {
 			t.Fatalf("thread %d limbo %d exceeds bound %d", tid, got, bound)
 		}
 	}
@@ -212,8 +212,8 @@ func TestPlusConcurrentPassiveReclaim(t *testing.T) {
 // reclaimSelfCheck is a test hook asserting the guard's limbo never exceeds
 // the configured bound mid-run.
 func (g *guard) reclaimSelfCheck(t *testing.T) {
-	if len(g.limbo) > g.s.GarbageBound() {
-		t.Errorf("limbo %d exceeds bound %d", len(g.limbo), g.s.GarbageBound())
+	if len(g.limbo) > g.s.ThreadBound() {
+		t.Errorf("limbo %d exceeds bound %d", len(g.limbo), g.s.ThreadBound())
 	}
 }
 
@@ -254,7 +254,7 @@ func TestQuickPhaseMachine(t *testing.T) {
 			h, _ := pool.Alloc(0)
 			g.Retire(h)
 		}
-		return len(g.limbo) <= s.GarbageBound()
+		return len(g.limbo) <= s.ThreadBound()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
 		t.Fatal(err)

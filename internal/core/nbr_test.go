@@ -287,7 +287,7 @@ func TestGarbageBoundHolds(t *testing.T) {
 	for i := 0; i < 20*bag; i++ {
 		p, _ := pool.Alloc(0)
 		g0.Retire(p)
-		if got, bound := s.LimboLen(0), s.GarbageBound(); got > bound {
+		if got, bound := s.LimboLen(0), s.ThreadBound(); got > bound {
 			t.Fatalf("limbo %d exceeded bound %d", got, bound)
 		}
 	}

@@ -122,9 +122,11 @@ func (t *Tree) Arena() mem.Arena { return t.pool }
 
 // Requirements implements the per-DS width hook: descents alternate two
 // Protect slots (parent/child), and the widest write phase (fixUnderfull)
-// reserves parent, child and sibling.
+// reserves parent, child and sibling. The retire threshold is declared
+// explicitly so the narrow slot width does not raise the hp/he scan
+// frequency.
 func (t *Tree) Requirements() ds.Requirements {
-	return ds.Requirements{Slots: 2, Reservations: 3}
+	return ds.Requirements{Slots: 2, Reservations: 3, Threshold: ds.DefaultThreshold}
 }
 
 // MemStats reports allocator statistics.

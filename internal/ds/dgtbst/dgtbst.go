@@ -73,9 +73,11 @@ func (t *Tree) Arena() mem.Arena { return t.pool }
 
 // Requirements implements the per-DS width hook: the search keeps
 // grandparent, parent and leaf protected in three rotating slots, and a
-// delete reserves the same three records.
+// delete reserves the same three records. The retire threshold is declared
+// explicitly so the narrow slot width does not raise the hp/he scan
+// frequency.
 func (t *Tree) Requirements() ds.Requirements {
-	return ds.Requirements{Slots: 3, Reservations: 3}
+	return ds.Requirements{Slots: 3, Reservations: 3, Threshold: ds.DefaultThreshold}
 }
 
 // MemStats reports allocator statistics.

@@ -22,14 +22,29 @@ const (
 // slots (NBR's R). Every scan a scheme performs walks N·width entries, so a
 // structure declaring its true width — the paper's structures need at most
 // 3 reservations — shrinks every reclamation scan in the system.
+//
+// Threshold declares the structure's preferred retire-buffer depth for the
+// threshold-triggered schemes (hp/he/ibr/qsbr/rcu), expressed per peer
+// thread: the constructed scheme scans at N·Threshold records. It exists to
+// decouple scan frequency from Slots — hp's own default is 2·N·Slots, so a
+// structure declaring its true (narrow) protection width would otherwise
+// drag the scan cadence up with it. 0 keeps each scheme's default.
 type Requirements struct {
 	Slots        int
 	Reservations int
+	Threshold    int
 }
+
+// DefaultThreshold is the per-peer retire-buffer depth the harness's
+// structures declare: 2 records per default hazard slot, matching the scan
+// cadence hp's 2·N·Slots default produced before Slots narrowed per-DS.
+const DefaultThreshold = 16
 
 // DefaultRequirements is the conservative width used when no structure is
 // known at scheme construction: 8 hazard slots (the HP default) and 4
 // reservations (one more than any structure in the harness needs).
+// Threshold stays 0 (each scheme's own default), which at 8 slots coincides
+// with DefaultThreshold·N.
 var DefaultRequirements = Requirements{Slots: 8, Reservations: 4}
 
 // NewRetireScratch builds the per-thread RetireBatch scratch buffers the

@@ -62,9 +62,10 @@ func (l *List) Arena() mem.Arena { return l.pool }
 
 // Requirements implements the per-DS width hook: left holds slot 0 while
 // the cursor alternates slots 1 and 2; only left and right are reserved
-// (Algorithm 3 line 31).
+// (Algorithm 3 line 31). The retire threshold is declared explicitly so the
+// narrow slot width does not raise the hp/he scan frequency.
 func (l *List) Requirements() ds.Requirements {
-	return ds.Requirements{Slots: 3, Reservations: 2}
+	return ds.Requirements{Slots: 3, Reservations: 2, Threshold: ds.DefaultThreshold}
 }
 
 // MemStats reports allocator statistics.

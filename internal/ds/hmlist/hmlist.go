@@ -66,9 +66,11 @@ func New(threads int, v Variant) *List {
 func (l *List) Arena() mem.Arena { return l.pool }
 
 // Requirements implements the per-DS width hook: find alternates two
-// Protect slots (prev/curr) and reserves the same pair.
+// Protect slots (prev/curr) and reserves the same pair. The retire
+// threshold is declared explicitly so the narrow slot width does not raise
+// the hp/he scan frequency.
 func (l *List) Requirements() ds.Requirements {
-	return ds.Requirements{Slots: 2, Reservations: 2}
+	return ds.Requirements{Slots: 2, Reservations: 2, Threshold: ds.DefaultThreshold}
 }
 
 // MemStats reports allocator statistics.

@@ -64,9 +64,11 @@ func New(threads int) *List {
 func (l *List) Arena() mem.Arena { return l.pool }
 
 // Requirements implements the per-DS width hook: the search alternates
-// two Protect slots (pred/curr) and reserves the same pair.
+// two Protect slots (pred/curr) and reserves the same pair. The retire
+// threshold is declared explicitly so the narrow slot width does not raise
+// the hp/he scan frequency.
 func (l *List) Requirements() ds.Requirements {
-	return ds.Requirements{Slots: 2, Reservations: 2}
+	return ds.Requirements{Slots: 2, Reservations: 2, Threshold: ds.DefaultThreshold}
 }
 
 // MemStats reports allocator statistics (live records ≈ resident memory).

@@ -13,12 +13,19 @@
 //   - stall: one thread stalls mid-operation while others churn, asserting
 //     the paper's P2 split — bounded garbage for NBR/NBR+/HP/IBR/HE,
 //     unbounded growth for QSBR/RCU/DEBRA — and that a stalled NBR thread
-//     is neutralized when it resumes.
+//     is neutralized when it resumes;
+//   - bound: the live GarbageBound contract — delete-heavy churn under a
+//     deliberately tiny bag while a sampler races Stats().Garbage() against
+//     the scheme's declared bound, so an oversized splice (a Harris marked
+//     chain, an ABTree subtree) that outruns a watermark check is caught
+//     in the act, not averaged away.
 package dstest
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"nbr/internal/bench"
@@ -56,10 +63,6 @@ func config() bench.SchemeConfig {
 	}
 }
 
-// maxSlots bounds the reservation width in garbage assertions; schemes may
-// run narrower per ds.Requirements, which only shrinks true garbage.
-var maxSlots = ds.DefaultRequirements.Reservations
-
 func newScheme(t *testing.T, name string, inst Instance, threads int) smr.Scheme {
 	t.Helper()
 	// Schemes are sized to the structure's declared announcement widths,
@@ -82,6 +85,7 @@ func RunAll(t *testing.T, f Factory) {
 		t.Run("concurrent/"+scheme, func(t *testing.T) { Concurrent(t, f, scheme, 6, 256) })
 		t.Run("churn/"+scheme, func(t *testing.T) { Concurrent(t, f, scheme, 6, 8) })
 		t.Run("stall/"+scheme, func(t *testing.T) { Stall(t, f, scheme) })
+		t.Run("bound/"+scheme, func(t *testing.T) { Bound(t, f, scheme) })
 	}
 }
 
@@ -199,8 +203,97 @@ func Concurrent(t *testing.T, f Factory, scheme string, threads int, keys int) {
 		t.Fatal(err)
 	}
 	st := sch.Stats()
-	if st.Freed > st.Retired {
-		t.Fatalf("freed %d > retired %d", st.Freed, st.Retired)
+	if st.Invalid() {
+		t.Fatalf("stats invalid at quiescence (double-free accounting): freed %d > retired %d",
+			st.Freed, st.Retired)
+	}
+}
+
+// boundedSchemes lists the schemes that must declare a finite GarbageBound
+// (the paper's P2 claimants); every other scheme must report smr.Unbounded.
+var boundedSchemes = map[string]bool{
+	"nbr": true, "nbr+": true, "hp": true, "he": true, "ibr": true,
+}
+
+// Bound is the live garbage-bound contract check. The configuration is an
+// oversized-batch stress: the bag/threshold is tiny relative to the chains
+// and subtrees the structure unlinks (delete-heavy traffic on a small key
+// range keeps marked chains and underfull merges coming), so any retire
+// path that defers its watermark check past a whole splice overshoots the
+// declared bound by the splice length — which the concurrent sampler, not
+// just the final tally, must never observe.
+func Bound(t *testing.T, f Factory, scheme string) {
+	const threads = 6
+	inst := f.New(threads)
+	cfg := config()
+	cfg.BagSize = 32 // N·R ≤ 18 stays below; one splice can span the bag
+	sch, err := bench.NewSchemeFor(scheme, inst.Arena, threads, cfg, inst.Set.Requirements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := sch.GarbageBound()
+	if boundedSchemes[scheme] {
+		if bound == smr.Unbounded || bound <= 0 {
+			t.Fatalf("%s must declare a finite positive GarbageBound, got %d", scheme, bound)
+		}
+	} else if bound != smr.Unbounded {
+		t.Fatalf("%s must declare smr.Unbounded, got %d", scheme, bound)
+	}
+
+	var stop atomic.Bool
+	var peak atomic.Uint64
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		for !stop.Load() {
+			if g := sch.Stats().Garbage(); g > peak.Load() {
+				peak.Store(g)
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	ops := 4000
+	if testing.Short() {
+		ops = 800
+	}
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			g := sch.Guard(tid)
+			rng := rand.New(rand.NewSource(int64(tid)*104729 + 3))
+			for i := 0; i < ops; i++ {
+				key := uint64(rng.Intn(64)) + 1
+				// Delete-heavy: 1 insert refills for 2 delete attempts, so
+				// unlink (and splice) traffic dominates.
+				if rng.Intn(3) == 0 {
+					inst.Set.Insert(g, key)
+				} else {
+					inst.Set.Delete(g, key)
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	stop.Store(true)
+	<-samplerDone
+
+	st := sch.Stats()
+	if st.Invalid() {
+		t.Fatalf("stats invalid at quiescence (double-free accounting): freed %d > retired %d",
+			st.Freed, st.Retired)
+	}
+	if g := st.Garbage(); g > peak.Load() {
+		peak.Store(g) // final quiescent sample
+	}
+	if bound != smr.Unbounded && peak.Load() > uint64(bound) {
+		t.Fatalf("garbage-bound contract violated: sampled peak %d > declared bound %d",
+			peak.Load(), bound)
+	}
+	if err := inst.Set.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -244,11 +337,18 @@ func Stall(t *testing.T, f Factory, scheme string) {
 
 	st := sch.Stats()
 	garbage := st.Garbage()
+	if st.Invalid() {
+		t.Fatalf("stats invalid at quiescence (double-free accounting): freed %d > retired %d",
+			st.Freed, st.Retired)
+	}
 	switch scheme {
 	case "nbr", "nbr+":
-		bound := uint64(threads * (cfg.BagSize + threads*maxSlots))
-		if garbage > bound {
-			t.Fatalf("bounded-garbage violation: %d > %d", garbage, bound)
+		bound := sch.GarbageBound()
+		if bound == smr.Unbounded {
+			t.Fatalf("%s must declare a finite GarbageBound", scheme)
+		}
+		if garbage > uint64(bound) {
+			t.Fatalf("bounded-garbage violation: %d > declared bound %d", garbage, bound)
 		}
 		// The stalled thread was signalled; it must be neutralized the
 		// moment it resumes its read phase.
@@ -268,12 +368,18 @@ func Stall(t *testing.T, f Factory, scheme string) {
 			t.Fatal("stalled thread resumed its read phase without neutralization")
 		}
 	case "hp", "ibr", "he":
-		bound := uint64(threads*cfg.Threshold) + uint64(threads*threads*16)
-		if garbage > bound {
-			t.Fatalf("bounded-garbage violation: %d > %d", garbage, bound)
+		bound := sch.GarbageBound()
+		if bound == smr.Unbounded {
+			t.Fatalf("%s must declare a finite GarbageBound", scheme)
+		}
+		if garbage > uint64(bound) {
+			t.Fatalf("bounded-garbage violation: %d > declared bound %d", garbage, bound)
 		}
 		stalled.EndRead()
 	case "qsbr", "rcu", "debra":
+		if sch.GarbageBound() != smr.Unbounded {
+			t.Fatalf("%s must declare smr.Unbounded", scheme)
+		}
 		if st.Retired > uint64(4*cfg.Threshold) && garbage < uint64(cfg.Threshold) {
 			t.Fatalf("expected unbounded growth under a stalled thread, garbage=%d retired=%d",
 				garbage, st.Retired)

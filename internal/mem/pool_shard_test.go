@@ -60,6 +60,38 @@ func TestFreeBatchEmptyIsNoop(t *testing.T) {
 	}
 }
 
+// TestFreeBatchEmptyNeverTouchesShards pins the fruitless-reclaim cost: an
+// empty batch must be a true no-op — zero shard lock acquisitions and zero
+// free accounting — even when the thread cache sits exactly at its flush
+// watermark from earlier traffic, i.e. FreeBatch must return before its
+// flush check, not flush an unrelated overflow on a scan that freed
+// nothing.
+func TestFreeBatchEmptyNeverTouchesShards(t *testing.T) {
+	p := NewPool[rec](Config{MaxThreads: 1, CacheSize: 4, Shards: 2})
+	// Park the thread cache at the 2·CacheSize watermark: alloc a burst and
+	// free it back one by one (Free flushes only *above* the watermark).
+	var hs []Ptr
+	for i := 0; i < 2*4; i++ {
+		h, _ := p.Alloc(0)
+		hs = append(hs, h)
+	}
+	for _, h := range hs {
+		p.Free(0, h)
+	}
+	st := p.Stats()
+	for i := 0; i < 100; i++ {
+		p.FreeBatch(0, nil)
+		p.FreeBatch(0, []Ptr{})
+	}
+	after := p.Stats()
+	if after.GlobalOps != st.GlobalOps {
+		t.Fatalf("empty batches paid %d shard interaction(s)", after.GlobalOps-st.GlobalOps)
+	}
+	if after.Frees != st.Frees {
+		t.Fatalf("empty batches counted %d frees", after.Frees-st.Frees)
+	}
+}
+
 func TestFreeBatchDoubleFreePanics(t *testing.T) {
 	p := newTestPool(1)
 	h, _ := p.Alloc(0)

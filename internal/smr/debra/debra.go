@@ -61,6 +61,11 @@ func (s *Scheme) Stats() smr.Stats {
 	return st
 }
 
+// GarbageBound implements smr.Scheme: DEBRA does not bound garbage — a
+// stalled thread pins the epoch and every bag grows until it recovers (the
+// property-P2 failure E2 demonstrates).
+func (s *Scheme) GarbageBound() int { return smr.Unbounded }
+
 type guard struct {
 	s      *Scheme
 	tid    int

@@ -78,6 +78,15 @@ func (s *Scheme) Stats() smr.Stats {
 	return st
 }
 
+// GarbageBound implements smr.Scheme: each thread's retire buffer scans at
+// the threshold and a scan leaves at most N·K protected survivors, so the
+// system-wide garbage never exceeds N·(Threshold + N·K) — the Θ(N²K) bound
+// property P2 charges hazard pointers for.
+func (s *Scheme) GarbageBound() int {
+	n := len(s.gs)
+	return n * (s.cfg.Threshold + n*s.cfg.Slots)
+}
+
 func (s *Scheme) slot(tid, i int) *smr.Pad64 { return &s.slots[tid*s.cfg.Slots+i] }
 
 type guard struct {
@@ -141,20 +150,28 @@ func (g *guard) Retire(p mem.Ptr) {
 	}
 }
 
-// RetireBatch implements smr.Guard: the batch lands in the buffer in one
-// append pass with a single threshold check — and therefore at most one
-// announcement scan — for the whole unlink.
+// RetireBatch implements smr.Guard: the batch lands in the buffer in chunks
+// that fill it exactly to the scan threshold, so the whole unlink pays one
+// threshold check per threshold's worth of records (not one per record) and
+// a single splice can never stretch the buffer — and the garbage bound —
+// beyond Threshold plus the protected survivors. The scan trigger points
+// are exactly the ones a per-record Retire loop would hit, so splitting is
+// observationally equivalent to the loop.
 func (g *guard) RetireBatch(ps []mem.Ptr) {
 	if len(ps) == 0 {
 		return
 	}
-	for _, p := range ps {
-		g.bag = append(g.bag, p.Unmarked())
-	}
-	g.retired.Add(uint64(len(ps)))
 	g.batches.Record(len(ps))
-	if len(g.bag) >= g.s.cfg.Threshold {
-		g.doScan()
+	for len(ps) > 0 {
+		take := smr.RetireChunk(g.s.cfg.Threshold, len(g.bag), len(ps))
+		for _, p := range ps[:take] {
+			g.bag = append(g.bag, p.Unmarked())
+		}
+		g.retired.Add(uint64(take))
+		ps = ps[take:]
+		if len(g.bag) >= g.s.cfg.Threshold {
+			g.doScan()
+		}
 	}
 }
 

@@ -84,6 +84,16 @@ func (s *Scheme) Stats() smr.Stats {
 	return st
 }
 
+// GarbageBound implements smr.Scheme: each thread sweeps at the threshold;
+// survivors are records whose lifetime intersects a reserved interval, and
+// an interval that is not stalled spans at most a few era-advance periods
+// of retire traffic — N·EraFreq slack per thread on top of the N·Threshold
+// buffered records (the same Θ(N²) shape Wen et al. prove for 2GE).
+func (s *Scheme) GarbageBound() int {
+	n := len(s.gs)
+	return n * (s.cfg.Threshold + n*s.cfg.EraFreq)
+}
+
 type guard struct {
 	s      *Scheme
 	tid    int
@@ -153,25 +163,32 @@ func (g *guard) Retire(p mem.Ptr) {
 	}
 }
 
-// RetireBatch implements smr.Guard: one era load stamps the whole batch
-// (read after every record was unlinked, so no stamp is older than a
-// single-record Retire would have written), the event clock ticks once by
-// the batch length, and at most one sweep runs.
+// RetireBatch implements smr.Guard: the batch lands in the bag in chunks
+// that fill it exactly to the sweep threshold — one era load stamps each
+// chunk (read after every record in the batch was unlinked, so no stamp is
+// older than a single-record Retire would have written), the event clock
+// ticks once per chunk, and the sweep triggers at exactly the bag lengths a
+// per-record Retire loop would hit, so one oversized splice can never
+// stretch the bag beyond the threshold plus its interval-pinned survivors.
 func (g *guard) RetireBatch(ps []mem.Ptr) {
 	if len(ps) == 0 {
 		return
 	}
-	e := g.s.era.Load()
-	for _, p := range ps {
-		p = p.Unmarked()
-		g.s.arena.Hdr(p).SetRetire(e)
-		g.bag = append(g.bag, p)
-	}
-	g.retired.Add(uint64(len(ps)))
 	g.batches.Record(len(ps))
-	g.tickN(len(ps))
-	if len(g.bag) >= g.s.cfg.Threshold {
-		g.sweep()
+	for len(ps) > 0 {
+		take := smr.RetireChunk(g.s.cfg.Threshold, len(g.bag), len(ps))
+		e := g.s.era.Load()
+		for _, p := range ps[:take] {
+			p = p.Unmarked()
+			g.s.arena.Hdr(p).SetRetire(e)
+			g.bag = append(g.bag, p)
+		}
+		g.retired.Add(uint64(take))
+		g.tickN(take)
+		ps = ps[take:]
+		if len(g.bag) >= g.s.cfg.Threshold {
+			g.sweep()
+		}
 	}
 }
 

@@ -40,6 +40,10 @@ func (s *Scheme) Stats() smr.Stats {
 	return st
 }
 
+// GarbageBound implements smr.Scheme: leaky never frees, so garbage is
+// unbounded by construction (the memory-usage worst case in every figure).
+func (s *Scheme) GarbageBound() int { return smr.Unbounded }
+
 type guard struct {
 	tid     int
 	retired smr.Counter

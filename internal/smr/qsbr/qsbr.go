@@ -65,6 +65,11 @@ func (s *Scheme) Stats() smr.Stats {
 	return st
 }
 
+// GarbageBound implements smr.Scheme: QSBR does not bound garbage — a
+// thread stalled inside an operation blocks the grace period and every bag
+// grows until it recovers (property P2 is not met).
+func (s *Scheme) GarbageBound() int { return smr.Unbounded }
+
 type entry struct {
 	p   mem.Ptr
 	tag uint64

@@ -70,6 +70,10 @@ func (s *Scheme) Stats() smr.Stats {
 	return st
 }
 
+// GarbageBound implements smr.Scheme: garbage is unbounded when a thread
+// stalls inside a read-side critical section (property P2 is not met).
+func (s *Scheme) GarbageBound() int { return smr.Unbounded }
+
 type entry struct {
 	p   mem.Ptr
 	tag uint64

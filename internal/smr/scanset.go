@@ -64,6 +64,12 @@ func (s *ScanSet) SweepBag(arena mem.Arena, tid int, bag []mem.Ptr, upto int, sc
 		}
 	}
 	kept = append(kept, bag[upto:]...)
-	arena.FreeBatch(tid, batch)
+	// A fruitless scan (every record reserved) must not touch the arena at
+	// all — the free path is the allocator's contended side, and an empty
+	// hand-off would still pay the interface call and its batch bookkeeping
+	// on every scan that found nothing.
+	if len(batch) > 0 {
+		arena.FreeBatch(tid, batch)
+	}
 	return kept, batch[:0], len(batch)
 }

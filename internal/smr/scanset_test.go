@@ -1,0 +1,65 @@
+package smr
+
+import (
+	"testing"
+
+	"nbr/internal/mem"
+)
+
+// countingArena stubs mem.Arena to observe the reclaim sweep's arena
+// traffic; only FreeBatch is expected to be called.
+type countingArena struct {
+	freeBatches int
+	freed       int
+}
+
+func (a *countingArena) Free(int, mem.Ptr) { panic("scanset must batch frees") }
+func (a *countingArena) FreeBatch(_ int, ps []mem.Ptr) {
+	a.freeBatches++
+	a.freed += len(ps)
+}
+func (a *countingArena) Hdr(mem.Ptr) *mem.Hdr { return nil }
+func (a *countingArena) Valid(mem.Ptr) bool   { return true }
+
+// TestSweepBagFruitlessScanSkipsArena pins the empty-batch fix: a sweep in
+// which every bag record is reserved must not touch the arena at all — the
+// free path is the allocator's contended side, and reclamation under
+// pressure scans fruitlessly often.
+func TestSweepBagFruitlessScanSkipsArena(t *testing.T) {
+	slots := make([]Pad64, 4)
+	bag := make([]mem.Ptr, 0, 4)
+	for i := 0; i < 4; i++ {
+		p := mem.Ptr(uint64(i)*2 + 2)
+		slots[i].Store(uint64(p))
+		bag = append(bag, p)
+	}
+	var set ScanSet
+	set.Collect(slots)
+
+	arena := &countingArena{}
+	var scratch []mem.Ptr
+	var freed int
+	bag, scratch, freed = set.SweepBag(arena, 0, bag, len(bag), scratch)
+	if freed != 0 || arena.freed != 0 {
+		t.Fatalf("fully reserved bag freed %d records (arena saw %d)", freed, arena.freed)
+	}
+	if arena.freeBatches != 0 {
+		t.Fatalf("fruitless sweep still called FreeBatch %d time(s)", arena.freeBatches)
+	}
+	if len(bag) != 4 {
+		t.Fatalf("survivors = %d, want 4", len(bag))
+	}
+
+	// Clearing one reservation makes the next sweep free exactly that
+	// record through exactly one batch.
+	slots[2].Store(0)
+	set.Collect(slots)
+	bag, _, freed = set.SweepBag(arena, 0, bag, len(bag), scratch)
+	if freed != 1 || arena.freeBatches != 1 || arena.freed != 1 {
+		t.Fatalf("after unreserving one record: freed=%d batches=%d arenaFreed=%d",
+			freed, arena.freeBatches, arena.freed)
+	}
+	if len(bag) != 3 {
+		t.Fatalf("survivors = %d, want 3", len(bag))
+	}
+}

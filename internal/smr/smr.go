@@ -82,6 +82,11 @@ type Guard interface {
 	OnStale(p mem.Ptr)
 }
 
+// Unbounded is the GarbageBound sentinel returned by schemes whose garbage
+// can grow without limit (epoch-based schemes under a stalled thread, and the
+// leaky baseline by construction).
+const Unbounded = -1
+
 // Scheme is a reclamation algorithm instance bound to one data structure's
 // arena.
 type Scheme interface {
@@ -91,6 +96,12 @@ type Scheme interface {
 	Guard(tid int) Guard
 	// Stats returns aggregate reclamation counters.
 	Stats() Stats
+	// GarbageBound returns the scheme's declared worst-case number of
+	// retired-but-unfreed records across all threads, or Unbounded. The
+	// bound is a live contract, not documentation: the dstest and bench
+	// harnesses sample Stats().Garbage() against it during every stress
+	// run, so a scheme that cannot keep its promise fails loudly.
+	GarbageBound() int
 }
 
 // Stats aggregates reclamation activity across all threads of a scheme.
@@ -177,12 +188,44 @@ func bucketUpper(i int) int64 {
 	return int64(1)<<i - 1
 }
 
-// Garbage returns the number of retired-but-unfreed records.
+// Garbage returns the number of retired-but-unfreed records. A snapshot
+// taken while threads are mid-retire can transiently read Freed ahead of
+// Retired (per-guard counters are summed without a barrier, and a record's
+// free can land between the two loads), so concurrent samplers get a clamped
+// 0 rather than a wrapped uint64. At quiescence the inversion cannot happen
+// honestly: callers there must treat Invalid as a double-free accounting bug
+// instead of reading Garbage's masking zero — dstest does.
 func (s Stats) Garbage() uint64 {
 	if s.Freed > s.Retired {
 		return 0
 	}
 	return s.Retired - s.Freed
+}
+
+// Invalid reports the Freed > Retired underflow that Garbage clamps away.
+// True at a quiescent point (no thread inside Retire/RetireBatch or a scan)
+// means the scheme freed a record it never accounted as retired — a
+// double-free-grade bug, never a benign state.
+func (s Stats) Invalid() bool {
+	return s.Freed > s.Retired
+}
+
+// RetireChunk sizes the next chunk of a split RetireBatch for a
+// threshold-triggered scheme (hp/he/ibr): the records that fill the bag
+// exactly to the scan threshold — so the post-append scan check fires at
+// the same bag lengths a per-record Retire loop would hit — degrading to
+// single records when the bag is already at or past the threshold (the
+// last scan freed nothing), exactly as the loop would. Centralizing the
+// policy keeps the three schemes' split semantics from diverging.
+func RetireChunk(threshold, bagLen, avail int) int {
+	take := threshold - bagLen
+	if take < 1 {
+		take = 1
+	}
+	if take > avail {
+		take = avail
+	}
+	return take
 }
 
 // Execute runs one data-structure operation body under g, restarting it when
