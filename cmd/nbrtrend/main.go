@@ -3,16 +3,24 @@
 // flags regressions — throughput drops in the end-to-end workload cells and
 // cost growth in the reservation-scan and free-burst microbenchmarks.
 //
-// With no arguments it picks up every BENCH_*.json in the current
-// directory, ordered by snapshot number; explicit paths compare in the
-// given order. The exit status is always 0 unless -strict is set, so CI can
-// run it as a non-blocking report step.
+// Only same-host snapshot pairs (matching gomaxprocs and goarch) are
+// compared by default: numbers from different host shapes say nothing about
+// the reclaim path, so mismatched pairs are skipped with a note unless
+// -all-hosts is given (which prints them, still never flagged). The
+// committed BENCH_<n>.json trajectory is likewise opt-in via -committed —
+// the BENCH_2→BENCH_3 episode showed a container drifting 20–40% between
+// sessions with an identical host shape, so the trustworthy default diff is
+// two snapshots you measured yourself (e.g. CI artifacts from the same
+// runner class), not the committed history.
+//
+// The exit status is always 0 unless -strict is set, so CI can run it as a
+// non-blocking report step.
 //
 // Examples:
 //
-//	nbrtrend
-//	nbrtrend BENCH_1.json BENCH_2.json
-//	nbrtrend -threshold 5 -strict BENCH_*.json
+//	nbrtrend BENCH_prev.json BENCH_next.json
+//	nbrtrend -committed
+//	nbrtrend -committed -all-hosts -threshold 5 -strict
 package main
 
 import (
@@ -31,11 +39,17 @@ func main() {
 	var (
 		threshold = flag.Float64("threshold", 10, "worsening percentage that flags a regression")
 		strict    = flag.Bool("strict", false, "exit 1 when any regression is flagged")
+		committed = flag.Bool("committed", false, "with no explicit paths, diff the committed BENCH_<n>.json trajectory (opt-in: committed snapshots drift with the hosts that recorded them)")
+		allHosts  = flag.Bool("all-hosts", false, "also print pairs whose host shape (gomaxprocs/goarch) differs; their deltas are untrusted and never flagged")
 	)
 	flag.Parse()
 
 	paths := flag.Args()
 	if len(paths) == 0 {
+		if !*committed {
+			fmt.Println("nbrtrend: no snapshots given; pass two BENCH_*.json paths, or -committed to diff the committed trajectory (opt-in since the committed files were recorded on drifting hosts)")
+			return
+		}
 		var err error
 		paths, err = defaultPaths()
 		if err != nil {
@@ -59,10 +73,18 @@ func main() {
 	}
 
 	regressed := false
+	skipped := 0
 	for i := 1; i < len(snaps); i++ {
+		mismatch := bench.HostShapeMismatch(snaps[i-1], snaps[i])
+		if mismatch != "" && !*allHosts {
+			skipped++
+			fmt.Printf("# %s → %s: SKIPPED, host shape differs (%s); pass -all-hosts to print anyway\n",
+				paths[i-1], paths[i], mismatch)
+			continue
+		}
 		fmt.Printf("# %s → %s (%s → %s, threshold %.0f%%)\n",
 			paths[i-1], paths[i], snaps[i-1].Schema, snaps[i].Schema, *threshold)
-		if mismatch := bench.HostShapeMismatch(snaps[i-1], snaps[i]); mismatch != "" {
+		if mismatch != "" {
 			fmt.Printf("  WARNING: host shape differs (%s); deltas below are untrusted and not flagged\n", mismatch)
 		}
 		deltas := bench.CompareSnapshots(snaps[i-1], snaps[i], *threshold)
@@ -79,6 +101,9 @@ func main() {
 		} else {
 			fmt.Println("  => no regressions")
 		}
+	}
+	if skipped > 0 {
+		fmt.Printf("# %d pair(s) skipped for host-shape mismatch\n", skipped)
 	}
 	if *strict && regressed {
 		os.Exit(1)

@@ -1,5 +1,14 @@
 // Package nbr is a from-scratch Go reproduction of "NBR: Neutralization
-// Based Reclamation" (Singh, Brown, Mashtizadeh; PPoPP 2021).
+// Based Reclamation" (Singh, Brown, Mashtizadeh; PPoPP 2021), and a usable
+// library around it.
+//
+// The public API is the Domain: a reclamation-protected concurrent ordered
+// set with dynamic thread membership. Handler goroutines Acquire a Lease,
+// operate through it, and Release it on the way out — thread slots recycle
+// across any number of short-lived goroutines, departing threads leak
+// nothing (their in-flight reclamation state is adopted by later
+// reclaimers), and the scheme's declared garbage bound holds across the
+// churn. See examples/quickstart and examples/server.
 //
 // The paper's algorithms live in internal/core; the substrates that make
 // them expressible under a garbage-collected runtime live in internal/mem

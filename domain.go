@@ -1,0 +1,228 @@
+package nbr
+
+import (
+	"fmt"
+	"runtime"
+
+	"nbr/internal/bench"
+	"nbr/internal/mem"
+	"nbr/internal/smr"
+)
+
+// This file is the library's public face: a Domain bundles one concurrent
+// ordered set, its reclamation scheme, and a thread-lease registry, so a
+// goroutine-pool service can use the paper's machinery without importing
+// anything under internal/ or hand-managing dense thread ids. The quickstart
+// and server examples are written exclusively against this API.
+
+// Stats re-exports the reclamation counters (see smr.Stats).
+type Stats = smr.Stats
+
+// MemStats re-exports the allocator counters (see mem.Stats).
+type MemStats = mem.Stats
+
+// Unbounded is the GarbageBound sentinel for schemes whose garbage can grow
+// without limit.
+const Unbounded = smr.Unbounded
+
+// ErrNoLease is returned by Domain.Acquire when every thread slot is held.
+// Callers back off and retry, or treat it as admission control.
+var ErrNoLease = smr.ErrRegistryFull
+
+// MinKey and MaxKey bound the usable key space; both are sentinels — Insert,
+// Delete and Contains accept keys strictly between them.
+const (
+	MinKey uint64 = 0
+	MaxKey uint64 = ^uint64(0)
+)
+
+// Schemes lists the reclamation schemes a Domain can run, in the order the
+// paper's figures present them.
+func Schemes() []string { return append([]string(nil), bench.SchemeNames...) }
+
+// Structures lists the concurrent ordered sets a Domain can host.
+func Structures() []string { return append([]string(nil), bench.DSNames...) }
+
+// Options configures a Domain. The zero value selects the paper's defaults:
+// an NBR+-protected lazy list sized for a moderately parallel host.
+type Options struct {
+	// Structure names the concurrent ordered set (see Structures).
+	// Default "lazylist".
+	Structure string
+	// Scheme names the reclamation scheme (see Schemes). Default "nbr+".
+	Scheme string
+	// MaxThreads is the lease-registry capacity: the most goroutines that
+	// can hold a lease at once. Size it for peak concurrency, not for the
+	// total goroutine population — scans and signal broadcasts cost
+	// proportional to *live* leases, so over-provisioning is cheap.
+	// Default 2·GOMAXPROCS, at least 8.
+	MaxThreads int
+
+	// The scheme knobs, as in the experiments (zero selects each scheme's
+	// default; see DESIGN.md §6 for the rationale behind the defaults).
+	BagSize    int     // NBR limbo-bag HiWatermark
+	LoFraction float64 // NBR+ LoWatermark position
+	ScanFreq   int     // NBR+ announceTS scan cadence
+	Threshold  int     // retire-buffer depth for hp/he/ibr/qsbr/rcu
+	EraFreq    int     // era-advance period for he/ibr
+	SendSpin   int     // simulated signal-send cost
+	HandleSpin int     // simulated signal-delivery cost
+}
+
+func (o Options) withDefaults() Options {
+	if o.Structure == "" {
+		o.Structure = "lazylist"
+	}
+	if o.Scheme == "" {
+		o.Scheme = "nbr+"
+	}
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = 2 * runtime.GOMAXPROCS(0)
+		if o.MaxThreads < 8 {
+			o.MaxThreads = 8
+		}
+	}
+	return o
+}
+
+// Domain is one reclamation-protected concurrent set with dynamic thread
+// membership. Goroutines call Acquire for a Lease, operate through it, and
+// Release it when done; leases recycle across any number of short-lived
+// goroutines. All methods except Len and Validate are safe for concurrent
+// use.
+type Domain struct {
+	opts   Options
+	inst   bench.Instance
+	scheme smr.Scheme
+	reg    *smr.Registry
+}
+
+// New creates a Domain.
+func New(opts Options) (*Domain, error) {
+	opts = opts.withDefaults()
+	if !bench.Runnable(opts.Structure, opts.Scheme) {
+		return nil, fmt.Errorf("nbr: %s is not runnable under %s (the paper's Table 1)",
+			opts.Structure, opts.Scheme)
+	}
+	inst, err := bench.NewDS(opts.Structure, opts.MaxThreads)
+	if err != nil {
+		return nil, err
+	}
+	cfg := bench.SchemeConfig{
+		BagSize:    opts.BagSize,
+		LoFraction: opts.LoFraction,
+		ScanFreq:   opts.ScanFreq,
+		Threshold:  opts.Threshold,
+		EraFreq:    opts.EraFreq,
+		SendSpin:   opts.SendSpin,
+		HandleSpin: opts.HandleSpin,
+	}
+	scheme, err := bench.NewSchemeFor(opts.Scheme, inst.Arena, opts.MaxThreads, cfg, inst.Req)
+	if err != nil {
+		return nil, err
+	}
+	d := &Domain{opts: opts, inst: inst, scheme: scheme, reg: smr.NewRegistry(opts.MaxThreads)}
+	d.reg.Bind(scheme)
+	if burst := scheme.ReclaimBurst(); burst > 0 {
+		arena := inst.Arena
+		d.reg.OnAcquire(func(tid int) { arena.SizeCache(tid, burst) })
+	}
+	arena := inst.Arena
+	d.reg.OnRelease(func(tid int) { arena.DrainCache(tid) })
+	return d, nil
+}
+
+// Acquire leases a thread slot for the calling goroutine. Release the lease
+// when the goroutine's burst of work is done; holding it across long idle
+// periods is harmless (an idle lease blocks nothing under NBR), but the
+// registry can only serve MaxThreads concurrent holders.
+func (d *Domain) Acquire() (*Lease, error) {
+	l, err := d.reg.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	return &Lease{d: d, l: l, g: d.scheme.Guard(l.Tid())}, nil
+}
+
+// MaxThreads returns the registry capacity.
+func (d *Domain) MaxThreads() int { return d.opts.MaxThreads }
+
+// ActiveThreads returns the number of currently held leases (approximate
+// under churn).
+func (d *Domain) ActiveThreads() int { return d.reg.Active().Count() }
+
+// Scheme returns the reclamation scheme's name.
+func (d *Domain) Scheme() string { return d.scheme.Name() }
+
+// Structure returns the data structure's name.
+func (d *Domain) Structure() string { return d.opts.Structure }
+
+// Stats returns the aggregate reclamation counters.
+func (d *Domain) Stats() Stats { return d.scheme.Stats() }
+
+// MemStats returns the allocator counters (live records ≈ resident memory).
+func (d *Domain) MemStats() MemStats { return d.inst.MemStats() }
+
+// GarbageBound returns the scheme's declared worst-case retired-but-unfreed
+// record count across all threads (or Unbounded). The bound is declared
+// against MaxThreads and holds across lease churn, orphaned records
+// included.
+func (d *Domain) GarbageBound() int { return d.scheme.GarbageBound() }
+
+// Len counts the keys in the set. Quiescent: no concurrent mutators.
+func (d *Domain) Len() int { return d.inst.Set.Len() }
+
+// Validate checks the structure's invariants. Quiescent.
+func (d *Domain) Validate() error { return d.inst.Set.Validate() }
+
+// Drain adopts any orphaned records and reclaims everything reclaimable,
+// using a temporary lease. At quiescence it runs until every retired record
+// is freed; under concurrent traffic it is a best-effort pass. Use it before
+// reading final Stats or shutting down.
+func (d *Domain) Drain() error {
+	dr, ok := d.scheme.(smr.Drainer)
+	if !ok {
+		return nil
+	}
+	l, err := d.reg.Acquire()
+	if err != nil {
+		return err
+	}
+	defer l.Release()
+	for i := 0; i < 64; i++ {
+		st := d.scheme.Stats()
+		if st.Retired == st.Freed {
+			break
+		}
+		dr.Drain(l.Tid())
+	}
+	return nil
+}
+
+// Lease is one goroutine's membership in a Domain: a dense thread slot plus
+// the per-thread guard every operation runs under. A Lease must be used by
+// one goroutine at a time and released when done; after Release it must not
+// be used.
+type Lease struct {
+	d *Domain
+	l *smr.Lease
+	g smr.Guard
+}
+
+// Tid returns the dense thread slot this lease occupies (diagnostic; slots
+// recycle across leases).
+func (l *Lease) Tid() int { return l.l.Tid() }
+
+// Release returns the slot to the registry. The departing thread's
+// unreclaimed records are reclaimed or handed to the domain's orphan list —
+// nothing leaks, whatever state the protocol was in.
+func (l *Lease) Release() { l.l.Release() }
+
+// Contains reports whether key is in the set.
+func (l *Lease) Contains(key uint64) bool { return l.d.inst.Set.Contains(l.g, key) }
+
+// Insert adds key, reporting false if it was already present.
+func (l *Lease) Insert(key uint64) bool { return l.d.inst.Set.Insert(l.g, key) }
+
+// Delete removes key, reporting false if it was absent.
+func (l *Lease) Delete(key uint64) bool { return l.d.inst.Set.Delete(l.g, key) }

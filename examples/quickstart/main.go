@@ -1,10 +1,12 @@
-// Quickstart: protect a concurrent ordered set with NBR+ in four steps.
+// Quickstart: protect a concurrent ordered set with NBR+ in three steps,
+// using only the public nbr package.
 //
-//  1. create a data structure (it owns a pool-backed arena);
-//  2. create the reclamation scheme over that arena;
-//  3. give every worker goroutine its own guard (thread id);
-//  4. run operations — retired records are reclaimed behind the scenes,
-//     with bounded garbage even if a thread stalls.
+//  1. create a Domain (a data structure + reclamation scheme + thread-lease
+//     registry in one);
+//  2. each worker goroutine acquires a Lease — no hand-managed thread ids;
+//  3. run operations through the lease and release it — retired records are
+//     reclaimed behind the scenes, with bounded garbage even if a thread
+//     stalls, and a departing thread leaks nothing.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -13,52 +15,66 @@ import (
 	"fmt"
 	"sync"
 
-	"nbr/internal/core"
-	"nbr/internal/ds/lazylist"
+	"nbr"
 )
 
 func main() {
-	const threads = 4
+	const workers = 4
 
-	// 1. The data structure.
-	list := lazylist.New(threads)
+	// 1. The domain: an NBR+-protected lazy list.
+	domain, err := nbr.New(nbr.Options{
+		Structure: "lazylist",
+		Scheme:    "nbr+",
+		BagSize:   512,
+	})
+	if err != nil {
+		panic(err)
+	}
 
-	// 2. NBR+ bound to the list's arena.
-	scheme := core.New(list.Arena(), threads, core.Config{Plus: true, BagSize: 512})
-
-	// 3+4. Each worker inserts and deletes its own key stripe.
+	// 2+3. Each worker leases a thread slot and churns its own key stripe.
 	var wg sync.WaitGroup
-	for tid := 0; tid < threads; tid++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(tid int) {
+		go func(w int) {
 			defer wg.Done()
-			g := scheme.Guard(tid)
+			lease, err := domain.Acquire()
+			if err != nil {
+				panic(err)
+			}
+			defer lease.Release()
 			for i := 0; i < 20_000; i++ {
-				key := uint64(i*threads+tid) % 1000 * 2 // even keys only
+				key := uint64(i*workers+w) % 1000 * 2 // even keys only
 				if key == 0 {
 					key = 2
 				}
-				list.Insert(g, key)
+				lease.Insert(key)
 				if i%3 == 0 {
-					list.Delete(g, key)
+					lease.Delete(key)
 				}
 			}
-		}(tid)
+		}(w)
 	}
 	wg.Wait()
 
-	g := scheme.Guard(0)
-	fmt.Printf("set size after churn: %d\n", list.Len())
-	fmt.Printf("contains(2)=%v contains(3)=%v\n", list.Contains(g, 2), list.Contains(g, 3))
+	probe, err := domain.Acquire()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("set size after churn: %d\n", domain.Len())
+	fmt.Printf("contains(2)=%v contains(3)=%v\n", probe.Contains(2), probe.Contains(3))
+	probe.Release()
 
-	st := scheme.Stats()
-	ms := list.MemStats()
-	fmt.Printf("retired=%d freed=%d garbage=%d (bound: %d per thread, %d total)\n",
-		st.Retired, st.Freed, st.Garbage(), scheme.ThreadBound(), scheme.GarbageBound())
+	if err := domain.Drain(); err != nil {
+		panic(err)
+	}
+	st := domain.Stats()
+	ms := domain.MemStats()
+	fmt.Printf("retired=%d freed=%d garbage=%d (declared bound: %d)\n",
+		st.Retired, st.Freed, st.Garbage(), domain.GarbageBound())
 	fmt.Printf("signals sent=%d, read-phase restarts=%d\n", st.Signals, st.Neutralized)
 	fmt.Printf("live records=%d (%.1f KiB)\n", ms.Live, float64(ms.LiveBytes)/1024)
 
-	if err := list.Validate(); err != nil {
+	if err := domain.Validate(); err != nil {
 		panic(err)
 	}
 	fmt.Println("structure validated: ok")

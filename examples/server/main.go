@@ -1,0 +1,123 @@
+// Server: a goroutine-pool service under sustained membership churn.
+//
+// A production Go service does not run a fixed set of worker threads: handler
+// goroutines are born per request, live for one burst of work, and exit. This
+// example simulates exactly that against a single shared nbr.Domain — every
+// simulated request spawns a fresh goroutine that acquires a thread lease,
+// performs a handful of set operations, and releases the lease on the way
+// out. Slots recycle thousands of times; departing handlers leave mid-protocol
+// reclamation state behind (adopted by later reclaimers via the orphan list);
+// and the domain's garbage bound holds throughout, which the main loop checks
+// live.
+//
+// Run with: go run ./examples/server        (or -requests 50000 for a longer run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nbr"
+)
+
+func main() {
+	var (
+		requests   = flag.Int("requests", 20_000, "simulated requests to serve")
+		inflight   = flag.Int("inflight", 16, "maximum concurrent handler goroutines")
+		opsPerReq  = flag.Int("ops", 24, "set operations per request")
+		keyRange   = flag.Uint64("keys", 4096, "key range")
+		maxThreads = flag.Int("max-threads", 12, "lease-registry capacity")
+	)
+	flag.Parse()
+
+	domain, err := nbr.New(nbr.Options{
+		Structure:  "harris",
+		Scheme:     "nbr+",
+		MaxThreads: *maxThreads,
+		BagSize:    512,
+	})
+	if err != nil {
+		panic(err)
+	}
+	bound := domain.GarbageBound()
+	fmt.Printf("domain: %s under %s, %d lease slots, garbage bound %d records\n",
+		domain.Structure(), domain.Scheme(), domain.MaxThreads(), bound)
+
+	var (
+		served    atomic.Uint64
+		retried   atomic.Uint64
+		peak      atomic.Uint64
+		wg        sync.WaitGroup
+		admission = make(chan struct{}, *inflight)
+	)
+
+	for r := 0; r < *requests; r++ {
+		admission <- struct{}{}
+		wg.Add(1)
+		// One goroutine per request: the membership-churn regime a fixed
+		// thread set cannot express.
+		go func(r int) {
+			defer wg.Done()
+			defer func() { <-admission }()
+			lease, err := domain.Acquire()
+			for err != nil {
+				// The pool admits more goroutines than lease slots on
+				// purpose; briefly losing the race is part of the demo.
+				retried.Add(1)
+				runtime.Gosched()
+				lease, err = domain.Acquire()
+			}
+			defer lease.Release()
+
+			rng := rand.New(rand.NewPCG(uint64(r), 0x9e3779b97f4a7c15))
+			for i := 0; i < *opsPerReq; i++ {
+				key := rng.Uint64N(*keyRange) + 1
+				switch rng.IntN(3) {
+				case 0:
+					lease.Insert(key)
+				case 1:
+					lease.Delete(key)
+				default:
+					lease.Contains(key)
+				}
+			}
+			served.Add(1)
+		}(r)
+
+		// The "operator console": check the live garbage-bound contract as
+		// handlers come and go.
+		if r%1024 == 0 {
+			if g := domain.Stats().Garbage(); g > peak.Load() {
+				peak.Store(g)
+			}
+			if b := domain.GarbageBound(); b != nbr.Unbounded && domain.Stats().Garbage() > uint64(b) {
+				panic(fmt.Sprintf("garbage bound violated mid-run: %d > %d", domain.Stats().Garbage(), b))
+			}
+		}
+	}
+	wg.Wait()
+
+	if err := domain.Drain(); err != nil {
+		panic(err)
+	}
+	st := domain.Stats()
+	ms := domain.MemStats()
+	fmt.Printf("served %d requests (%d lease retries) across %d slots\n",
+		served.Load(), retried.Load(), domain.MaxThreads())
+	fmt.Printf("retired=%d freed=%d garbage=%d (peak sampled %d, bound %d)\n",
+		st.Retired, st.Freed, st.Garbage(), peak.Load(), domain.GarbageBound())
+	fmt.Printf("set size=%d, live records=%d (%.1f KiB)\n",
+		domain.Len(), ms.Live, float64(ms.LiveBytes)/1024)
+	if st.Retired != st.Freed {
+		panic(fmt.Sprintf("leaked records across membership churn: retired %d != freed %d",
+			st.Retired, st.Freed))
+	}
+	if err := domain.Validate(); err != nil {
+		panic(err)
+	}
+	fmt.Println("drained clean: every record retired by a departed handler was reclaimed")
+}

@@ -95,6 +95,26 @@ func NewSchemeFor(name string, arena mem.Arena, threads int, cfg SchemeConfig, r
 		}
 	}
 	sig := sigsim.Config{SendSpin: cfg.SendSpin, HandleSpin: cfg.HandleSpin}
+	sch, err := newScheme(name, arena, threads, cfg, req, sig)
+	if err != nil {
+		return nil, err
+	}
+	// Size each thread's allocator cache to the scheme's declared
+	// reclamation burst (the limbo bag for NBR, the scan threshold for the
+	// pointer/era schemes), so one reclamation amortizes to at most one
+	// shared-shard interaction and the recycled slots stay local for the
+	// allocations that refill the structure (ROADMAP item from PR 1).
+	// Lease-managed callers re-apply the same sizing per slot at acquire
+	// time via the registry hooks.
+	if burst := sch.ReclaimBurst(); burst > 0 {
+		for tid := 0; tid < threads; tid++ {
+			arena.SizeCache(tid, burst)
+		}
+	}
+	return sch, nil
+}
+
+func newScheme(name string, arena mem.Arena, threads int, cfg SchemeConfig, req ds.Requirements, sig sigsim.Config) (smr.Scheme, error) {
 	switch name {
 	case "none", "leaky":
 		return leaky.New(arena, threads), nil

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"nbr/internal/mem"
+	"nbr/internal/sigsim"
 	"nbr/internal/smr"
 )
 
@@ -179,18 +180,22 @@ func WriteSnapshot(path string, duration time.Duration, cfg SchemeConfig, assert
 
 // measureScanCost times the reclaim-path scan primitive: snapshot N·R
 // announcement slots into the flat sorted scratch, then probe it once per
-// bag record, exactly the work reclaimFreeable does per reclamation.
+// bag record, exactly the work reclaimFreeable does per reclamation. Since
+// the dynamic-membership refactor the collection walks the active mask, so
+// the measurement runs with every slot active — the saturated fixed-N case
+// whose cost the mask must not tax.
 func measureScanCost(threads, slots int) ScanCostPoint {
 	const probes = 1024
 	announce := make([]smr.Pad64, threads*slots)
 	for i := range announce {
 		announce[i].Store(uint64(2*i + 2))
 	}
+	active := sigsim.FullActiveSet(threads)
 	set := smr.NewScanSet(len(announce))
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			set.Collect(announce)
+			set.CollectRows(announce, slots, active)
 			for k := 0; k < probes; k++ {
 				set.Contains(uint64(2*k + 1))
 			}

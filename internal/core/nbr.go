@@ -74,6 +74,13 @@ type Scheme struct {
 	cfg   Config
 	group *sigsim.Group
 
+	// Membership carries the active mask every reservation scan and signal
+	// broadcast iterates (full in fixed-N mode, the registry's after
+	// AttachRegistry — scan and signal cost tracks live threads rather
+	// than capacity) plus the registry itself for orphan adoption and
+	// scan-round reporting.
+	smr.Membership
+
 	// loWm is the NBR+ LoWatermark in records, fixed at construction so the
 	// Retire fast path never touches floating point.
 	loWm int
@@ -104,6 +111,8 @@ func New(arena mem.Arena, threads int, cfg Config) *Scheme {
 		reservations: make([]smr.Pad64, threads*cfg.Slots),
 		announceTS:   make([]smr.Pad64, threads),
 	}
+	s.InitFixed(threads)
+	s.group.SetActive(s.ActiveMask)
 	s.gs = make([]*guard, threads)
 	for i := range s.gs {
 		s.gs[i] = &guard{
@@ -156,9 +165,92 @@ func (s *Scheme) ThreadBound() int {
 }
 
 // GarbageBound implements smr.Scheme: the enforced system-wide bound is
-// every thread at its Lemma 10 worst case simultaneously.
+// every thread at its Lemma 10 worst case simultaneously, plus the orphan
+// allowance — under dynamic membership, up to N concurrently departing
+// threads can each strand one survivor set (records peers still reserve,
+// ≤ N·R each) on the orphan list before the next reclaimer adopts it. The
+// declaration is against MaxThreads and holds across membership churn.
 func (s *Scheme) GarbageBound() int {
-	return len(s.gs) * s.ThreadBound()
+	n := len(s.gs)
+	return n*s.ThreadBound() + n*n*s.cfg.Slots
+}
+
+// ReclaimBurst implements smr.Scheme: a reclamation frees at most one full
+// limbo bag at once.
+func (s *Scheme) ReclaimBurst() int { return s.cfg.BagSize }
+
+// AttachRegistry implements smr.Member: the scheme adopts the registry's
+// active mask for its scans and signal broadcasts and registers the lease
+// hooks. Must be called before any guard is used.
+func (s *Scheme) AttachRegistry(r *smr.Registry) {
+	s.Join(r, len(s.gs), "core", s.attachThread, s.detachThread)
+	s.group.SetActive(s.ActiveMask)
+}
+
+// attachThread readies slot tid for a new leaseholder: stale signal posts
+// aimed at the predecessor are absorbed, the reservation row is cleared, and
+// the NBR+ lease-local watermark state is reset. announceTS is deliberately
+// left monotone across occupants — a peer's bookmark snapshot of this slot
+// then remains sound: any observed +2 still certifies a complete broadcast
+// that happened after the snapshot, whoever occupied the slot.
+func (s *Scheme) attachThread(tid int) {
+	s.group.Attach(tid)
+	g := s.gs[tid]
+	for i := range g.row {
+		g.row[i].Store(0)
+	}
+	g.atLoWm = false
+	g.bookmark = 0
+	g.sinceScan = 0
+}
+
+// detachThread is the release-side quiesce protocol: the departing thread
+// adopts any previously orphaned records into its bag, runs one full
+// signal-and-scan reclamation over everything, hands the survivors (records
+// peers still reserve — at most N·R) to the shared orphan list for the next
+// reclaimer to adopt, and neutralizes its announcement state. It runs on the
+// releasing goroutine, after the slot left the active mask.
+func (s *Scheme) detachThread(tid int) {
+	g := s.gs[tid]
+	g.adopt(0)
+	if len(g.limbo) > 0 {
+		if s.cfg.Plus {
+			s.announceTS[tid].Add(1)
+			s.group.SignalAll(tid)
+			s.announceTS[tid].Add(1)
+		} else {
+			s.group.SignalAll(tid)
+		}
+		g.reclaimFreeable(len(g.limbo))
+	}
+	if len(g.limbo) > 0 {
+		s.Reg.AddOrphans(g.limbo)
+		g.limbo = g.limbo[:0]
+	}
+	for i := range g.row {
+		g.row[i].Store(0)
+	}
+	g.cleanUp()
+}
+
+// Drain implements smr.Drainer: adopt all orphans and reclaim everything the
+// bag holds on behalf of tid, which the caller must own. Records reserved by
+// concurrently active peers survive in the bag.
+func (s *Scheme) Drain(tid int) {
+	g := s.gs[tid]
+	g.adopt(0)
+	if len(g.limbo) == 0 {
+		return
+	}
+	if s.cfg.Plus {
+		s.announceTS[tid].Add(1)
+		s.group.SignalAll(tid)
+		s.announceTS[tid].Add(1)
+	} else {
+		s.group.SignalAll(tid)
+	}
+	g.reclaimFreeable(len(g.limbo))
+	g.cleanUp()
 }
 
 // LimboLen reports thread tid's current limbo-bag population (test hook;
@@ -301,6 +393,9 @@ func (g *guard) beforeRetire(avail int) int {
 	if g.s.cfg.Plus {
 		g.checkPlus()
 	} else if len(g.limbo) >= g.s.cfg.BagSize {
+		// A reclamation is due anyway: adopt up to one bag's worth of
+		// orphaned records so departed threads' garbage rides this scan.
+		g.adopt(g.s.cfg.BagSize)
 		g.s.group.SignalAll(g.tid)
 		g.reclaimFreeable(len(g.limbo))
 	}
@@ -337,7 +432,9 @@ func (g *guard) checkPlus() {
 	hi, lo := g.s.cfg.BagSize, g.s.loWm
 	switch {
 	case len(g.limbo) >= hi:
-		// RGP begin (odd) … signalAll … RGP end (even).
+		// RGP begin (odd) … signalAll … RGP end (even). Orphans adopted
+		// first so departed threads' garbage rides the same scan.
+		g.adopt(hi)
 		g.s.announceTS[g.tid].Add(1)
 		g.s.group.SignalAll(g.tid)
 		g.s.announceTS[g.tid].Add(1)
@@ -358,7 +455,16 @@ func (g *guard) checkPlus() {
 		}
 		g.sinceScan = 0
 		g.tsScans.Inc()
-		for otid := range g.s.announceTS {
+		// Only active peers can complete an RGP, so the check walks the
+		// membership mask; the bookmark snapshot covers every slot (all
+		// announceTS values are monotone across occupants), so a peer that
+		// activated after the snapshot compares against its predecessor's
+		// value — which can only make the +2 test harder, never easier.
+		certified := false
+		g.s.ActiveMask.Range(func(otid int) {
+			if certified {
+				return
+			}
 			// An odd snapshot caught otid mid-broadcast: that RGP began
 			// before our bookmark, so its completion alone proves nothing
 			// about records bookmarked after its signals went out. Round the
@@ -370,13 +476,15 @@ func (g *guard) checkPlus() {
 			base := g.scanTS[otid]
 			base += base & 1
 			if g.s.announceTS[otid].Load() >= base+2 {
-				// A peer began and finished a full signal broadcast after
-				// our bookmark: everything retired before the bookmark has
-				// been discarded or reserved by every thread.
-				g.reclaimFreeable(g.bookmark)
-				g.cleanUp()
-				break
+				certified = true
 			}
+		})
+		if certified {
+			// A peer began and finished a full signal broadcast after our
+			// bookmark: everything retired before the bookmark has been
+			// discarded or reserved by every thread.
+			g.reclaimFreeable(g.bookmark)
+			g.cleanUp()
 		}
 	}
 }
@@ -397,8 +505,20 @@ func (g *guard) cleanUp() {
 // and one free-list interaction regardless of bag size.
 func (g *guard) reclaimFreeable(upto int) {
 	g.scans.Inc()
-	g.scan.Collect(g.s.reservations)
+	if r := g.s.Reg; r != nil {
+		r.BeginScan()
+		defer r.EndScan()
+	}
+	g.scan.CollectRows(g.s.reservations, g.s.cfg.Slots, g.s.ActiveMask)
 	var freed int
 	g.limbo, g.freeables, freed = g.scan.SweepBag(g.s.arena, g.tid, g.limbo, upto, g.freeables)
 	g.freed.Add(uint64(freed))
+}
+
+// adopt pulls up to max (all when max <= 0) orphaned records from the
+// registry into the limbo bag, so a scan this thread is about to run frees
+// departed threads' garbage too. Adopted records were counted as retired by
+// their original thread; only freeing is accounted here.
+func (g *guard) adopt(max int) {
+	g.limbo = g.s.Adopt(g.limbo, max)
 }

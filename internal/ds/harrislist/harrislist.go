@@ -240,6 +240,34 @@ func (l *List) Delete(g smr.Guard, key uint64) bool {
 	})
 }
 
+// BuildMarkedChain deterministically prepares an oversized-splice input for
+// the garbage-bound suites (quiescent; single-threaded): it inserts keys
+// 1..n through the normal write path, then sets the mark bit on each node's
+// next pointer *without* performing the physical unlink — exactly the state
+// n logically deleted nodes are in before any search helps. The next search
+// that traverses past the chain splices all n nodes with one CAS and hands
+// them to the scheme in a single RetireBatch, so the batch-split watermark
+// logic is exercised with a chain of chosen length on every run instead of
+// relying on churn to produce one. Returns the number of nodes marked.
+func (l *List) BuildMarkedChain(g smr.Guard, n int) int {
+	for k := 1; k <= n; k++ {
+		l.Insert(g, uint64(k))
+	}
+	marked := 0
+	for p := l.next(l.head); p != l.tail; {
+		nd := l.pool.Raw(p)
+		k := atomic.LoadUint64(&nd.key)
+		next := atomic.LoadUint64(&nd.next)
+		if k >= 1 && k <= uint64(n) && !mem.Ptr(next).Marked() {
+			if atomic.CompareAndSwapUint64(&nd.next, next, uint64(mem.Ptr(next).WithMark())) {
+				marked++
+			}
+		}
+		p = l.next(p)
+	}
+	return marked
+}
+
 // Len implements ds.Set (quiescent): counts unmarked nodes.
 func (l *List) Len() int {
 	n := 0

@@ -16,6 +16,12 @@ func factory() dstest.Factory {
 			l := harrislist.New(threads)
 			return dstest.Instance{Set: l, Arena: l.Arena()}
 		},
+		// The deterministic oversized-splice input: the Harris list is the
+		// one structure whose unlink length is unbounded (a whole marked
+		// chain in one CAS), so it carries the BoundChain regression.
+		Chain: func(inst dstest.Instance, g smr.Guard, n int) int {
+			return inst.Set.(*harrislist.List).BuildMarkedChain(g, n)
+		},
 	}
 }
 

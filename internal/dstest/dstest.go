@@ -47,6 +47,14 @@ type Factory struct {
 	Name string
 	// New creates a set sized for the given number of threads.
 	New func(threads int) Instance
+	// Chain, when set, deterministically builds a marked-but-unspliced
+	// chain of n nodes reachable from the structure's root (single-threaded
+	// setup; the guard's tid owns the instance) and returns the number
+	// built. The next search through the chain must splice and retire it
+	// in one RetireBatch — the oversized-splice input the BoundChain suite
+	// uses to reproduce the garbage-bound violation on every run instead
+	// of relying on churn luck.
+	Chain func(inst Instance, g smr.Guard, n int) int
 }
 
 // config returns aggressive-reclamation settings so the suites exercise
@@ -86,6 +94,10 @@ func RunAll(t *testing.T, f Factory) {
 		t.Run("churn/"+scheme, func(t *testing.T) { Concurrent(t, f, scheme, 6, 8) })
 		t.Run("stall/"+scheme, func(t *testing.T) { Stall(t, f, scheme) })
 		t.Run("bound/"+scheme, func(t *testing.T) { Bound(t, f, scheme) })
+		t.Run("lease/"+scheme, func(t *testing.T) { Lease(t, f, scheme) })
+		if f.Chain != nil {
+			t.Run("boundchain/"+scheme, func(t *testing.T) { BoundChain(t, f, scheme) })
+		}
 	}
 }
 
@@ -288,9 +300,56 @@ func Bound(t *testing.T, f Factory, scheme string) {
 	if g := st.Garbage(); g > peak.Load() {
 		peak.Store(g) // final quiescent sample
 	}
-	if bound != smr.Unbounded && peak.Load() > uint64(bound) {
+	// GarbageBound is monotone non-decreasing (era schemes raise it as
+	// their measured pinned set grows), so the final reading dominates the
+	// bound at every moment a garbage sample was taken.
+	if bound = sch.GarbageBound(); bound != smr.Unbounded && peak.Load() > uint64(bound) {
 		t.Fatalf("garbage-bound contract violated: sampled peak %d > declared bound %d",
 			peak.Load(), bound)
+	}
+	if err := inst.Set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BoundChain is the deterministic oversized-splice regression: a
+// single-threaded setup builds a marked chain several times longer than the
+// scheme's entire garbage bound, then one search splices it in one
+// RetireBatch. A retire path that defers its watermark check past the whole
+// splice ends the call with the chain still in its bag — garbage above the
+// declared bound on every run, no churn luck required (ROADMAP item from
+// PR 3; the scheme-seam variant lives in internal/core).
+func BoundChain(t *testing.T, f Factory, scheme string) {
+	const threads = 2
+	inst := f.New(threads)
+	cfg := config()
+	cfg.BagSize = 32 // one splice spans many bags
+	sch, err := bench.NewSchemeFor(scheme, inst.Arena, threads, cfg, inst.Set.Requirements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sch.Guard(0)
+
+	n := 256
+	if b := sch.GarbageBound(); b != smr.Unbounded && n < 3*b {
+		n = 3 * b // the chain must dwarf the full declared bound
+	}
+	built := f.Chain(inst, g, n)
+	if built < n {
+		t.Fatalf("chain builder produced %d marked nodes, want %d", built, n)
+	}
+
+	// One search past the chain splices and retires it in one batch.
+	if inst.Set.Contains(g, uint64(n)+1) {
+		t.Fatalf("key %d must be absent", n+1)
+	}
+
+	st := sch.Stats()
+	if st.Retired < uint64(built) {
+		t.Fatalf("splice retired %d records, want at least the %d-node chain", st.Retired, built)
+	}
+	if bound := sch.GarbageBound(); bound != smr.Unbounded && st.Garbage() > uint64(bound) {
+		t.Fatalf("oversized splice outran the garbage bound: %d > %d", st.Garbage(), bound)
 	}
 	if err := inst.Set.Validate(); err != nil {
 		t.Fatal(err)

@@ -64,6 +64,18 @@ type Arena interface {
 	// Valid reports whether p still addresses the allocation it was created
 	// by (i.e. the record has not been freed).
 	Valid(p Ptr) bool
+	// SizeCache raises thread tid's free-cache target to cover a
+	// reclamation burst of the given size, so a scheme's characteristic
+	// burst (limbo bag, scan threshold) amortizes to at most one
+	// shared-shard interaction and the recycled slots stay local for the
+	// allocations that follow. Must be called by tid's owner (at scheme
+	// construction or lease acquisition), never while tid is mid-operation
+	// on another goroutine.
+	SizeCache(tid, burst int)
+	// DrainCache flushes thread tid's entire free cache to the shared
+	// shards. A departing thread calls it on lease release so its cached
+	// slots are not stranded while the slot sits unleased.
+	DrainCache(tid int)
 }
 
 // Config sizes a Pool.
@@ -181,7 +193,14 @@ func (sh *freeShard) pop(ops *atomic.Uint64, dst []uint32, max int) []uint32 {
 }
 
 type tcache struct {
-	free   []uint32
+	free []uint32
+	// limit is this thread's cache target: flushes trigger beyond 2·limit
+	// and keep limit (Free) or limit entries (FreeBatch). It starts at the
+	// global Config.CacheSize and is raised per thread by SizeCache to the
+	// owning scheme's declared reclamation burst — the NUMA-style sizing
+	// DESIGN.md §6 describes — so one thread reclaiming a full bag and
+	// another reclaiming nothing no longer share one global knob.
+	limit  int
 	allocs atomic.Uint64
 	frees  atomic.Uint64
 	_      [64]byte
@@ -191,6 +210,9 @@ type tcache struct {
 func NewPool[T any](cfg Config) *Pool[T] {
 	p := &Pool[T]{cfg: cfg.withDefaults()}
 	p.threads = make([]tcache, p.cfg.MaxThreads)
+	for i := range p.threads {
+		p.threads[i].limit = p.cfg.CacheSize
+	}
 	p.global.shards = make([]freeShard, p.cfg.Shards)
 	p.global.mask = p.cfg.Shards - 1
 	p.global.shift = 64 - uint(bits.Len(uint(p.global.mask)))
@@ -301,7 +323,7 @@ func (p *Pool[T]) Free(tid int, q Ptr) {
 	tc := &p.threads[tid]
 	tc.free = append(tc.free, p.release(q))
 	tc.frees.Add(1)
-	if len(tc.free) > 2*p.cfg.CacheSize {
+	if len(tc.free) > 2*tc.limit {
 		p.flush(tc, tid, len(tc.free)/2)
 	}
 }
@@ -319,10 +341,31 @@ func (p *Pool[T]) FreeBatch(tid int, qs []Ptr) {
 		tc.free = append(tc.free, p.release(q))
 	}
 	tc.frees.Add(uint64(len(qs)))
-	if len(tc.free) > 2*p.cfg.CacheSize {
+	if len(tc.free) > 2*tc.limit {
 		// One push returns the whole overflow, not half of it, so a burst
 		// of any size costs a single lock acquisition.
-		p.flush(tc, tid, p.cfg.CacheSize)
+		p.flush(tc, tid, tc.limit)
+	}
+}
+
+// SizeCache implements Arena: it raises (never shrinks) tid's cache target
+// to burst, so a reclamation burst of that size fits locally — at most one
+// flush per burst, and the recycled slots stay resident for the allocations
+// that refill the structure.
+func (p *Pool[T]) SizeCache(tid, burst int) {
+	tc := &p.threads[tid]
+	if burst > tc.limit {
+		tc.limit = burst
+	}
+}
+
+// DrainCache implements Arena: it flushes tid's entire free cache to the
+// thread's home shard, so a released thread slot strands no recyclable
+// records while unleased.
+func (p *Pool[T]) DrainCache(tid int) {
+	tc := &p.threads[tid]
+	if len(tc.free) > 0 {
+		p.flush(tc, tid, 0)
 	}
 }
 

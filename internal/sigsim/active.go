@@ -1,0 +1,102 @@
+package sigsim
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// ActiveSet is the published membership mask of a dynamic thread group: one
+// bit per dense slot, set while the slot is leased to a live goroutine. It is
+// the single source of truth every membership-aware iteration in the system
+// consults — sigsim.SignalAll posts only to signalable (active) slots, and
+// every reclamation scan walks only active announcement rows, so scan and
+// signal cost is proportional to live threads, not the registry's capacity.
+//
+// Reads and writes are independent atomic word operations; an iteration sees
+// each word at its own snapshot instant. That is exactly the consistency the
+// reclamation protocols need: a thread activating concurrently with a scan
+// cannot hold pointers to records retired before it activated (retired
+// records are unreachable from the roots), and a thread deactivates only
+// outside operations, with no announcements in flight.
+type ActiveSet struct {
+	n     int
+	words []atomic.Uint64
+}
+
+// NewActiveSet returns a mask for n slots with every bit clear (the
+// lease-managed starting state: nothing is a member until acquired).
+func NewActiveSet(n int) *ActiveSet {
+	return &ActiveSet{n: n, words: make([]atomic.Uint64, (n+63)/64)}
+}
+
+// FullActiveSet returns a mask for n slots with every bit set — the fixed-N
+// compatibility mode used when no lease registry manages membership.
+func FullActiveSet(n int) *ActiveSet {
+	a := NewActiveSet(n)
+	for i := 0; i < n; i++ {
+		a.Set(i)
+	}
+	return a
+}
+
+// N returns the number of slots the mask covers.
+func (a *ActiveSet) N() int { return a.n }
+
+// Set marks slot i active (signalable, scannable).
+func (a *ActiveSet) Set(i int) {
+	w := &a.words[i>>6]
+	bit := uint64(1) << (uint(i) & 63)
+	for {
+		old := w.Load()
+		if old&bit != 0 || w.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
+
+// Clear marks slot i inactive.
+func (a *ActiveSet) Clear(i int) {
+	w := &a.words[i>>6]
+	bit := uint64(1) << (uint(i) & 63)
+	for {
+		old := w.Load()
+		if old&bit == 0 || w.CompareAndSwap(old, old&^bit) {
+			return
+		}
+	}
+}
+
+// Active reports whether slot i is currently active.
+func (a *ActiveSet) Active(i int) bool {
+	return a.words[i>>6].Load()&(uint64(1)<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of active slots (approximate under concurrent
+// churn; each word is read once).
+func (a *ActiveSet) Count() int {
+	n := 0
+	for i := range a.words {
+		w := a.words[i].Load()
+		for w != 0 {
+			w &= w - 1
+			n++
+		}
+	}
+	return n
+}
+
+// Range calls f for every active slot in ascending order. Each word is
+// snapshotted once, so the cost is one atomic load per 64 slots plus one call
+// per set bit — when the mask is full this walks exactly the same slots a
+// plain 0..n loop would, which is what keeps the saturated fixed-N case
+// untaxed.
+func (a *ActiveSet) Range(f func(tid int)) {
+	for i := range a.words {
+		w := a.words[i].Load()
+		base := i << 6
+		for w != 0 {
+			f(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package sigsim
+
+import "testing"
+
+func TestActiveSetBasics(t *testing.T) {
+	a := NewActiveSet(130) // spans three words
+	if a.N() != 130 || a.Count() != 0 {
+		t.Fatalf("fresh set: n=%d count=%d", a.N(), a.Count())
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		a.Set(i)
+		if !a.Active(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+		a.Set(i) // idempotent
+	}
+	if a.Count() != 4 {
+		t.Fatalf("count = %d, want 4", a.Count())
+	}
+	var got []int
+	a.Range(func(tid int) { got = append(got, tid) })
+	want := []int{0, 63, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range visited %v, want %v (ascending)", got, want)
+		}
+	}
+	a.Clear(64)
+	a.Clear(64) // idempotent
+	if a.Active(64) || a.Count() != 3 {
+		t.Fatalf("clear failed: count=%d", a.Count())
+	}
+	full := FullActiveSet(130)
+	if full.Count() != 130 {
+		t.Fatalf("full set count = %d", full.Count())
+	}
+}
+
+// TestSignalAllSkipsInactive pins the membership half of SignalAll: posts
+// land only on active slots, and the sent counter reflects actual peers.
+func TestSignalAllSkipsInactive(t *testing.T) {
+	g := NewGroup(4, Config{})
+	a := NewActiveSet(4)
+	g.SetActive(a)
+	a.Set(0)
+	a.Set(2)
+	g.SignalAll(0)
+	if got := g.Posted(1); got != 0 {
+		t.Fatalf("inactive slot 1 received %d posts", got)
+	}
+	if got := g.Posted(2); got != 1 {
+		t.Fatalf("active slot 2 received %d posts, want 1", got)
+	}
+	if got := g.Posted(0); got != 0 {
+		t.Fatal("self must not be signalled")
+	}
+	if st := g.Stats(); st.Sent != 1 {
+		t.Fatalf("sent = %d, want 1 (one active peer)", st.Sent)
+	}
+}
+
+// TestAttachAbsorbsStalePosts pins slot recycling: signals posted to a
+// vacant slot (or its previous occupant) must not neutralize the next
+// occupant.
+func TestAttachAbsorbsStalePosts(t *testing.T) {
+	g := NewGroup(2, Config{})
+	g.SignalAll(1) // posts a signal to slot 0 while "vacant"
+	if g.Posted(0) != 1 {
+		t.Fatal("setup: no post landed")
+	}
+	g.Attach(0)
+	if g.Restartable(0) {
+		t.Fatal("attached slot must start non-restartable")
+	}
+	// The new occupant polls: the stale post was absorbed by Attach, so no
+	// handler (and no panic) may run.
+	g.Poll(0)
+	if st := g.Stats(); st.Neutralized != 0 || st.Ignored != 0 {
+		t.Fatalf("stale post ran a handler: %+v", st)
+	}
+	// A post after Attach is delivered normally.
+	g.SignalAll(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("restartable occupant must be neutralized by a fresh post")
+		}
+	}()
+	g.SetRestartable(0)
+	g.SignalAll(1)
+	g.Poll(0)
+}

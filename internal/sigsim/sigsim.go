@@ -68,29 +68,59 @@ type Config struct {
 type Group struct {
 	states []state
 	cfg    Config
+	active *ActiveSet
 }
 
-// NewGroup creates a signal group for n threads.
+// NewGroup creates a signal group for n threads, all signalable (the fixed-N
+// mode). Lease-managed callers replace the mask with SetActive.
 func NewGroup(n int, cfg Config) *Group {
-	return &Group{states: make([]state, n), cfg: cfg}
+	return &Group{states: make([]state, n), cfg: cfg, active: FullActiveSet(n)}
+}
+
+// SetActive replaces the group's signalable-slot mask. It must be called
+// before the group is used concurrently (scheme construction time): the mask
+// pointer itself is not synchronized, only its contents are.
+func (g *Group) SetActive(a *ActiveSet) { g.active = a }
+
+// Attach readies slot tid for a new occupant: any signals posted to the
+// previous occupant (or to the vacant slot) are absorbed without running a
+// handler, and the slot starts non-restartable. It must be called by the
+// acquiring goroutine before the slot's first read phase, so a recycled tid
+// can never be neutralized by a broadcast aimed at its predecessor.
+func (g *Group) Attach(tid int) {
+	s := &g.states[tid]
+	for {
+		old := s.word.Load()
+		if s.word.CompareAndSwap(old, old&^restartableBit) {
+			s.delivered = old / postUnit
+			return
+		}
+	}
 }
 
 // N returns the number of threads in the group.
 func (g *Group) N() int { return len(g.states) }
 
-// SignalAll posts one neutralization signal to every thread except self,
-// charging the configured send cost per peer. It corresponds to the paper's
-// signalAll: delivery is guaranteed (by the barriers above) to happen before
-// the receiver's next shared-record access.
+// SignalAll posts one neutralization signal to every *active* thread except
+// self, charging the configured send cost per peer. It corresponds to the
+// paper's signalAll: delivery is guaranteed (by the barriers above) to happen
+// before the receiver's next shared-record access. Skipping inactive slots is
+// safe because a slot is only inactive while no goroutine is inside an
+// operation on it, and a goroutine that activates after this broadcast cannot
+// hold pointers obtained before the records it would need were unlinked; it
+// is also the point of dynamic membership — signal cost tracks live threads,
+// not capacity.
 func (g *Group) SignalAll(self int) {
-	for i := range g.states {
+	sent := uint64(0)
+	g.active.Range(func(i int) {
 		if i == self {
-			continue
+			return
 		}
 		g.states[i].word.Add(postUnit)
 		g.states[self].sink = spin(g.cfg.SendSpin, g.states[self].sink)
-	}
-	g.states[self].sent.Add(uint64(len(g.states) - 1))
+		sent++
+	})
+	g.states[self].sent.Add(sent)
 }
 
 // SetRestartable is the sigsetjmp point at the start of a read phase: it

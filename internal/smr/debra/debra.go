@@ -27,11 +27,13 @@ type Scheme struct {
 	epoch    smr.Pad64
 	announce []smr.Pad64 // epoch<<1 | active bit
 	gs       []*guard
+	smr.Membership
 }
 
 // New creates a DEBRA scheme for the given arena and thread count.
 func New(arena mem.Arena, threads int) *Scheme {
 	s := &Scheme{arena: arena, announce: make([]smr.Pad64, threads)}
+	s.InitFixed(threads)
 	s.epoch.Store(2)
 	for i := range s.announce {
 		s.announce[i].Store(2 << 1) // epoch 2, quiescent
@@ -66,6 +68,78 @@ func (s *Scheme) Stats() smr.Stats {
 // property-P2 failure E2 demonstrates).
 func (s *Scheme) GarbageBound() int { return smr.Unbounded }
 
+// ReclaimBurst implements smr.Scheme: DEBRA's rotation bursts have no
+// declared size (bags grow with the grace period), so the allocator keeps
+// its default cache sizing.
+func (s *Scheme) ReclaimBurst() int { return 0 }
+
+// AttachRegistry implements smr.Member: the amortized epoch scan treats
+// inactive slots as quiescent — a departed thread must never pin the epoch
+// — and the lease hooks keep announcements and limbo bags coherent across
+// slot reuse. Must run before guards are used.
+func (s *Scheme) AttachRegistry(r *smr.Registry) {
+	s.Join(r, len(s.gs), "debra", s.attachThread, s.detachThread)
+}
+
+// attachThread readies slot tid for a new leaseholder: adopt the current
+// epoch quiescently so the predecessor's announcement cannot pin the epoch
+// or trip the next BeginOp's rotation logic.
+func (s *Scheme) attachThread(tid int) {
+	g := s.gs[tid]
+	e := s.epoch.Load()
+	g.localE = e
+	g.scanAt = 0
+	s.announce[tid].Store(e << 1) // current epoch, quiescent
+}
+
+// detachThread quiesces a departing thread: rotate once if the epoch moved
+// (freeing any bags past their grace periods), then orphan everything still
+// in limbo — the adopter files the records under its own current epoch,
+// which is at least as late as DEBRA would have used, so the two-epoch
+// safety margin is preserved. Runs on the releasing goroutine after the
+// slot left the active mask.
+func (s *Scheme) detachThread(tid int) {
+	g := s.gs[tid]
+	if e := s.epoch.Load(); e != g.localE {
+		g.rotate(e)
+	}
+	for i := range g.bags {
+		if len(g.bags[i]) > 0 {
+			s.Reg.AddOrphans(g.bags[i])
+			g.bags[i] = g.bags[i][:0]
+		}
+	}
+	s.announce[tid].Store(g.localE << 1)
+}
+
+// Drain implements smr.Drainer: adopt all orphans into the current bag,
+// then attempt one epoch advance and rotation on behalf of tid. At
+// quiescence three consecutive calls walk the grace periods forward and
+// empty every bag.
+func (s *Scheme) Drain(tid int) {
+	g := s.gs[tid]
+	g.adopt()
+	e := s.epoch.Load()
+	stuck := false
+	s.ActiveMask.Range(func(peer int) {
+		if stuck || peer == tid {
+			return
+		}
+		v := s.announce[peer].Load()
+		if v&1 != 0 && v>>1 < e {
+			stuck = true
+		}
+	})
+	if !stuck && s.epoch.CompareAndSwap(e, e+1) {
+		g.advances.Inc()
+		e++
+	}
+	if e != g.localE {
+		g.rotate(e)
+		s.announce[tid].Store(e << 1)
+	}
+}
+
 type guard struct {
 	s      *Scheme
 	tid    int
@@ -93,7 +167,10 @@ func (g *guard) BeginOp() {
 
 	peer := g.scanAt
 	v := g.s.announce[peer].Load()
-	if v&1 == 0 || v>>1 >= e { // quiescent, or has adopted the current epoch
+	// A peer passes the check when quiescent, caught up to the current
+	// epoch, or simply not a member — a departed thread must never pin the
+	// epoch (the membership half of dynamic DEBRA).
+	if v&1 == 0 || v>>1 >= e || !g.s.ActiveMask.Active(peer) {
 		g.scanAt++
 		if g.scanAt == len(g.s.announce) {
 			g.scanAt = 0
@@ -132,6 +209,7 @@ func (g *guard) Retire(p mem.Ptr) {
 	if e := g.s.epoch.Load(); e != g.localE {
 		g.rotate(e)
 	}
+	g.adopt()
 	g.bags[g.localE%3] = append(g.bags[g.localE%3], p.Unmarked())
 	g.retired.Inc()
 	g.batches.Record(1)
@@ -148,6 +226,7 @@ func (g *guard) RetireBatch(ps []mem.Ptr) {
 	if e := g.s.epoch.Load(); e != g.localE {
 		g.rotate(e)
 	}
+	g.adopt()
 	bag := &g.bags[g.localE%3]
 	for _, p := range ps {
 		*bag = append(*bag, p.Unmarked())
@@ -176,6 +255,24 @@ func (g *guard) freeBag(i int) {
 		g.freed.Inc()
 	}
 	g.bags[i] = g.bags[i][:0]
+}
+
+// adopt pulls every orphaned record into the *current* epoch's bag. The
+// epoch is re-read (rotating if it moved) immediately before filing: an
+// orphan was retired no later than now, so filing under the freshly read
+// epoch e guarantees it is not freed before rotate(e+2) — two full grace
+// periods after its retirement. Filing under a stale localE would shrink
+// that margin (a drain guard can lag the epoch by ≥2, which would free
+// adopted records with no grace period at all). Adopted records were
+// already counted as retired.
+func (g *guard) adopt() {
+	if g.s.HasOrphans() {
+		if e := g.s.epoch.Load(); e != g.localE {
+			g.rotate(e)
+		}
+		bag := &g.bags[g.localE%3]
+		*bag = g.s.Adopt(*bag, 0)
+	}
 }
 
 // Garbage reports this guard's current limbo population (test hook).

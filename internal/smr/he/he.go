@@ -46,12 +46,18 @@ type Scheme struct {
 	cfg   Config
 	era   smr.Pad64
 	slots []smr.Pad64 // N*K era announcements; 0 = none
-	gs    []*guard
+	// orphanPeak is the high-water mark of the registry orphan list while
+	// this scheme fed it: orphaned records are era-pinned survivors, so they
+	// belong to the pinned-set term of GarbageBound.
+	orphanPeak smr.Watermark
+	gs         []*guard
+	smr.Membership
 }
 
 // New creates a hazard-eras scheme for the given arena and thread count.
 func New(arena mem.Arena, threads int, cfg Config) *Scheme {
 	s := &Scheme{arena: arena, cfg: cfg.withDefaults(threads)}
+	s.InitFixed(threads)
 	s.era.Store(1)
 	s.slots = make([]smr.Pad64, threads*s.cfg.Slots)
 	s.gs = make([]*guard, threads)
@@ -80,14 +86,75 @@ func (s *Scheme) Stats() smr.Stats {
 	return st
 }
 
-// GarbageBound implements smr.Scheme: each thread sweeps at the threshold;
-// survivors are records whose lifetime contains an announced era, which in
-// a run without stalled announcements is at most one era-advance period of
-// retire traffic per announcing peer — N·EraFreq slack per thread on top of
-// the N·Threshold buffered records.
+// GarbageBound implements smr.Scheme as the exact pinned-set bound. Garbage
+// splits into two parts:
+//
+//   - buffered records: each thread's bag sweeps at the threshold, and a
+//     sweep pass can transiently hold one adopted-orphan batch on top —
+//     ≤ 2·Threshold+2 per thread, a static term;
+//   - pinned records: sweep survivors are exactly the records whose
+//     lifetime contains an announced era. That set is measured, not
+//     guessed: every sweep records its survivor count, and the bound
+//     carries the high-water mark (plus the orphaned-survivor peak under
+//     membership churn).
+//
+// The old N·EraFreq-per-thread heuristic overcharged quiet runs (nothing
+// pinned) and was never honest under a stalled announcement (whose pinned
+// set is bounded by records alive at the stalled era, not by EraFreq); the
+// measured pinned-set term is tight in the first case and adapts exactly in
+// the second. Monotone by construction (watermarks only rise), as
+// smr.Scheme requires.
 func (s *Scheme) GarbageBound() int {
 	n := len(s.gs)
-	return n * (s.cfg.Threshold + n*s.cfg.EraFreq)
+	bound := n * (2*s.cfg.Threshold + 2)
+	for _, g := range s.gs {
+		bound += int(g.pinnedPeak.Load())
+	}
+	return bound + int(s.orphanPeak.Load())
+}
+
+// ReclaimBurst implements smr.Scheme: a sweep frees at most one full bag.
+func (s *Scheme) ReclaimBurst() int { return s.cfg.Threshold }
+
+// AttachRegistry implements smr.Member: adopt the registry's active mask for
+// era scans and register the lease hooks. Must run before guards are used.
+func (s *Scheme) AttachRegistry(r *smr.Registry) {
+	s.Join(r, len(s.gs), "he", s.attachThread, s.detachThread)
+}
+
+// attachThread clears slot tid's era announcements for a new leaseholder.
+func (s *Scheme) attachThread(tid int) {
+	for i := 0; i < s.cfg.Slots; i++ {
+		s.slot(tid, i).Store(0)
+	}
+	s.gs[tid].hiSlot = -1
+}
+
+// detachThread quiesces a departing thread: adopt previously orphaned
+// records, sweep everything once, orphan the era-pinned survivors, and
+// clear the thread's announcements. Runs on the releasing goroutine after
+// the slot left the active mask.
+func (s *Scheme) detachThread(tid int) {
+	g := s.gs[tid]
+	g.adopt(0)
+	if len(g.bag) > 0 {
+		g.sweep()
+	}
+	if len(g.bag) > 0 {
+		s.Reg.AddOrphans(g.bag)
+		s.orphanPeak.Raise(uint64(s.Reg.OrphanCount()))
+		g.bag = g.bag[:0]
+	}
+	s.attachThread(tid)
+}
+
+// Drain implements smr.Drainer: adopt all orphans and sweep on behalf of tid.
+func (s *Scheme) Drain(tid int) {
+	g := s.gs[tid]
+	g.adopt(0)
+	if len(g.bag) > 0 {
+		g.sweep()
+	}
 }
 
 func (s *Scheme) slot(tid, i int) *smr.Pad64 { return &s.slots[tid*s.cfg.Slots+i] }
@@ -99,6 +166,10 @@ type guard struct {
 	bag    []mem.Ptr
 	events int
 	eras   []uint64 // sweep scratch
+
+	// pinnedPeak is the largest survivor set any sweep of this guard kept:
+	// the measured pinned-set term of GarbageBound.
+	pinnedPeak smr.Watermark
 
 	retired  smr.Counter
 	batches  smr.BatchHist
@@ -206,15 +277,26 @@ func (g *guard) tickN(n int) {
 	}
 }
 
-// sweep frees every record whose lifetime contains no announced era.
+// sweep frees every record whose lifetime contains no announced era,
+// walking only active threads' era announcements. Orphaned records are
+// adopted first so departed threads' garbage rides the same sweep; the
+// survivor count feeds the pinned-set term of GarbageBound.
 func (g *guard) sweep() {
+	g.adopt(g.s.cfg.Threshold)
 	g.scans.Inc()
-	g.eras = g.eras[:0]
-	for i := range g.s.slots {
-		if v := g.s.slots[i].Load(); v != 0 {
-			g.eras = append(g.eras, v)
-		}
+	if r := g.s.Reg; r != nil {
+		r.BeginScan()
+		defer r.EndScan()
 	}
+	g.eras = g.eras[:0]
+	width := g.s.cfg.Slots
+	g.s.ActiveMask.Range(func(tid int) {
+		for i := 0; i < width; i++ {
+			if v := g.s.slot(tid, i).Load(); v != 0 {
+				g.eras = append(g.eras, v)
+			}
+		}
+	})
 	kept := g.bag[:0]
 	for _, p := range g.bag {
 		hdr := g.s.arena.Hdr(p)
@@ -234,4 +316,15 @@ func (g *guard) sweep() {
 		}
 	}
 	g.bag = kept
+	// Recorded after the frees so a concurrent sampler can never read the
+	// lowered garbage before the raised bound (GarbageBound is monotone, so
+	// the reverse interleaving is harmless).
+	g.pinnedPeak.Raise(uint64(len(kept)))
+}
+
+// adopt pulls up to max (all when max <= 0) orphaned records into the bag.
+// Their birth/retire stamps were written when they were first retired, so
+// the usual lifetime check applies unchanged.
+func (g *guard) adopt(max int) {
+	g.bag = g.s.Adopt(g.bag, max)
 }

@@ -43,11 +43,13 @@ type Scheme struct {
 	cfg   Config
 	slots []smr.Pad64 // N*K announcement slots
 	gs    []*guard
+	smr.Membership
 }
 
 // New creates a hazard-pointer scheme for the given arena and thread count.
 func New(arena mem.Arena, threads int, cfg Config) *Scheme {
 	s := &Scheme{arena: arena, cfg: cfg.withDefaults(threads)}
+	s.InitFixed(threads)
 	s.slots = make([]smr.Pad64, threads*s.cfg.Slots)
 	s.gs = make([]*guard, threads)
 	for i := range s.gs {
@@ -81,10 +83,56 @@ func (s *Scheme) Stats() smr.Stats {
 // GarbageBound implements smr.Scheme: each thread's retire buffer scans at
 // the threshold and a scan leaves at most N·K protected survivors, so the
 // system-wide garbage never exceeds N·(Threshold + N·K) — the Θ(N²K) bound
-// property P2 charges hazard pointers for.
+// property P2 charges hazard pointers for — plus the orphan allowance: up to
+// N concurrently departing threads can each strand one protected survivor
+// set (≤ N·K) on the orphan list before the next scan adopts it.
 func (s *Scheme) GarbageBound() int {
 	n := len(s.gs)
-	return n * (s.cfg.Threshold + n*s.cfg.Slots)
+	return n*(s.cfg.Threshold+n*s.cfg.Slots) + n*n*s.cfg.Slots
+}
+
+// ReclaimBurst implements smr.Scheme: a scan frees at most one full retire
+// buffer at once.
+func (s *Scheme) ReclaimBurst() int { return s.cfg.Threshold }
+
+// AttachRegistry implements smr.Member: adopt the registry's active mask for
+// hazard scans and register the lease hooks. Must run before guards are used.
+func (s *Scheme) AttachRegistry(r *smr.Registry) {
+	s.Join(r, len(s.gs), "hp", s.attachThread, s.detachThread)
+}
+
+// attachThread clears slot tid's hazard announcements for a new leaseholder.
+func (s *Scheme) attachThread(tid int) {
+	for i := 0; i < s.cfg.Slots; i++ {
+		s.slot(tid, i).Store(0)
+	}
+	s.gs[tid].hiSlot = -1
+}
+
+// detachThread quiesces a departing thread: adopt previously orphaned
+// records, scan once over everything, orphan the protected survivors
+// (≤ N·K), and clear the thread's announcements. Runs on the releasing
+// goroutine after the slot left the active mask.
+func (s *Scheme) detachThread(tid int) {
+	g := s.gs[tid]
+	g.adopt(0)
+	if len(g.bag) > 0 {
+		g.doScan()
+	}
+	if len(g.bag) > 0 {
+		s.Reg.AddOrphans(g.bag)
+		g.bag = g.bag[:0]
+	}
+	s.attachThread(tid)
+}
+
+// Drain implements smr.Drainer: adopt all orphans and scan on behalf of tid.
+func (s *Scheme) Drain(tid int) {
+	g := s.gs[tid]
+	g.adopt(0)
+	if len(g.bag) > 0 {
+		g.doScan()
+	}
 }
 
 func (s *Scheme) slot(tid, i int) *smr.Pad64 { return &s.slots[tid*s.cfg.Slots+i] }
@@ -175,13 +223,25 @@ func (g *guard) RetireBatch(ps []mem.Ptr) {
 	}
 }
 
-// doScan collects every announcement into the flat sorted scratch and frees
-// the unprotected remainder of the bag in one FreeBatch call — zero heap
-// allocations and one free-list interaction per scan.
+// doScan collects every active thread's announcements into the flat sorted
+// scratch and frees the unprotected remainder of the bag in one FreeBatch
+// call — zero heap allocations and one free-list interaction per scan. Any
+// orphaned records are adopted first, so departed threads' garbage rides the
+// same sweep.
 func (g *guard) doScan() {
+	g.adopt(g.s.cfg.Threshold)
 	g.scans.Inc()
-	g.scan.Collect(g.s.slots)
+	if r := g.s.Reg; r != nil {
+		r.BeginScan()
+		defer r.EndScan()
+	}
+	g.scan.CollectRows(g.s.slots, g.s.cfg.Slots, g.s.ActiveMask)
 	var freed int
 	g.bag, g.freeables, freed = g.scan.SweepBag(g.s.arena, g.tid, g.bag, len(g.bag), g.freeables)
 	g.freed.Add(uint64(freed))
+}
+
+// adopt pulls up to max (all when max <= 0) orphaned records into the bag.
+func (g *guard) adopt(max int) {
+	g.bag = g.s.Adopt(g.bag, max)
 }

@@ -47,13 +47,19 @@ type Scheme struct {
 	era   smr.Pad64
 	lo    []smr.Pad64
 	hi    []smr.Pad64
-	gs    []*guard
+	// orphanPeak is the high-water mark of the registry orphan list while
+	// this scheme fed it: orphaned records are interval-pinned survivors,
+	// so they belong to the pinned-set term of GarbageBound.
+	orphanPeak smr.Watermark
+	gs         []*guard
+	smr.Membership
 }
 
 // New creates a 2GE-IBR scheme for the given arena and thread count.
 func New(arena mem.Arena, threads int, cfg Config) *Scheme {
 	s := &Scheme{arena: arena, cfg: cfg.withDefaults(threads),
 		lo: make([]smr.Pad64, threads), hi: make([]smr.Pad64, threads)}
+	s.InitFixed(threads)
 	s.era.Store(1)
 	for i := 0; i < threads; i++ {
 		s.lo[i].Store(idleLo)
@@ -84,14 +90,66 @@ func (s *Scheme) Stats() smr.Stats {
 	return st
 }
 
-// GarbageBound implements smr.Scheme: each thread sweeps at the threshold;
-// survivors are records whose lifetime intersects a reserved interval, and
-// an interval that is not stalled spans at most a few era-advance periods
-// of retire traffic — N·EraFreq slack per thread on top of the N·Threshold
-// buffered records (the same Θ(N²) shape Wen et al. prove for 2GE).
+// GarbageBound implements smr.Scheme as the exact pinned-set bound: a
+// static buffered term (each bag sweeps at the threshold, plus one
+// adopted-orphan batch in flight — ≤ 2·Threshold+2 per thread) plus the
+// measured pinned set — sweep survivors are exactly the records whose
+// lifetime intersects a reserved interval, recorded as a high-water mark
+// per guard (and an orphaned-survivor peak under membership churn). See the
+// he package for the full rationale; the old N·EraFreq heuristic is gone
+// for the same reasons. Monotone by construction, as smr.Scheme requires.
 func (s *Scheme) GarbageBound() int {
 	n := len(s.gs)
-	return n * (s.cfg.Threshold + n*s.cfg.EraFreq)
+	bound := n * (2*s.cfg.Threshold + 2)
+	for _, g := range s.gs {
+		bound += int(g.pinnedPeak.Load())
+	}
+	return bound + int(s.orphanPeak.Load())
+}
+
+// ReclaimBurst implements smr.Scheme: a sweep frees at most one full bag.
+func (s *Scheme) ReclaimBurst() int { return s.cfg.Threshold }
+
+// AttachRegistry implements smr.Member: adopt the registry's active mask
+// for interval scans and register the lease hooks. Must run before guards
+// are used.
+func (s *Scheme) AttachRegistry(r *smr.Registry) {
+	s.Join(r, len(s.gs), "ibr", s.attachThread, s.detachThread)
+}
+
+// attachThread empties slot tid's reservation interval for a new
+// leaseholder.
+func (s *Scheme) attachThread(tid int) {
+	s.lo[tid].Store(idleLo)
+	s.hi[tid].Store(0)
+}
+
+// detachThread quiesces a departing thread: adopt previously orphaned
+// records, sweep everything once, orphan the interval-pinned survivors, and
+// empty the thread's reservation. Runs on the releasing goroutine after the
+// slot left the active mask.
+func (s *Scheme) detachThread(tid int) {
+	g := s.gs[tid]
+	g.adopt(0)
+	if len(g.bag) > 0 {
+		g.sweep()
+	}
+	if len(g.bag) > 0 {
+		s.Reg.AddOrphans(g.bag)
+		s.orphanPeak.Raise(uint64(s.Reg.OrphanCount()))
+		g.bag = g.bag[:0]
+	}
+	s.attachThread(tid)
+}
+
+// Drain implements smr.Drainer: adopt all orphans and sweep on behalf of
+// tid.
+func (s *Scheme) Drain(tid int) {
+	g := s.gs[tid]
+	g.adopt(0)
+	if len(g.bag) > 0 {
+		g.sweep()
+	}
 }
 
 type guard struct {
@@ -101,6 +159,10 @@ type guard struct {
 	events int // allocations + retirements since the last era advance
 	los    []uint64
 	his    []uint64 // sweep scratch, reused
+
+	// pinnedPeak is the largest survivor set any sweep of this guard kept:
+	// the measured pinned-set term of GarbageBound.
+	pinnedPeak smr.Watermark
 
 	retired  smr.Counter
 	batches  smr.BatchHist
@@ -205,29 +267,35 @@ func (g *guard) tickN(n int) {
 	}
 }
 
-// sweep frees every record whose [birth, retire] interval no thread
-// reserves.
+// sweep frees every record whose [birth, retire] interval no active thread
+// reserves. Orphaned records are adopted first so departed threads' garbage
+// rides the same sweep; the survivor count feeds the pinned-set term of
+// GarbageBound.
 func (g *guard) sweep() {
+	g.adopt(g.s.cfg.Threshold)
 	g.scans.Inc()
-	n := len(g.s.lo)
+	if r := g.s.Reg; r != nil {
+		r.BeginScan()
+		defer r.EndScan()
+	}
 	if g.los == nil {
-		g.los = make([]uint64, n)
-		g.his = make([]uint64, n)
+		g.los = make([]uint64, 0, len(g.s.lo))
+		g.his = make([]uint64, 0, len(g.s.hi))
 	}
-	los, his := g.los, g.his
-	for i := 0; i < n; i++ {
-		los[i] = g.s.lo[i].Load()
-		his[i] = g.s.hi[i].Load()
-	}
+	los, his := g.los[:0], g.his[:0]
+	g.s.ActiveMask.Range(func(tid int) {
+		if lo := g.s.lo[tid].Load(); lo != idleLo {
+			los = append(los, lo)
+			his = append(his, g.s.hi[tid].Load())
+		}
+	})
+	g.los, g.his = los, his
 	kept := g.bag[:0]
 	for _, p := range g.bag {
 		hdr := g.s.arena.Hdr(p)
 		birth, retire := hdr.Birth(), hdr.Retire()
 		conflict := false
-		for i := 0; i < n; i++ {
-			if los[i] == idleLo {
-				continue
-			}
+		for i := range los {
 			if retire >= los[i] && birth <= his[i] {
 				conflict = true
 				break
@@ -241,4 +309,14 @@ func (g *guard) sweep() {
 		}
 	}
 	g.bag = kept
+	// Recorded after the frees so a concurrent sampler can never read the
+	// lowered garbage before the raised bound.
+	g.pinnedPeak.Raise(uint64(len(kept)))
+}
+
+// adopt pulls up to max (all when max <= 0) orphaned records into the bag.
+// Their birth/retire stamps were written when they were first retired, so
+// the usual interval check applies unchanged.
+func (g *guard) adopt(max int) {
+	g.bag = g.s.Adopt(g.bag, max)
 }

@@ -44,6 +44,18 @@ func (s *Scheme) Stats() smr.Stats {
 // unbounded by construction (the memory-usage worst case in every figure).
 func (s *Scheme) GarbageBound() int { return smr.Unbounded }
 
+// ReclaimBurst implements smr.Scheme: leaky never frees, so there is no
+// burst to size caches for.
+func (s *Scheme) ReclaimBurst() int { return 0 }
+
+// AttachRegistry implements smr.Member: leaky holds no per-thread
+// reclamation state, so membership churn needs no hooks — retired records
+// are dropped on the floor whether or not the retiring thread stays.
+func (s *Scheme) AttachRegistry(*smr.Registry) {}
+
+// Drain implements smr.Drainer as a no-op: there is nothing to reclaim.
+func (s *Scheme) Drain(int) {}
+
 type guard struct {
 	tid     int
 	retired smr.Counter

@@ -28,6 +28,27 @@ func (c *Counter) Add(n uint64) { c.v.Store(c.v.Load() + n) }
 // Load returns the current value.
 func (c *Counter) Load() uint64 { return c.v.Load() }
 
+// Watermark is a monotone atomic maximum: concurrent Raise calls keep the
+// largest value ever offered. Era schemes use it for their pinned-set
+// accounting — GarbageBound must be monotone non-decreasing (see Scheme), so
+// the pinned term is a high-water mark, not the instantaneous pinned count.
+type Watermark struct {
+	v atomic.Uint64
+}
+
+// Raise lifts the watermark to v if v is higher.
+func (w *Watermark) Raise(v uint64) {
+	for {
+		old := w.v.Load()
+		if v <= old || w.v.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current watermark.
+func (w *Watermark) Load() uint64 { return w.v.Load() }
+
 // BatchBuckets is the number of power-of-two buckets in the retire
 // handoff-size histogram (Stats.BatchHist); the top bucket absorbs any
 // batch of 2^(BatchBuckets-1) records or more.

@@ -33,11 +33,13 @@ type Scheme struct {
 	epoch    smr.Pad64
 	announce []smr.Pad64
 	gs       []*guard
+	smr.Membership
 }
 
 // New creates a QSBR scheme for the given arena and thread count.
 func New(arena mem.Arena, threads int, cfg Config) *Scheme {
 	s := &Scheme{arena: arena, cfg: cfg.withDefaults(), announce: make([]smr.Pad64, threads)}
+	s.InitFixed(threads)
 	s.epoch.Store(2) // headroom so tag+2 arithmetic never wraps below zero
 	s.gs = make([]*guard, threads)
 	for i := range s.gs {
@@ -70,6 +72,57 @@ func (s *Scheme) Stats() smr.Stats {
 // grows until it recovers (property P2 is not met).
 func (s *Scheme) GarbageBound() int { return smr.Unbounded }
 
+// ReclaimBurst implements smr.Scheme: a sweep frees at most one full bag.
+func (s *Scheme) ReclaimBurst() int { return s.cfg.Threshold }
+
+// AttachRegistry implements smr.Member: epoch advance and sweeps consult
+// only active threads' announcements — a departed thread must never block a
+// grace period — and the lease hooks keep announcements coherent across
+// slot reuse. Must run before guards are used.
+func (s *Scheme) AttachRegistry(r *smr.Registry) {
+	s.Join(r, len(s.gs), "qsbr", s.attachThread, s.detachThread)
+}
+
+// attachThread announces the current epoch for a new leaseholder, so a
+// predecessor's ancient announcement can never stall the epoch the moment
+// the slot re-activates.
+func (s *Scheme) attachThread(tid int) {
+	s.announce[tid].Store(s.epoch.Load())
+}
+
+// detachThread quiesces a departing thread: one advance-and-sweep attempt,
+// then the rest of the bag is orphaned for the next reclaimer (re-tagged at
+// adoption with the adopter's current epoch — later than the original tag,
+// so strictly conservative). Runs on the releasing goroutine after the slot
+// left the active mask.
+func (s *Scheme) detachThread(tid int) {
+	g := s.gs[tid]
+	g.adopt()
+	if len(g.bag) > 0 {
+		g.tryAdvance()
+		g.sweep()
+	}
+	if len(g.bag) > 0 {
+		orphans := make([]mem.Ptr, 0, len(g.bag))
+		for _, e := range g.bag {
+			orphans = append(orphans, e.p)
+		}
+		s.Reg.AddOrphans(orphans)
+		g.bag = g.bag[:0]
+	}
+}
+
+// Drain implements smr.Drainer: adopt all orphans, then attempt one epoch
+// advance and sweep on behalf of tid. At quiescence three consecutive calls
+// walk the two grace periods forward and empty the bag.
+func (s *Scheme) Drain(tid int) {
+	g := s.gs[tid]
+	g.adopt()
+	s.announce[tid].Store(s.epoch.Load())
+	g.tryAdvance()
+	g.sweep()
+}
+
 type entry struct {
 	p   mem.Ptr
 	tag uint64
@@ -79,6 +132,7 @@ type guard struct {
 	s          *Scheme
 	tid        int
 	bag        []entry
+	scratch    []mem.Ptr // orphan-adoption buffer, reused
 	sinceSweep int
 
 	retired  smr.Counter
@@ -118,6 +172,7 @@ func (g *guard) Retire(p mem.Ptr) {
 	// QSBR implementations retry a grace-period check only periodically.
 	if len(g.bag) >= g.s.cfg.Threshold && g.sinceSweep >= g.s.cfg.Threshold/4 {
 		g.sinceSweep = 0
+		g.adopt()
 		g.tryAdvance()
 		g.sweep()
 	}
@@ -140,19 +195,25 @@ func (g *guard) RetireBatch(ps []mem.Ptr) {
 	g.sinceSweep += len(ps)
 	if len(g.bag) >= g.s.cfg.Threshold && g.sinceSweep >= g.s.cfg.Threshold/4 {
 		g.sinceSweep = 0
+		g.adopt()
 		g.tryAdvance()
 		g.sweep()
 	}
 }
 
-// tryAdvance bumps the global epoch if every thread has announced the
-// current one.
+// tryAdvance bumps the global epoch if every *active* thread has announced
+// the current one. A departed thread's stale announcement must never stall
+// grace periods — that is the membership half of dynamic QSBR.
 func (g *guard) tryAdvance() {
 	e := g.s.epoch.Load()
-	for i := range g.s.announce {
-		if g.s.announce[i].Load() < e {
-			return
+	behind := false
+	g.s.ActiveMask.Range(func(i int) {
+		if !behind && g.s.announce[i].Load() < e {
+			behind = true
 		}
+	})
+	if behind {
+		return
 	}
 	if g.s.epoch.CompareAndSwap(e, e+1) {
 		g.advances.Inc()
@@ -160,15 +221,20 @@ func (g *guard) tryAdvance() {
 }
 
 // sweep frees every bag entry that two grace periods separate from all
-// possible readers.
+// active readers (a thread that activates later starts at the current
+// epoch, so it can never resurrect an older tag).
 func (g *guard) sweep() {
 	g.scans.Inc()
+	if r := g.s.Reg; r != nil {
+		r.BeginScan()
+		defer r.EndScan()
+	}
 	min := ^uint64(0)
-	for i := range g.s.announce {
+	g.s.ActiveMask.Range(func(i int) {
 		if a := g.s.announce[i].Load(); a < min {
 			min = a
 		}
-	}
+	})
 	kept := g.bag[:0]
 	for _, e := range g.bag {
 		if e.tag+2 <= min {
@@ -179,4 +245,23 @@ func (g *guard) sweep() {
 		}
 	}
 	g.bag = kept
+}
+
+// adopt pulls every orphaned record into the bag, tagged with the current
+// epoch — at least as late as the tag its original thread would have used,
+// so the two-grace-period rule stays conservative. Adopted records were
+// already counted as retired.
+func (g *guard) adopt() {
+	if !g.s.HasOrphans() {
+		return
+	}
+	if g.scratch == nil {
+		g.scratch = make([]mem.Ptr, 0, 64)
+	}
+	g.scratch = g.s.Adopt(g.scratch[:0], 0)
+	tag := g.s.epoch.Load()
+	for _, p := range g.scratch {
+		g.bag = append(g.bag, entry{p, tag})
+	}
+	g.scratch = g.scratch[:0]
 }

@@ -35,11 +35,13 @@ type Scheme struct {
 	epoch    smr.Pad64
 	announce []smr.Pad64
 	gs       []*guard
+	smr.Membership
 }
 
 // New creates an RCU scheme for the given arena and thread count.
 func New(arena mem.Arena, threads int, cfg Config) *Scheme {
 	s := &Scheme{arena: arena, cfg: cfg.withDefaults(), announce: make([]smr.Pad64, threads)}
+	s.InitFixed(threads)
 	s.epoch.Store(2)
 	for i := range s.announce {
 		s.announce[i].Store(idle)
@@ -74,6 +76,53 @@ func (s *Scheme) Stats() smr.Stats {
 // stalls inside a read-side critical section (property P2 is not met).
 func (s *Scheme) GarbageBound() int { return smr.Unbounded }
 
+// ReclaimBurst implements smr.Scheme: a sweep frees at most one full bag.
+func (s *Scheme) ReclaimBurst() int { return s.cfg.Threshold }
+
+// AttachRegistry implements smr.Member: epoch advance and sweeps consult
+// only active threads' announcements, and the lease hooks keep the idle
+// sentinel coherent across slot reuse. Must run before guards are used.
+func (s *Scheme) AttachRegistry(r *smr.Registry) {
+	s.Join(r, len(s.gs), "rcu", s.attachThread, s.detachThread)
+}
+
+// attachThread resets slot tid to the idle sentinel for a new leaseholder.
+func (s *Scheme) attachThread(tid int) {
+	s.announce[tid].Store(idle)
+}
+
+// detachThread quiesces a departing thread: one advance-and-sweep attempt,
+// then the rest of the bag is orphaned (re-tagged at adoption with the
+// adopter's current epoch — strictly conservative). Runs on the releasing
+// goroutine after the slot left the active mask.
+func (s *Scheme) detachThread(tid int) {
+	g := s.gs[tid]
+	g.adopt()
+	if len(g.bag) > 0 {
+		g.tryAdvance()
+		g.sweep()
+	}
+	if len(g.bag) > 0 {
+		orphans := make([]mem.Ptr, 0, len(g.bag))
+		for _, e := range g.bag {
+			orphans = append(orphans, e.p)
+		}
+		s.Reg.AddOrphans(orphans)
+		g.bag = g.bag[:0]
+	}
+	s.announce[tid].Store(idle)
+}
+
+// Drain implements smr.Drainer: adopt all orphans, then attempt one epoch
+// advance and sweep on behalf of tid. At quiescence three consecutive calls
+// walk the two grace periods forward and empty the bag.
+func (s *Scheme) Drain(tid int) {
+	g := s.gs[tid]
+	g.adopt()
+	g.tryAdvance()
+	g.sweep()
+}
+
 type entry struct {
 	p   mem.Ptr
 	tag uint64
@@ -83,6 +132,7 @@ type guard struct {
 	s          *Scheme
 	tid        int
 	bag        []entry
+	scratch    []mem.Ptr // orphan-adoption buffer, reused
 	sinceSweep int
 
 	retired  smr.Counter
@@ -126,6 +176,7 @@ func (g *guard) Retire(p mem.Ptr) {
 	// retire into a full scan of the bag and announcement array.
 	if len(g.bag) >= g.s.cfg.Threshold && g.sinceSweep >= g.s.cfg.Threshold/4 {
 		g.sinceSweep = 0
+		g.adopt()
 		g.tryAdvance()
 		g.sweep()
 	}
@@ -148,31 +199,48 @@ func (g *guard) RetireBatch(ps []mem.Ptr) {
 	g.sinceSweep += len(ps)
 	if len(g.bag) >= g.s.cfg.Threshold && g.sinceSweep >= g.s.cfg.Threshold/4 {
 		g.sinceSweep = 0
+		g.adopt()
 		g.tryAdvance()
 		g.sweep()
 	}
 }
 
+// tryAdvance bumps the global epoch if no *active*, non-idle thread is
+// still inside an older epoch. A departed thread's stale announcement must
+// never stall grace periods.
 func (g *guard) tryAdvance() {
 	e := g.s.epoch.Load()
-	for i := range g.s.announce {
-		if a := g.s.announce[i].Load(); a != idle && a < e {
+	behind := false
+	g.s.ActiveMask.Range(func(i int) {
+		if behind {
 			return
 		}
+		if a := g.s.announce[i].Load(); a != idle && a < e {
+			behind = true
+		}
+	})
+	if behind {
+		return
 	}
 	if g.s.epoch.CompareAndSwap(e, e+1) {
 		g.advances.Inc()
 	}
 }
 
+// sweep frees every bag entry that two grace periods separate from all
+// in-flight operations of active threads.
 func (g *guard) sweep() {
 	g.scans.Inc()
+	if r := g.s.Reg; r != nil {
+		r.BeginScan()
+		defer r.EndScan()
+	}
 	min := ^uint64(0)
-	for i := range g.s.announce {
+	g.s.ActiveMask.Range(func(i int) {
 		if a := g.s.announce[i].Load(); a != idle && a < min {
 			min = a
 		}
-	}
+	})
 	kept := g.bag[:0]
 	for _, e := range g.bag {
 		if e.tag+2 <= min {
@@ -183,4 +251,22 @@ func (g *guard) sweep() {
 		}
 	}
 	g.bag = kept
+}
+
+// adopt pulls every orphaned record into the bag, tagged with the current
+// epoch — at least as late as the original tag, so the two-grace-period
+// rule stays conservative. Adopted records were already counted as retired.
+func (g *guard) adopt() {
+	if !g.s.HasOrphans() {
+		return
+	}
+	if g.scratch == nil {
+		g.scratch = make([]mem.Ptr, 0, 64)
+	}
+	g.scratch = g.s.Adopt(g.scratch[:0], 0)
+	tag := g.s.epoch.Load()
+	for _, p := range g.scratch {
+		g.bag = append(g.bag, entry{p, tag})
+	}
+	g.scratch = g.scratch[:0]
 }

@@ -1,0 +1,320 @@
+package smr
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"nbr/internal/mem"
+	"nbr/internal/sigsim"
+)
+
+// ActiveSet is the membership mask shared by the registry, the signal group
+// and every scheme's scans (defined next to the signal machinery because
+// signalability is its strictest consumer).
+type ActiveSet = sigsim.ActiveSet
+
+// ErrRegistryFull is returned by Acquire when every slot is leased or still
+// quarantined and no slot can be handed out.
+var ErrRegistryFull = errors.New("smr: registry full (every slot leased or quarantined)")
+
+// Member is implemented by schemes that participate in dynamic thread
+// membership. AttachRegistry must be called exactly once, after construction
+// and before any guard is used: the scheme adopts the registry's active mask
+// for its scans and signals, registers its acquire/release hooks, and starts
+// adopting the registry's orphan list during reclamation.
+type Member interface {
+	Scheme
+	AttachRegistry(r *Registry)
+}
+
+// Drainer is implemented by schemes that can make reclamation progress on
+// demand: adopt any orphaned records and run a full scan/sweep on behalf of
+// thread tid (which the caller must own, via a lease or fixed-N convention).
+// One call makes one pass; epoch-based schemes need a few consecutive calls
+// at quiescence to walk their grace periods forward.
+type Drainer interface {
+	Drain(tid int)
+}
+
+// Registry hands out dense thread slots as revocable leases, so
+// goroutine-pool services can run reclamation-protected operations without a
+// fixed thread set. It owns three pieces of shared state:
+//
+//   - the active mask: the published set of live slots every scan and signal
+//     broadcast iterates (cost tracks live threads, not MaxThreads);
+//   - the orphan list: records a departing thread could not reclaim on its
+//     way out (they were reserved/pinned by peers mid-release), adopted into
+//     the next reclaimer's bag DEBRA-style so nothing leaks across
+//     membership churn;
+//   - the quarantine: released slots age one full scan round before reuse,
+//     so a recycled tid is never confused with its predecessor by an
+//     in-flight scan or bookmark snapshot taken while the predecessor was
+//     live.
+//
+// A Registry serves one Scheme (Bind) plus any number of side hooks (the
+// mem thread-cache drain). Acquire/Release are goroutine-safe; each Lease is
+// owned by one goroutine at a time.
+type Registry struct {
+	max    int
+	active *ActiveSet
+	rounds atomic.Uint64 // completed reclamation scan rounds (EndScan/NoteRound)
+	scans  atomic.Int64  // reclamation scans currently in flight (BeginScan)
+
+	mu         sync.Mutex
+	fresh      []int // never-yet-quarantined slots (LIFO)
+	quarantine []quarSlot
+
+	onAcquire []func(tid int)
+	onRelease []func(tid int)
+
+	orphans struct {
+		mu    sync.Mutex
+		ps    []mem.Ptr
+		count atomic.Int64 // mirrors len(ps) so adoption gates stay lock-free
+	}
+}
+
+// quarSlot is a released slot waiting out its scan round.
+type quarSlot struct {
+	tid   int
+	round uint64 // rounds counter at release time
+}
+
+// quarantineRounds is how far the round counter must advance past a slot's
+// release before the slot is aged: +2 covers one scan that may have been in
+// flight (started before the release, bumping the counter after it) plus one
+// full round that demonstrably began after the release completed.
+const quarantineRounds = 2
+
+// NewRegistry creates a lease registry for max dense slots. The active mask
+// starts empty: nothing is a member until Acquire.
+func NewRegistry(max int) *Registry {
+	r := &Registry{max: max, active: sigsim.NewActiveSet(max)}
+	r.fresh = make([]int, 0, max)
+	for tid := max - 1; tid >= 0; tid-- {
+		r.fresh = append(r.fresh, tid) // LIFO pops slot 0 first
+	}
+	return r
+}
+
+// MaxThreads returns the number of slots the registry manages.
+func (r *Registry) MaxThreads() int { return r.max }
+
+// Active returns the registry's published membership mask. Schemes adopt it
+// at AttachRegistry time; it must not be mutated except through leases.
+func (r *Registry) Active() *ActiveSet { return r.active }
+
+// Bind wires a scheme into the registry: the scheme adopts the active mask
+// and registers its membership hooks. It must run after the scheme is
+// constructed and before any guard is used. Bind panics if the scheme does
+// not participate in dynamic membership.
+func (r *Registry) Bind(s Scheme) {
+	m, ok := s.(Member)
+	if !ok {
+		panic("smr: scheme does not implement smr.Member; cannot Bind")
+	}
+	m.AttachRegistry(r)
+}
+
+// OnAcquire registers a hook run on the acquiring goroutine each time a slot
+// is handed out, after the slot is assigned and before it is marked active.
+// Hooks must be registered before the registry is used concurrently.
+func (r *Registry) OnAcquire(f func(tid int)) { r.onAcquire = append(r.onAcquire, f) }
+
+// OnRelease registers a hook run on the releasing goroutine during
+// Lease.Release, after the slot is removed from the active mask. Hooks run
+// in registration order: a scheme's quiesce hook (registered by Bind) runs
+// before a later-registered allocator-cache drain, so records the quiesce
+// frees reach the thread cache before it is flushed.
+func (r *Registry) OnRelease(f func(tid int)) { r.onRelease = append(r.onRelease, f) }
+
+// BeginScan marks a reclamation scan (a reservation/hazard/era collection
+// and its sweep) as in flight. Schemes bound to the registry bracket every
+// scan with BeginScan/EndScan; the in-flight count is what lets Acquire
+// prove that no scan can still hold a snapshot of a quarantined slot's
+// previous occupant.
+func (r *Registry) BeginScan() { r.scans.Add(1) }
+
+// EndScan marks the scan complete, counting one finished round toward
+// quarantine aging.
+func (r *Registry) EndScan() {
+	r.scans.Add(-1)
+	r.rounds.Add(1)
+}
+
+// NoteRound records one completed scan round without an in-flight bracket
+// (test hook; schemes use BeginScan/EndScan).
+func (r *Registry) NoteRound() { r.rounds.Add(1) }
+
+// Rounds returns the completed-scan-round counter (test hook).
+func (r *Registry) Rounds() uint64 { return r.rounds.Load() }
+
+// Acquire leases a dense slot: the slot's scheme and allocator state is
+// readied by the registered hooks, the slot is published in the active mask,
+// and the returned lease's Tid may be used with Scheme.Guard until Release.
+// Slot preference: never-yet-quarantined (fresh) slots first, then the
+// oldest quarantined slot — served only once it is safe from tid-reuse
+// aliasing, which holds on either of two proofs:
+//
+//   - aged: at least quarantineRounds scan rounds completed since the
+//     release, so any scan that could have captured the predecessor has
+//     long finished;
+//   - no scanner: the in-flight scan count is zero right now, so no
+//     snapshot of the predecessor can exist at all (scans that begin after
+//     this check see the slot's current mask state, which is the normal
+//     protocol).
+//
+// When neither holds — a scan is mid-flight and the slot is freshly
+// quarantined — Acquire refuses with ErrRegistryFull; the window is one
+// scan's duration, so a retrying caller succeeds promptly.
+func (r *Registry) Acquire() (*Lease, error) {
+	r.mu.Lock()
+	tid, ok := r.takeSlotLocked()
+	r.mu.Unlock()
+	if !ok {
+		return nil, ErrRegistryFull
+	}
+	for _, f := range r.onAcquire {
+		f(tid)
+	}
+	l := &Lease{reg: r, tid: tid}
+	r.active.Set(tid)
+	return l, nil
+}
+
+func (r *Registry) takeSlotLocked() (int, bool) {
+	if n := len(r.fresh); n > 0 {
+		tid := r.fresh[n-1]
+		r.fresh = r.fresh[:n-1]
+		return tid, true
+	}
+	if len(r.quarantine) == 0 {
+		return 0, false
+	}
+	// Rounds are monotone, so the FIFO head is always the most-aged entry:
+	// if it cannot be served, nothing behind it can.
+	head := r.quarantine[0]
+	aged := head.round+quarantineRounds <= r.rounds.Load()
+	if !aged && r.scans.Load() != 0 {
+		return 0, false
+	}
+	r.quarantine = r.quarantine[1:]
+	return head.tid, true
+}
+
+// Release returns the lease's slot: the slot leaves the active mask, the
+// release hooks quiesce its scheme and allocator state (reclaiming what they
+// can, orphaning the rest), and the slot enters quarantine (see Acquire for
+// when it becomes reusable). Release is idempotent per lease and must be
+// called by the goroutine that owns it; each Acquire returns a distinct
+// Lease, so a duplicate Release of an old lease can never revoke the slot's
+// next occupant.
+func (l *Lease) Release() {
+	if l.released.Swap(true) {
+		return
+	}
+	r := l.reg
+	r.active.Clear(l.tid)
+	for _, f := range r.onRelease {
+		f(l.tid)
+	}
+	r.mu.Lock()
+	r.quarantine = append(r.quarantine, quarSlot{tid: l.tid, round: r.rounds.Load()})
+	r.mu.Unlock()
+}
+
+// Lease is one leased slot. Tid is stable for the lease's lifetime; after
+// Release the lease must not be used.
+type Lease struct {
+	reg      *Registry
+	tid      int
+	released atomic.Bool
+}
+
+// Tid returns the dense slot this lease owns.
+func (l *Lease) Tid() int { return l.tid }
+
+// Membership is the scheme-side half of dynamic membership, embedded by
+// every scheme so the registry wiring exists in exactly one place: the
+// bound registry (nil in fixed-N mode), the active mask every scan
+// iterates, and the orphan-adoption gate. Schemes keep only their genuinely
+// distinct parts — the attach/detach quiesce protocols they register
+// through Join.
+type Membership struct {
+	// Reg is the bound registry, nil in fixed-N mode.
+	Reg *Registry
+	// ActiveMask is the membership mask scans and signals iterate: full in
+	// fixed-N mode, the registry's mask after Join.
+	ActiveMask *ActiveSet
+}
+
+// InitFixed selects fixed-N mode: all threads permanently active.
+func (m *Membership) InitFixed(threads int) {
+	m.ActiveMask = sigsim.FullActiveSet(threads)
+}
+
+// Join wires the scheme into r: capacity check, mask adoption, and hook
+// registration. Must run after construction and before any guard is used.
+func (m *Membership) Join(r *Registry, threads int, scheme string, onAcquire, onRelease func(tid int)) {
+	if r.MaxThreads() != threads {
+		panic(scheme + ": registry capacity does not match scheme thread count")
+	}
+	m.Reg = r
+	m.ActiveMask = r.Active()
+	r.OnAcquire(onAcquire)
+	r.OnRelease(onRelease)
+}
+
+// HasOrphans reports whether adoption would pull anything (one atomic load;
+// the gate reclaim paths poll).
+func (m *Membership) HasOrphans() bool {
+	return m.Reg != nil && m.Reg.OrphanCount() > 0
+}
+
+// Adopt pulls up to max (all when max <= 0) orphaned records into dst. The
+// records were counted as retired by their original thread; the adopter
+// must free them under its own protocol without re-counting.
+func (m *Membership) Adopt(dst []mem.Ptr, max int) []mem.Ptr {
+	if !m.HasOrphans() {
+		return dst
+	}
+	return m.Reg.AdoptOrphans(dst, max)
+}
+
+// AddOrphans appends a departing thread's unreclaimable records to the
+// shared orphan list. The slice is not retained.
+func (r *Registry) AddOrphans(ps []mem.Ptr) {
+	if len(ps) == 0 {
+		return
+	}
+	r.orphans.mu.Lock()
+	r.orphans.ps = append(r.orphans.ps, ps...)
+	r.orphans.count.Store(int64(len(r.orphans.ps)))
+	r.orphans.mu.Unlock()
+}
+
+// OrphanCount returns the number of orphaned records awaiting adoption. It
+// is the lock-free gate reclaimers poll before paying for AdoptOrphans.
+func (r *Registry) OrphanCount() int { return int(r.orphans.count.Load()) }
+
+// AdoptOrphans moves up to max orphaned records (all of them when max <= 0)
+// into dst and returns the grown dst. The adopter must treat the records as
+// freshly retired under its own protocol — they entered the orphan list
+// already counted in Stats.Retired, so adoption must not re-count them.
+func (r *Registry) AdoptOrphans(dst []mem.Ptr, max int) []mem.Ptr {
+	if r.orphans.count.Load() == 0 {
+		return dst
+	}
+	r.orphans.mu.Lock()
+	n := len(r.orphans.ps)
+	take := n
+	if max > 0 && take > max {
+		take = max
+	}
+	dst = append(dst, r.orphans.ps[n-take:]...)
+	r.orphans.ps = r.orphans.ps[:n-take]
+	r.orphans.count.Store(int64(n - take))
+	r.orphans.mu.Unlock()
+	return dst
+}

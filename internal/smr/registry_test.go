@@ -1,0 +1,174 @@
+package smr
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nbr/internal/mem"
+)
+
+func TestRegistryAcquireRelease(t *testing.T) {
+	r := NewRegistry(4)
+	if r.MaxThreads() != 4 {
+		t.Fatalf("MaxThreads = %d", r.MaxThreads())
+	}
+	l, err := r.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Tid() != 0 {
+		t.Fatalf("first lease tid = %d, want 0 (fresh slots hand out in order)", l.Tid())
+	}
+	if !r.Active().Active(0) {
+		t.Fatal("leased slot must be active")
+	}
+	l.Release()
+	if r.Active().Active(0) {
+		t.Fatal("released slot must leave the active mask")
+	}
+	l.Release() // idempotent
+	if got := r.Active().Count(); got != 0 {
+		t.Fatalf("active count = %d after double release", got)
+	}
+}
+
+func TestRegistryExhaustionAndQuarantineAging(t *testing.T) {
+	r := NewRegistry(2)
+	a, _ := r.Acquire()
+	b, _ := r.Acquire()
+	if _, err := r.Acquire(); !errors.Is(err, ErrRegistryFull) {
+		t.Fatalf("want ErrRegistryFull, got %v", err)
+	}
+	a.Release()
+
+	// With no scan in flight there can be no snapshot of the slot's
+	// previous occupant, so the quarantined slot is served immediately.
+	c, err := r.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tid() != a.Tid() {
+		t.Fatalf("acquire reused tid %d, want quarantined %d", c.Tid(), a.Tid())
+	}
+	c.Release()
+
+	// A mid-flight scan blocks reuse of an un-aged slot: the scan could
+	// still hold the predecessor's state.
+	r.BeginScan()
+	if _, err := r.Acquire(); !errors.Is(err, ErrRegistryFull) {
+		t.Fatalf("un-aged slot served under a live scanner: %v", err)
+	}
+	// Once enough rounds complete the slot is aged and reusable even with
+	// a scanner still running.
+	for i := 0; i < quarantineRounds; i++ {
+		r.NoteRound()
+	}
+	d, err := r.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tid() != c.Tid() {
+		t.Fatalf("aged acquire handed tid %d, want oldest quarantined %d", d.Tid(), c.Tid())
+	}
+	r.EndScan()
+	d.Release()
+	b.Release()
+}
+
+// TestRegistryDuplicateReleaseCannotRevokeSuccessor pins the per-acquire
+// lease identity: a stale duplicate Release from a previous holder must not
+// deactivate the slot's next occupant.
+func TestRegistryDuplicateReleaseCannotRevokeSuccessor(t *testing.T) {
+	r := NewRegistry(1)
+	old, _ := r.Acquire()
+	old.Release()
+	cur, err := r.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.Release() // stale duplicate from the previous holder
+	if !r.Active().Active(cur.Tid()) {
+		t.Fatal("stale Release revoked the successor's live lease")
+	}
+	cur.Release()
+	if r.Active().Active(cur.Tid()) {
+		t.Fatal("owner's Release did not deactivate the slot")
+	}
+}
+
+func TestRegistryHookOrderAndThreading(t *testing.T) {
+	r := NewRegistry(1)
+	var order []string
+	r.OnAcquire(func(tid int) { order = append(order, "acquire") })
+	r.OnRelease(func(tid int) { order = append(order, "release-a") })
+	r.OnRelease(func(tid int) { order = append(order, "release-b") })
+	l, _ := r.Acquire()
+	l.Release()
+	want := []string{"acquire", "release-a", "release-b"}
+	if len(order) != len(want) {
+		t.Fatalf("hooks ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("hooks ran %v, want %v (registration order)", order, want)
+		}
+	}
+}
+
+func TestRegistryOrphans(t *testing.T) {
+	r := NewRegistry(2)
+	ps := []mem.Ptr{2, 4, 6, 8, 10}
+	r.AddOrphans(ps)
+	if r.OrphanCount() != 5 {
+		t.Fatalf("orphan count = %d", r.OrphanCount())
+	}
+	got := r.AdoptOrphans(nil, 2)
+	if len(got) != 2 || r.OrphanCount() != 3 {
+		t.Fatalf("capped adoption took %d, %d left", len(got), r.OrphanCount())
+	}
+	got = r.AdoptOrphans(got[:0], 0)
+	if len(got) != 3 || r.OrphanCount() != 0 {
+		t.Fatalf("full adoption took %d, %d left", len(got), r.OrphanCount())
+	}
+	r.AddOrphans(nil) // no-op
+	if r.OrphanCount() != 0 {
+		t.Fatal("empty AddOrphans must not disturb the count")
+	}
+}
+
+// TestRegistryNoAliasingUnderChurn hammers concurrent acquire/release and
+// asserts no tid is ever held by two goroutines at once.
+func TestRegistryNoAliasingUnderChurn(t *testing.T) {
+	const slots, workers, rounds = 4, 16, 300
+	r := NewRegistry(slots)
+	var owners [slots]atomic.Int32
+	var aliased atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				l, err := r.Acquire()
+				if err != nil {
+					r.NoteRound() // stand in for reclaim traffic aging slots
+					continue
+				}
+				if owners[l.Tid()].Add(1) != 1 {
+					aliased.Store(true)
+				}
+				owners[l.Tid()].Add(-1)
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if aliased.Load() {
+		t.Fatal("a tid was leased to two goroutines at once")
+	}
+	if got := r.Active().Count(); got != 0 {
+		t.Fatalf("active count = %d at quiescence", got)
+	}
+}

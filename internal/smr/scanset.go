@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"nbr/internal/mem"
+	"nbr/internal/sigsim"
 )
 
 // ScanSet is the reclaim-path membership set shared by every scheme that
@@ -36,6 +37,28 @@ func (s *ScanSet) Collect(slots []Pad64) {
 			s.vals = append(s.vals, v)
 		}
 	}
+	slices.Sort(s.vals)
+}
+
+// CollectRows snapshots the announcement rows of every *active* thread —
+// slots is the flat N·width array, row tid at [tid·width, (tid+1)·width) —
+// and sorts the result, replacing the set's previous contents. It is the
+// dynamic-membership form of Collect: scan cost is proportional to live
+// threads, and with a full mask it loads exactly the slots Collect would.
+// Skipping an inactive row is safe because a thread is only inactive while
+// outside operations (no live announcements), and a thread that activates
+// after this snapshot cannot reach records that were unlinked before it
+// activated.
+func (s *ScanSet) CollectRows(slots []Pad64, width int, active *sigsim.ActiveSet) {
+	s.vals = s.vals[:0]
+	active.Range(func(tid int) {
+		row := slots[tid*width : (tid+1)*width]
+		for i := range row {
+			if v := row[i].Load(); v != 0 {
+				s.vals = append(s.vals, v)
+			}
+		}
+	})
 	slices.Sort(s.vals)
 }
 

@@ -20,6 +20,8 @@ func (a *countingArena) FreeBatch(_ int, ps []mem.Ptr) {
 }
 func (a *countingArena) Hdr(mem.Ptr) *mem.Hdr { return nil }
 func (a *countingArena) Valid(mem.Ptr) bool   { return true }
+func (a *countingArena) SizeCache(int, int)   {}
+func (a *countingArena) DrainCache(int)       {}
 
 // TestSweepBagFruitlessScanSkipsArena pins the empty-batch fix: a sweep in
 // which every bag record is reserved must not touch the arena at all — the

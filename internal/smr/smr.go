@@ -100,8 +100,19 @@ type Scheme interface {
 	// retired-but-unfreed records across all threads, or Unbounded. The
 	// bound is a live contract, not documentation: the dstest and bench
 	// harnesses sample Stats().Garbage() against it during every stress
-	// run, so a scheme that cannot keep its promise fails loudly.
+	// run, so a scheme that cannot keep its promise fails loudly. The
+	// value is monotone non-decreasing over a scheme's lifetime (schemes
+	// with dynamic pinned-set accounting only ever raise it), so a sampler
+	// may compare a garbage reading against a bound read later.
 	GarbageBound() int
+	// ReclaimBurst returns the scheme's declared reclamation burst: the
+	// largest number of records one thread hands the allocator in a single
+	// free batch (the limbo-bag HiWatermark for the NBR family, the scan
+	// threshold for the threshold-triggered schemes, 0 when the scheme
+	// never frees or has no characteristic burst). The allocator sizes
+	// per-thread caches from it so a burst amortizes to one shared-shard
+	// interaction (DESIGN.md §6).
+	ReclaimBurst() int
 }
 
 // Stats aggregates reclamation activity across all threads of a scheme.
