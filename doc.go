@@ -2,13 +2,23 @@
 // Based Reclamation" (Singh, Brown, Mashtizadeh; PPoPP 2021), and a usable
 // library around it.
 //
-// The public API is the Domain: a reclamation-protected concurrent ordered
-// set with dynamic thread membership. Handler goroutines Acquire a Lease,
-// operate through it, and Release it on the way out — thread slots recycle
-// across any number of short-lived goroutines, departing threads leak
-// nothing (their in-flight reclamation state is adopted by later
-// reclaimers), and the scheme's declared garbage bound holds across the
-// churn. See examples/quickstart and examples/server.
+// The public API has two entry points. The Domain (nbr.New) is one
+// reclamation-protected concurrent ordered set with dynamic thread
+// membership: handler goroutines Acquire a Lease, operate through it, and
+// Release it on the way out — thread slots recycle across any number of
+// short-lived goroutines, departing threads leak nothing (their in-flight
+// reclamation state is adopted by later reclaimers), and the scheme's
+// declared garbage bound holds across the churn. See examples/quickstart.
+//
+// The Runtime (nbr.NewRuntime) is the shared reclamation substrate behind
+// it, exposed for services hosting several structures: one lease registry,
+// one scheme instance and one arena serve every Set attached via NewSet, so
+// a single Lease per request covers all of a handler's structures, the
+// garbage bound is declared once and aggregates across them, and
+// AcquireCtx provides FIFO blocking admission with context cancellation
+// instead of spin-retry. A Domain is a thin attachment over a private
+// one-set Runtime. See examples/server for the runtime under real
+// net/http traffic and DESIGN.md §10 for the layer's design.
 //
 // The paper's algorithms live in internal/core; the substrates that make
 // them expressible under a garbage-collected runtime live in internal/mem

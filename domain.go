@@ -1,19 +1,23 @@
 package nbr
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 
 	"nbr/internal/bench"
 	"nbr/internal/mem"
 	"nbr/internal/smr"
 )
 
-// This file is the library's public face: a Domain bundles one concurrent
-// ordered set, its reclamation scheme, and a thread-lease registry, so a
-// goroutine-pool service can use the paper's machinery without importing
-// anything under internal/ or hand-managing dense thread ids. The quickstart
-// and server examples are written exclusively against this API.
+// This file is the library's single-structure face: a Domain bundles one
+// concurrent ordered set with its own private Runtime (registry + scheme +
+// arena), so the common case — one structure, one service — needs no
+// explicit runtime management. Since the runtime layer landed, Domain is a
+// thin attachment: construction builds a one-set Runtime sized to the
+// structure's exact announcement widths, and every method delegates.
+// Services hosting several structures over one shared registry/arena (one
+// lease covering all of them) use NewRuntime/Runtime.NewSet directly; see
+// runtime.go and examples/server.
 
 // Stats re-exports the reclamation counters (see smr.Stats).
 type Stats = smr.Stats
@@ -25,8 +29,9 @@ type MemStats = mem.Stats
 // without limit.
 const Unbounded = smr.Unbounded
 
-// ErrNoLease is returned by Domain.Acquire when every thread slot is held.
-// Callers back off and retry, or treat it as admission control.
+// ErrNoLease is returned by Acquire when every thread slot is held.
+// Callers back off and retry, use AcquireCtx to wait with a deadline, or
+// treat it as admission control.
 var ErrNoLease = smr.ErrRegistryFull
 
 // MinKey and MaxKey bound the usable key space; both are sentinels — Insert,
@@ -73,16 +78,25 @@ func (o Options) withDefaults() Options {
 	if o.Structure == "" {
 		o.Structure = "lazylist"
 	}
-	if o.Scheme == "" {
-		o.Scheme = "nbr+"
-	}
-	if o.MaxThreads <= 0 {
-		o.MaxThreads = 2 * runtime.GOMAXPROCS(0)
-		if o.MaxThreads < 8 {
-			o.MaxThreads = 8
-		}
-	}
+	ro := o.runtime().withDefaults()
+	o.Scheme = ro.Scheme
+	o.MaxThreads = ro.MaxThreads
 	return o
+}
+
+// runtime maps the Domain options onto the shared-runtime options.
+func (o Options) runtime() RuntimeOptions {
+	return RuntimeOptions{
+		Scheme:     o.Scheme,
+		MaxThreads: o.MaxThreads,
+		BagSize:    o.BagSize,
+		LoFraction: o.LoFraction,
+		ScanFreq:   o.ScanFreq,
+		Threshold:  o.Threshold,
+		EraFreq:    o.EraFreq,
+		SendSpin:   o.SendSpin,
+		HandleSpin: o.HandleSpin,
+	}
 }
 
 // Domain is one reclamation-protected concurrent set with dynamic thread
@@ -91,122 +105,113 @@ func (o Options) withDefaults() Options {
 // goroutines. All methods except Len and Validate are safe for concurrent
 // use.
 type Domain struct {
-	opts   Options
-	inst   bench.Instance
-	scheme smr.Scheme
-	reg    *smr.Registry
+	rt  *Runtime
+	set *Set
 }
 
-// New creates a Domain.
+// New creates a Domain: a private one-structure Runtime whose scheme is
+// sized to exactly the announcement widths the structure declares.
 func New(opts Options) (*Domain, error) {
 	opts = opts.withDefaults()
 	if !bench.Runnable(opts.Structure, opts.Scheme) {
 		return nil, fmt.Errorf("nbr: %s is not runnable under %s (the paper's Table 1)",
 			opts.Structure, opts.Scheme)
 	}
-	inst, err := bench.NewDS(opts.Structure, opts.MaxThreads)
+	// The structure is built first — its declared widths size the scheme —
+	// with its pool attached to the hub the scheme will route through.
+	hub := mem.NewHub()
+	inst, err := bench.NewDSArena(opts.Structure, mem.Config{MaxThreads: opts.MaxThreads, Tag: hub.NextTag()})
 	if err != nil {
 		return nil, err
 	}
-	cfg := bench.SchemeConfig{
-		BagSize:    opts.BagSize,
-		LoFraction: opts.LoFraction,
-		ScanFreq:   opts.ScanFreq,
-		Threshold:  opts.Threshold,
-		EraFreq:    opts.EraFreq,
-		SendSpin:   opts.SendSpin,
-		HandleSpin: opts.HandleSpin,
-	}
-	scheme, err := bench.NewSchemeFor(opts.Scheme, inst.Arena, opts.MaxThreads, cfg, inst.Req)
+	hub.Attach(0, inst.Arena)
+	rt, err := newRuntimeOver(hub, opts.runtime(), inst.Req)
 	if err != nil {
 		return nil, err
 	}
-	d := &Domain{opts: opts, inst: inst, scheme: scheme, reg: smr.NewRegistry(opts.MaxThreads)}
-	d.reg.Bind(scheme)
-	if burst := scheme.ReclaimBurst(); burst > 0 {
-		arena := inst.Arena
-		d.reg.OnAcquire(func(tid int) { arena.SizeCache(tid, burst) })
-	}
-	arena := inst.Arena
-	d.reg.OnRelease(func(tid int) { arena.DrainCache(tid) })
-	return d, nil
+	set := &Set{rt: rt, inst: inst, name: opts.Structure}
+	rt.sets = append(rt.sets, set)
+	return &Domain{rt: rt, set: set}, nil
 }
+
+// Runtime returns the domain's underlying shared-reclamation runtime. More
+// structures can be attached to it with NewSet; they share the domain's
+// thread slots, stats and garbage bound. Note that a domain's scheme is
+// sized to its own structure's exact announcement widths, so NewSet refuses
+// attachments declaring wider needs — services planning several structures
+// should start from NewRuntime, whose scheme is sized for all of them.
+func (d *Domain) Runtime() *Runtime { return d.rt }
 
 // Acquire leases a thread slot for the calling goroutine. Release the lease
 // when the goroutine's burst of work is done; holding it across long idle
 // periods is harmless (an idle lease blocks nothing under NBR), but the
 // registry can only serve MaxThreads concurrent holders.
 func (d *Domain) Acquire() (*Lease, error) {
-	l, err := d.reg.Acquire()
+	l, err := d.rt.Acquire()
 	if err != nil {
 		return nil, err
 	}
-	return &Lease{d: d, l: l, g: d.scheme.Guard(l.Tid())}, nil
+	l.set = d.set
+	return l, nil
+}
+
+// AcquireCtx leases a thread slot, blocking FIFO-fairly while the registry
+// is full until a slot frees or ctx is done (see Runtime.AcquireCtx).
+func (d *Domain) AcquireCtx(ctx context.Context) (*Lease, error) {
+	l, err := d.rt.AcquireCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	l.set = d.set
+	return l, nil
 }
 
 // MaxThreads returns the registry capacity.
-func (d *Domain) MaxThreads() int { return d.opts.MaxThreads }
+func (d *Domain) MaxThreads() int { return d.rt.MaxThreads() }
 
 // ActiveThreads returns the number of currently held leases (approximate
 // under churn).
-func (d *Domain) ActiveThreads() int { return d.reg.Active().Count() }
+func (d *Domain) ActiveThreads() int { return d.rt.ActiveThreads() }
 
 // Scheme returns the reclamation scheme's name.
-func (d *Domain) Scheme() string { return d.scheme.Name() }
+func (d *Domain) Scheme() string { return d.rt.Scheme() }
 
 // Structure returns the data structure's name.
-func (d *Domain) Structure() string { return d.opts.Structure }
+func (d *Domain) Structure() string { return d.set.Name() }
 
 // Stats returns the aggregate reclamation counters.
-func (d *Domain) Stats() Stats { return d.scheme.Stats() }
+func (d *Domain) Stats() Stats { return d.rt.Stats() }
 
 // MemStats returns the allocator counters (live records ≈ resident memory).
-func (d *Domain) MemStats() MemStats { return d.inst.MemStats() }
+func (d *Domain) MemStats() MemStats { return d.set.MemStats() }
 
 // GarbageBound returns the scheme's declared worst-case retired-but-unfreed
 // record count across all threads (or Unbounded). The bound is declared
 // against MaxThreads and holds across lease churn, orphaned records
 // included.
-func (d *Domain) GarbageBound() int { return d.scheme.GarbageBound() }
+func (d *Domain) GarbageBound() int { return d.rt.GarbageBound() }
 
 // Len counts the keys in the set. Quiescent: no concurrent mutators.
-func (d *Domain) Len() int { return d.inst.Set.Len() }
+func (d *Domain) Len() int { return d.set.Len() }
 
 // Validate checks the structure's invariants. Quiescent.
-func (d *Domain) Validate() error { return d.inst.Set.Validate() }
+func (d *Domain) Validate() error { return d.set.Validate() }
 
 // Drain adopts any orphaned records and reclaims everything reclaimable,
 // using a temporary lease. At quiescence it runs until every retired record
 // is freed; under concurrent traffic it is a best-effort pass. Use it before
 // reading final Stats or shutting down.
-func (d *Domain) Drain() error {
-	dr, ok := d.scheme.(smr.Drainer)
-	if !ok {
-		return nil
-	}
-	l, err := d.reg.Acquire()
-	if err != nil {
-		return err
-	}
-	defer l.Release()
-	for i := 0; i < 64; i++ {
-		st := d.scheme.Stats()
-		if st.Retired == st.Freed {
-			break
-		}
-		dr.Drain(l.Tid())
-	}
-	return nil
-}
+func (d *Domain) Drain() error { return d.rt.Drain() }
 
-// Lease is one goroutine's membership in a Domain: a dense thread slot plus
-// the per-thread guard every operation runs under. A Lease must be used by
-// one goroutine at a time and released when done; after Release it must not
-// be used.
+// Lease is one goroutine's membership in a Runtime (and so in every Set
+// attached to it): a dense thread slot plus the per-thread guard every
+// operation runs under. A Lease must be used by one goroutine at a time and
+// released when done; after Release it must not be used.
 type Lease struct {
-	d *Domain
-	l *smr.Lease
-	g smr.Guard
+	rt  *Runtime
+	set *Set // the home set of a Domain-issued lease; nil for Runtime leases
+	l   *smr.Lease
+	g   smr.Guard
 }
 
 // Tid returns the dense thread slot this lease occupies (diagnostic; slots
@@ -214,15 +219,25 @@ type Lease struct {
 func (l *Lease) Tid() int { return l.l.Tid() }
 
 // Release returns the slot to the registry. The departing thread's
-// unreclaimed records are reclaimed or handed to the domain's orphan list —
+// unreclaimed records are reclaimed or handed to the runtime's orphan list —
 // nothing leaks, whatever state the protocol was in.
 func (l *Lease) Release() { l.l.Release() }
 
-// Contains reports whether key is in the set.
-func (l *Lease) Contains(key uint64) bool { return l.d.inst.Set.Contains(l.g, key) }
+// home returns the Domain set behind a Domain-issued lease. Runtime leases
+// have no home set: one lease covers many sets, so operations go through a
+// Set (set.Insert(lease, key)).
+func (l *Lease) home() *Set {
+	if l.set == nil {
+		panic("nbr: lease was issued by a Runtime, not a Domain; operate through a Set (set.Insert(lease, key))")
+	}
+	return l.set
+}
+
+// Contains reports whether key is in the domain's set.
+func (l *Lease) Contains(key uint64) bool { return l.home().Contains(l, key) }
 
 // Insert adds key, reporting false if it was already present.
-func (l *Lease) Insert(key uint64) bool { return l.d.inst.Set.Insert(l.g, key) }
+func (l *Lease) Insert(key uint64) bool { return l.home().Insert(l, key) }
 
 // Delete removes key, reporting false if it was absent.
-func (l *Lease) Delete(key uint64) bool { return l.d.inst.Set.Delete(l.g, key) }
+func (l *Lease) Delete(key uint64) bool { return l.home().Delete(l, key) }

@@ -8,6 +8,13 @@
 //     reclaimed behind the scenes, with bounded garbage even if a thread
 //     stalls, and a departing thread leaks nothing.
 //
+// Single-structure services need nothing beyond this: nbr.New is unchanged
+// since the shared-runtime layer landed (a Domain is now a one-structure
+// nbr.Runtime under the hood). A service hosting several structures over
+// one lease registry — one Lease covering all of them per request — starts
+// from nbr.NewRuntime and attaches structures with NewSet instead; see
+// examples/server for that regime over real HTTP.
+//
 // Run with: go run ./examples/quickstart
 package main
 

@@ -1,123 +1,305 @@
-// Server: a goroutine-pool service under sustained membership churn.
+// Server: a real net/http service on one shared reclamation runtime.
 //
-// A production Go service does not run a fixed set of worker threads: handler
-// goroutines are born per request, live for one burst of work, and exit. This
-// example simulates exactly that against a single shared nbr.Domain — every
-// simulated request spawns a fresh goroutine that acquires a thread lease,
-// performs a handful of set operations, and releases the lease on the way
-// out. Slots recycle thousands of times; departing handlers leave mid-protocol
-// reclamation state behind (adopted by later reclaimers via the orphan list);
-// and the domain's garbage bound holds throughout, which the main loop checks
-// live.
+// A production Go service hosts several concurrent structures — here a
+// "sessions" list and a "catalog" tree — and serves each request on a
+// short-lived handler goroutine. This example measures exactly the regime
+// the runtime layer exists for: one nbr.Runtime owns one lease registry,
+// one reclamation scheme and one shared arena; every HTTP request acquires
+// ONE lease via AcquireCtx (blocking admission with the request's deadline,
+// not spin-retry) and drives both structures under it.
 //
-// Run with: go run ./examples/server        (or -requests 50000 for a longer run)
+// Two lease-management modes compare the cost of membership churn:
+//
+//   - lease (default): acquire/release per request — thousands of slot
+//     recycles, departing handlers orphan mid-protocol state, the round
+//     guarantee holds via forced scan rounds;
+//   - pool: a sync.Pool of long-lived leases, the classic Go baseline —
+//     requests reuse leases without touching the registry, isolating the
+//     per-request acquire/release overhead the lease mode pays.
+//
+// The load generator drives the server over real HTTP (loopback TCP), then
+// the runtime drains: Retired == Freed across both structures, the
+// aggregated garbage bound respected throughout (checked live), both
+// structures valid. Any violation exits non-zero, which is how CI runs this
+// as a smoke test.
+//
+// Run with: go run ./examples/server            (or -mode pool, -requests 50000)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand/v2"
+	"io"
+	"net"
+	"net/http"
+	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nbr"
 )
 
+// service is the shared state every handler touches: one runtime, two
+// structures, and the lease-management strategy under test.
+type service struct {
+	rt       *nbr.Runtime
+	sessions *nbr.Set // lazylist: short-lived per-user session keys
+	catalog  *nbr.Set // dgt BST: the larger lookup structure
+	mode     string
+
+	// pool mode: long-lived leases recycled across requests without
+	// registry traffic. Each pooled lease rides in a leaseBox carrying a
+	// finalizer, because sync.Pool may drop entries at any GC — a dropped
+	// lease would otherwise strand its registry slot (held but
+	// unreachable) and monotonically shrink capacity mid-run. The
+	// finalizer releases the slot back instead; Release is idempotent, so
+	// the shutdown sweep over all remaining leases stays safe.
+	pool sync.Pool
+	mu   sync.Mutex
+	all  []*nbr.Lease
+
+	served  atomic.Uint64
+	rejects atomic.Uint64
+}
+
+// leaseBox wraps a pooled lease so GC eviction from the sync.Pool frees
+// the registry slot rather than stranding it.
+type leaseBox struct {
+	l *nbr.Lease
+}
+
+// lease hands the handler a lease under the request's context: per-request
+// admission in lease mode, pool reuse in pool mode.
+func (s *service) lease(ctx context.Context) (*nbr.Lease, func(), error) {
+	if s.mode == "pool" {
+		if b, ok := s.pool.Get().(*leaseBox); ok && b != nil {
+			return b.l, func() { s.pool.Put(b) }, nil
+		}
+		l, err := s.rt.AcquireCtx(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.mu.Lock()
+		s.all = append(s.all, l)
+		s.mu.Unlock()
+		b := &leaseBox{l: l}
+		// The box is only unreachable once neither the pool nor a handler
+		// holds it, so the release can never race an in-flight request.
+		runtime.SetFinalizer(b, func(b *leaseBox) { b.l.Release() })
+		return l, func() { s.pool.Put(b) }, nil
+	}
+	l, err := s.rt.AcquireCtx(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, l.Release, nil
+}
+
+// handle is the one HTTP endpoint: /op?key=N&kind=M mixes inserts, deletes
+// and lookups across both structures under a single lease — the
+// one-lease-covers-all-structures contract in the request path.
+func (s *service) handle(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	l, done, err := s.lease(ctx)
+	if err != nil {
+		s.rejects.Add(1)
+		http.Error(w, "admission: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer done()
+
+	var key, kind uint64
+	fmt.Sscanf(r.URL.Query().Get("key"), "%d", &key)
+	fmt.Sscanf(r.URL.Query().Get("kind"), "%d", &kind)
+	if key == 0 {
+		key = 1
+	}
+
+	// A request session: touch the session list and the catalog tree under
+	// the same lease, delete-heavy so retire traffic flows constantly.
+	var hits int
+	for i := uint64(0); i < 8; i++ {
+		k := key + i*131
+		switch (kind + i) % 4 {
+		case 0:
+			s.sessions.Insert(l, k)
+			s.catalog.Insert(l, k*2+1)
+		case 1:
+			s.sessions.Delete(l, k)
+		case 2:
+			s.catalog.Delete(l, k*2+1)
+		default:
+			if s.sessions.Contains(l, k) {
+				hits++
+			}
+			if s.catalog.Contains(l, k*2+1) {
+				hits++
+			}
+		}
+	}
+	s.served.Add(1)
+	fmt.Fprintf(w, "ok hits=%d tid=%d\n", hits, l.Tid())
+}
+
 func main() {
 	var (
-		requests   = flag.Int("requests", 20_000, "simulated requests to serve")
-		inflight   = flag.Int("inflight", 16, "maximum concurrent handler goroutines")
-		opsPerReq  = flag.Int("ops", 24, "set operations per request")
+		requests   = flag.Int("requests", 20_000, "HTTP requests to drive")
+		clients    = flag.Int("clients", 24, "concurrent HTTP clients (more than lease slots: admission queues)")
 		keyRange   = flag.Uint64("keys", 4096, "key range")
-		maxThreads = flag.Int("max-threads", 12, "lease-registry capacity")
+		maxThreads = flag.Int("max-threads", 12, "lease-registry capacity shared by both structures")
+		mode       = flag.String("mode", "lease", "lease management: 'lease' (acquire per request) or 'pool' (sync.Pool baseline)")
 	)
 	flag.Parse()
+	if *mode != "lease" && *mode != "pool" {
+		fmt.Fprintln(os.Stderr, "server: -mode must be 'lease' or 'pool'")
+		os.Exit(2)
+	}
 
-	domain, err := nbr.New(nbr.Options{
-		Structure:  "harris",
+	rt, err := nbr.NewRuntime(nbr.RuntimeOptions{
 		Scheme:     "nbr+",
 		MaxThreads: *maxThreads,
 		BagSize:    512,
 	})
-	if err != nil {
-		panic(err)
-	}
-	bound := domain.GarbageBound()
-	fmt.Printf("domain: %s under %s, %d lease slots, garbage bound %d records\n",
-		domain.Structure(), domain.Scheme(), domain.MaxThreads(), bound)
+	check(err)
+	svc := &service{rt: rt, mode: *mode}
+	svc.sessions, err = rt.NewSet("lazylist")
+	check(err)
+	svc.catalog, err = rt.NewSet("dgt")
+	check(err)
+	bound := rt.GarbageBound()
+	fmt.Printf("runtime: %v under %s, %d lease slots shared, aggregated garbage bound %d records, mode=%s\n",
+		rt.Structures(), rt.Scheme(), rt.MaxThreads(), bound, *mode)
 
-	var (
-		served    atomic.Uint64
-		retried   atomic.Uint64
-		peak      atomic.Uint64
-		wg        sync.WaitGroup
-		admission = make(chan struct{}, *inflight)
-	)
+	// A real HTTP server on loopback TCP — requests cross the network stack,
+	// handlers run on per-connection goroutines.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/op", svc.handle)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
 
-	for r := 0; r < *requests; r++ {
-		admission <- struct{}{}
-		wg.Add(1)
-		// One goroutine per request: the membership-churn regime a fixed
-		// thread set cannot express.
-		go func(r int) {
-			defer wg.Done()
-			defer func() { <-admission }()
-			lease, err := domain.Acquire()
-			for err != nil {
-				// The pool admits more goroutines than lease slots on
-				// purpose; briefly losing the race is part of the demo.
-				retried.Add(1)
-				runtime.Gosched()
-				lease, err = domain.Acquire()
-			}
-			defer lease.Release()
-
-			rng := rand.New(rand.NewPCG(uint64(r), 0x9e3779b97f4a7c15))
-			for i := 0; i < *opsPerReq; i++ {
-				key := rng.Uint64N(*keyRange) + 1
-				switch rng.IntN(3) {
-				case 0:
-					lease.Insert(key)
-				case 1:
-					lease.Delete(key)
-				default:
-					lease.Contains(key)
-				}
-			}
-			served.Add(1)
-		}(r)
-
-		// The "operator console": check the live garbage-bound contract as
-		// handlers come and go.
-		if r%1024 == 0 {
-			if g := domain.Stats().Garbage(); g > peak.Load() {
+	// The live contract monitor: the aggregated bound must hold while
+	// handlers come and go.
+	var stopMon atomic.Bool
+	var peak atomic.Uint64
+	monDone := make(chan struct{})
+	go func() {
+		defer close(monDone)
+		for !stopMon.Load() {
+			g := rt.Stats().Garbage()
+			if g > peak.Load() {
 				peak.Store(g)
 			}
-			if b := domain.GarbageBound(); b != nbr.Unbounded && domain.Stats().Garbage() > uint64(b) {
-				panic(fmt.Sprintf("garbage bound violated mid-run: %d > %d", domain.Stats().Garbage(), b))
+			if b := rt.GarbageBound(); b != nbr.Unbounded && g > uint64(b) {
+				fmt.Fprintf(os.Stderr, "garbage bound violated mid-run: %d > %d\n", g, b)
+				os.Exit(1)
 			}
+			time.Sleep(time.Millisecond)
 		}
+	}()
+
+	// Drive the load: *clients concurrent HTTP clients, per-request latency
+	// sampled end to end (admission included).
+	var (
+		wg     sync.WaitGroup
+		next   atomic.Int64
+		latMu  sync.Mutex
+		lats   []time.Duration
+		failed atomic.Uint64
+	)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *clients}}
+	begin := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var local []time.Duration
+			for {
+				r := next.Add(1)
+				if r > int64(*requests) {
+					break
+				}
+				key := (uint64(r)*0x9e3779b97f4a7c15)%*keyRange + 1
+				t0 := time.Now()
+				resp, err := client.Get(fmt.Sprintf("%s/op?key=%d&kind=%d", base, key, r%4))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+					continue
+				}
+				if r%16 == 0 {
+					local = append(local, time.Since(t0))
+				}
+			}
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+		}(c)
 	}
 	wg.Wait()
+	elapsed := time.Since(begin)
+	srv.Shutdown(context.Background())
+	stopMon.Store(true)
+	<-monDone
 
-	if err := domain.Drain(); err != nil {
-		panic(err)
+	// Pool mode: give every long-lived lease back before draining.
+	svc.mu.Lock()
+	for _, l := range svc.all {
+		l.Release()
 	}
-	st := domain.Stats()
-	ms := domain.MemStats()
-	fmt.Printf("served %d requests (%d lease retries) across %d slots\n",
-		served.Load(), retried.Load(), domain.MaxThreads())
+	svc.mu.Unlock()
+
+	check(rt.Drain())
+	st := rt.Stats()
+	ms := rt.MemStats()
+	rps := float64(svc.served.Load()) / elapsed.Seconds()
+	fmt.Printf("served %d requests in %v (%.0f req/s, %d admission rejects, %d transport failures)\n",
+		svc.served.Load(), elapsed.Round(time.Millisecond), rps, svc.rejects.Load(), failed.Load())
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("request latency p50=%v p99=%v (end-to-end, admission included)\n",
+			lats[len(lats)/2].Round(time.Microsecond), lats[len(lats)*99/100].Round(time.Microsecond))
+	}
 	fmt.Printf("retired=%d freed=%d garbage=%d (peak sampled %d, bound %d)\n",
-		st.Retired, st.Freed, st.Garbage(), peak.Load(), domain.GarbageBound())
-	fmt.Printf("set size=%d, live records=%d (%.1f KiB)\n",
-		domain.Len(), ms.Live, float64(ms.LiveBytes)/1024)
+		st.Retired, st.Freed, st.Garbage(), peak.Load(), rt.GarbageBound())
+	fmt.Printf("forced scan rounds=%d, unaged-slot fallbacks=%d\n",
+		rt.ForcedRounds(), rt.FallbackReuses())
+	fmt.Printf("sessions size=%d, catalog size=%d, live records=%d (%.1f KiB)\n",
+		svc.sessions.Len(), svc.catalog.Len(), ms.Live, float64(ms.LiveBytes)/1024)
+
 	if st.Retired != st.Freed {
-		panic(fmt.Sprintf("leaked records across membership churn: retired %d != freed %d",
-			st.Retired, st.Freed))
+		fail("leaked records across membership churn: retired %d != freed %d", st.Retired, st.Freed)
 	}
-	if err := domain.Validate(); err != nil {
-		panic(err)
+	if b := rt.GarbageBound(); b != nbr.Unbounded && peak.Load() > uint64(b) {
+		fail("sampled garbage peak %d exceeded the aggregated bound %d", peak.Load(), b)
 	}
+	if rt.FallbackReuses() != 0 {
+		fail("lease admission used the unaged-slot fallback %d times; forced rounds must cover HTTP churn", rt.FallbackReuses())
+	}
+	check(svc.sessions.Validate())
+	check(svc.catalog.Validate())
 	fmt.Println("drained clean: every record retired by a departed handler was reclaimed")
+}
+
+func check(err error) {
+	if err != nil {
+		fail("%v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "server: "+format+"\n", args...)
+	os.Exit(1)
 }

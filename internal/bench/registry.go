@@ -23,25 +23,33 @@ type Instance struct {
 
 // NewDS constructs the named data structure sized for `threads`.
 func NewDS(name string, threads int) (Instance, error) {
+	return NewDSArena(name, mem.Config{MaxThreads: threads})
+}
+
+// NewDSArena constructs the named data structure over a pool built from
+// cfg. A shared-arena runtime passes its assigned arena tag in cfg.Tag so
+// the structure's handles route through a mem.Hub; NewDS is the untagged
+// standalone form.
+func NewDSArena(name string, cfg mem.Config) (Instance, error) {
 	var inst Instance
 	switch name {
 	case "lazylist":
-		l := lazylist.New(threads)
+		l := lazylist.NewWith(cfg)
 		inst = Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}
 	case "harris":
-		l := harrislist.New(threads)
+		l := harrislist.NewWith(cfg)
 		inst = Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}
 	case "hmlist":
-		l := hmlist.New(threads, hmlist.Restart)
+		l := hmlist.NewWith(cfg, hmlist.Restart)
 		inst = Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}
 	case "hmlist-norestart":
-		l := hmlist.New(threads, hmlist.NoRestart)
+		l := hmlist.NewWith(cfg, hmlist.NoRestart)
 		inst = Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}
 	case "dgt":
-		t := dgtbst.New(threads)
+		t := dgtbst.NewWith(cfg)
 		inst = Instance{Set: t, Arena: t.Arena(), MemStats: t.MemStats}
 	case "abtree":
-		t := abtree.New(threads)
+		t := abtree.NewWith(cfg)
 		inst = Instance{Set: t, Arena: t.Arena(), MemStats: t.MemStats}
 	default:
 		return Instance{}, fmt.Errorf("bench: unknown data structure %q (have %v)", name, DSNames)

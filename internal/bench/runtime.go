@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbr/internal/ds"
+	"nbr/internal/mem"
+	"nbr/internal/smr"
+)
+
+// This file measures the shared-runtime regime: several structures behind
+// one mem.Hub, one scheme instance, one lease registry — the substrate the
+// public nbr.Runtime wraps (bench cannot import the root package without a
+// cycle, so the cell is built from the same internals). The workload is
+// lease-per-session over more workers than slots: every session acquires a
+// slot, churns every structure under it, and releases, so the measurement
+// includes admission, slot recycling, forced-round quarantine aging and the
+// multi-owner free routing — the costs a service pays per request.
+
+// RuntimeWorkload is one multi-structure shared-runtime cell.
+type RuntimeWorkload struct {
+	Structures []string
+	Scheme     string
+	Slots      int // lease-registry capacity
+	Workers    int // concurrent workers; > Slots oversubscribes admission
+	KeyRange   uint64
+	SessionOps int // operations per lease session, spread across structures
+	Duration   time.Duration
+	Cfg        SchemeConfig
+}
+
+// RuntimeResult is one measured shared-runtime cell.
+type RuntimeResult struct {
+	RuntimeWorkload
+	Ops      uint64
+	Elapsed  time.Duration
+	Mops     float64
+	Sessions uint64 // completed acquire→ops→release cycles
+	// The aggregated garbage-bound contract, as in Result.
+	Bound       int
+	GarbagePeak uint64
+	Stats       smr.Stats
+	// Quarantine-aging telemetry: forced rounds keep Fallbacks at zero.
+	ForcedRounds uint64
+	Fallbacks    uint64
+	// Drained reports Retired == Freed after the post-run drain: the
+	// shared bags leaked nothing across structures and lease churn.
+	Drained bool
+}
+
+// BoundExceeded reports whether the sampled garbage peak violated the
+// scheme's declared aggregated bound.
+func (r RuntimeResult) BoundExceeded() bool {
+	return r.Bound != smr.Unbounded && r.GarbagePeak > uint64(r.Bound)
+}
+
+// StructuresKey joins the structure names for cell identification.
+func (w RuntimeWorkload) StructuresKey() string { return strings.Join(w.Structures, "+") }
+
+// RunRuntime executes one shared-runtime cell.
+func RunRuntime(w RuntimeWorkload) (RuntimeResult, error) {
+	if len(w.Structures) == 0 {
+		return RuntimeResult{}, fmt.Errorf("bench: runtime cell needs at least one structure")
+	}
+	if w.Slots <= 0 || w.Workers <= 0 {
+		return RuntimeResult{}, fmt.Errorf("bench: runtime cell needs Slots and Workers")
+	}
+	if w.SessionOps <= 0 {
+		w.SessionOps = 64
+	}
+	if w.KeyRange < 2 {
+		w.KeyRange = 4096
+	}
+	if w.Duration <= 0 {
+		w.Duration = time.Second
+	}
+
+	// One hub, one pool per structure (tagged), one scheme over the hub at
+	// the widest attached announcement needs, one registry.
+	hub := mem.NewHub()
+	insts := make([]Instance, 0, len(w.Structures))
+	req := ds.Requirements{Threshold: ds.DefaultThreshold}
+	for _, name := range w.Structures {
+		if !Runnable(name, w.Scheme) {
+			return RuntimeResult{}, fmt.Errorf("bench: %s is not runnable under %s (Table 1)", name, w.Scheme)
+		}
+		inst, err := NewDSArena(name, mem.Config{MaxThreads: w.Slots, Tag: hub.NextTag()})
+		if err != nil {
+			return RuntimeResult{}, err
+		}
+		hub.Attach(len(insts), inst.Arena)
+		insts = append(insts, inst)
+		if inst.Req.Slots > req.Slots {
+			req.Slots = inst.Req.Slots
+		}
+		if inst.Req.Reservations > req.Reservations {
+			req.Reservations = inst.Req.Reservations
+		}
+	}
+	sch, err := NewSchemeFor(w.Scheme, hub, w.Slots, w.Cfg, req)
+	if err != nil {
+		return RuntimeResult{}, err
+	}
+	reg := smr.NewRegistry(w.Slots)
+	reg.Bind(sch)
+	if burst := sch.ReclaimBurst(); burst > 0 {
+		reg.OnAcquire(func(tid int) { hub.SizeCache(tid, burst) })
+	}
+	reg.OnRelease(func(tid int) { hub.DrainCache(tid) })
+
+	// Prefill each structure to half its stripe of the key range.
+	if l, err := reg.Acquire(); err == nil {
+		g := sch.Guard(l.Tid())
+		seed := uint64(0x9e3779b97f4a7c15)
+		for i, inst := range insts {
+			target := int(w.KeyRange / 2)
+			for n := 0; n < target; {
+				if inst.Set.Insert(g, splitmix64(&seed)%w.KeyRange+1) {
+					n++
+				}
+			}
+			_ = i
+		}
+		l.Release()
+	}
+
+	var (
+		stop        atomic.Bool
+		peakGarbage atomic.Uint64
+		started     sync.WaitGroup
+		done        sync.WaitGroup
+		opCounts    = make([]uint64, w.Workers)
+		sessions    atomic.Uint64
+	)
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		// Same 1ms cadence as the workload cells' sampler: a Gosched spin
+		// would burn a core inside the measured window and deflate Mops.
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for !stop.Load() {
+			if g := sch.Stats().Garbage(); g > peakGarbage.Load() {
+				peakGarbage.Store(g)
+			}
+			<-tick.C
+		}
+	}()
+
+	for wk := 0; wk < w.Workers; wk++ {
+		started.Add(1)
+		done.Add(1)
+		go func(wk int) {
+			defer done.Done()
+			rng := uint64(wk)*0x100000001b3 + 0x9e3779b97f4a7c15
+			started.Done()
+			var ops uint64
+			for !stop.Load() {
+				l, err := reg.Acquire()
+				if errors.Is(err, smr.ErrRegistryFull) {
+					runtime.Gosched()
+					continue
+				}
+				if err != nil {
+					return
+				}
+				g := sch.Guard(l.Tid())
+				for i := 0; i < w.SessionOps; i++ {
+					r := splitmix64(&rng)
+					inst := insts[r%uint64(len(insts))]
+					key := (r>>16)%w.KeyRange + 1
+					switch (r >> 8) % 4 {
+					case 0, 1:
+						inst.Set.Insert(g, key)
+					case 2:
+						inst.Set.Delete(g, key)
+					default:
+						inst.Set.Contains(g, key)
+					}
+					ops++
+				}
+				l.Release()
+				sessions.Add(1)
+				if ops%1024 == 0 {
+					runtime.Gosched() // oversubscribed: keep interleaving fine
+				}
+			}
+			opCounts[wk] = ops
+		}(wk)
+	}
+
+	started.Wait()
+	begin := time.Now()
+	time.Sleep(w.Duration)
+	stop.Store(true)
+	done.Wait()
+	elapsed := time.Since(begin)
+	<-samplerDone
+
+	res := RuntimeResult{
+		RuntimeWorkload: w,
+		Elapsed:         elapsed,
+		Sessions:        sessions.Load(),
+		Stats:           sch.Stats(),
+		Bound:           sch.GarbageBound(),
+		GarbagePeak:     peakGarbage.Load(),
+		ForcedRounds:    reg.ForcedRounds(),
+		Fallbacks:       reg.FallbackReuses(),
+	}
+	if g := res.Stats.Garbage(); g > res.GarbagePeak {
+		res.GarbagePeak = g
+	}
+	for _, c := range opCounts {
+		res.Ops += c
+	}
+	res.Mops = float64(res.Ops) / elapsed.Seconds() / 1e6
+
+	// Drain the shared bags: the cell must end Retired == Freed or the
+	// runtime seam leaked records across structures.
+	if dr, ok := sch.(smr.Drainer); ok {
+		if l, err := reg.Acquire(); err == nil {
+			for i := 0; i < 64; i++ {
+				st := sch.Stats()
+				if st.Retired == st.Freed {
+					break
+				}
+				dr.Drain(l.Tid())
+			}
+			l.Release()
+		}
+		res.Stats = sch.Stats()
+		res.Drained = res.Stats.Retired == res.Stats.Freed
+	} else {
+		res.Drained = true // leaky never frees; nothing to drain
+	}
+	return res, nil
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunRuntimeCell pins the shared-runtime measurement cell: it must
+// complete sessions, hold the aggregated bound, never hit the unaged-slot
+// fallback, and drain the shared bags to Retired == Freed.
+func TestRunRuntimeCell(t *testing.T) {
+	cfg := DefaultSchemeConfig()
+	cfg.BagSize = 256
+	r, err := RunRuntime(RuntimeWorkload{
+		Structures: []string{"lazylist", "harris", "dgt"},
+		Scheme:     "nbr+",
+		Slots:      4,
+		Workers:    6,
+		KeyRange:   512,
+		SessionOps: 32,
+		Duration:   150 * time.Millisecond,
+		Cfg:        cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops == 0 || r.Sessions == 0 {
+		t.Fatalf("no progress: ops=%d sessions=%d", r.Ops, r.Sessions)
+	}
+	if r.BoundExceeded() {
+		t.Fatalf("aggregated bound violated: peak %d > bound %d", r.GarbagePeak, r.Bound)
+	}
+	if r.Fallbacks != 0 {
+		t.Fatalf("unaged-slot fallback used %d times; forced rounds must cover the churn", r.Fallbacks)
+	}
+	if !r.Drained {
+		t.Fatalf("shared bags leaked: retired %d != freed %d", r.Stats.Retired, r.Stats.Freed)
+	}
+}
+
+// TestRunRuntimeRejectsTable1 pins the cell's gatekeeping.
+func TestRunRuntimeRejectsTable1(t *testing.T) {
+	_, err := RunRuntime(RuntimeWorkload{
+		Structures: []string{"abtree"},
+		Scheme:     "hp",
+		Slots:      2, Workers: 2,
+		Duration: 10 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("abtree under hp must be rejected")
+	}
+}

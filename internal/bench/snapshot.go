@@ -29,15 +29,17 @@ type Snapshot struct {
 	GOMAXPROCS int       `json:"gomaxprocs"`
 
 	Workloads []WorkloadPoint  `json:"workloads"`
+	Runtime   []RuntimePoint   `json:"runtime,omitempty"`
 	ScanCost  []ScanCostPoint  `json:"reservation_scan"`
 	FreeBurst []FreeBurstPoint `json:"free_burst"`
 }
 
 // SnapshotSchema names the current snapshot layout. v2 added the retire
-// batch-size distribution per workload cell; v3 adds the garbage-bound
-// contract columns (declared bound + sampled garbage peak). Older files
-// lack the newer fields; consumers treat them as absent.
-const SnapshotSchema = "nbr-perf-snapshot/v3"
+// batch-size distribution per workload cell; v3 added the garbage-bound
+// contract columns (declared bound + sampled garbage peak); v4 adds the
+// multi-structure shared-runtime cells. Older files lack the newer fields;
+// consumers treat them as absent.
+const SnapshotSchema = "nbr-perf-snapshot/v4"
 
 // WorkloadPoint is one end-to-end cell.
 type WorkloadPoint struct {
@@ -66,6 +68,29 @@ type WorkloadPoint struct {
 	// Bound is a contract violation, not noise.
 	Bound       int    `json:"bound"`
 	GarbagePeak uint64 `json:"garbage_peak"`
+}
+
+// RuntimePoint is one multi-structure shared-runtime cell (schema v4):
+// several structures behind one arena hub and one scheme, workers
+// oversubscribing a lease registry, one lease session covering every
+// structure. Mops includes acquire/release per session; Sessions counts the
+// lease recycles the run performed; the bound columns carry the aggregated
+// contract; Fallbacks must stay zero (forced rounds cover quarantine
+// aging); Drained reports Retired == Freed after the post-run drain.
+type RuntimePoint struct {
+	Structures   string  `json:"structures"` // "+"-joined, attachment order
+	Scheme       string  `json:"scheme"`
+	Slots        int     `json:"slots"`
+	Workers      int     `json:"workers"`
+	KeyRange     uint64  `json:"key_range"`
+	Mops         float64 `json:"mops"`
+	Sessions     uint64  `json:"sessions"`
+	Freed        uint64  `json:"freed"`
+	Bound        int     `json:"bound"`
+	GarbagePeak  uint64  `json:"garbage_peak"`
+	ForcedRounds uint64  `json:"forced_rounds"`
+	Fallbacks    uint64  `json:"fallbacks"`
+	Drained      bool    `json:"drained"`
 }
 
 // ScanCostPoint measures one reservation scan (collect + sort + BagSize
@@ -151,6 +176,45 @@ func WriteSnapshot(path string, duration time.Duration, cfg SchemeConfig, assert
 			violations = append(violations,
 				fmt.Sprintf("%s/%s: garbage peak %d > declared bound %d",
 					c.ds, c.scheme, r.GarbagePeak, r.Bound))
+		}
+	}
+
+	// The shared-runtime cells (schema v4): one lease registry and one
+	// scheme over three structures, workers oversubscribing the slots, so
+	// the snapshot tracks the per-session admission + multi-owner routing
+	// cost alongside the fixed-N workloads. Both the paper's main baseline
+	// and NBR+ are recorded.
+	for _, scheme := range []string{"debra", "nbr+"} {
+		r, err := RunRuntime(RuntimeWorkload{
+			Structures: []string{"lazylist", "harris", "dgt"},
+			Scheme:     scheme,
+			Slots:      snapshotThreads,
+			Workers:    snapshotThreads + snapshotThreads/2,
+			KeyRange:   20_000,
+			SessionOps: 64,
+			Duration:   duration,
+			Cfg:        cfg,
+		})
+		if err != nil {
+			return fmt.Errorf("snapshot runtime cell %s: %w", scheme, err)
+		}
+		snap.Runtime = append(snap.Runtime, RuntimePoint{
+			Structures: r.StructuresKey(), Scheme: scheme,
+			Slots: r.Slots, Workers: r.Workers, KeyRange: r.KeyRange,
+			Mops: r.Mops, Sessions: r.Sessions, Freed: r.Stats.Freed,
+			Bound: r.Bound, GarbagePeak: r.GarbagePeak,
+			ForcedRounds: r.ForcedRounds, Fallbacks: r.Fallbacks,
+			Drained: r.Drained,
+		})
+		if r.BoundExceeded() {
+			violations = append(violations,
+				fmt.Sprintf("runtime %s/%s: garbage peak %d > declared bound %d",
+					r.StructuresKey(), scheme, r.GarbagePeak, r.Bound))
+		}
+		if !r.Drained {
+			violations = append(violations,
+				fmt.Sprintf("runtime %s/%s: drain left retired %d != freed %d",
+					r.StructuresKey(), scheme, r.Stats.Retired, r.Stats.Freed))
 		}
 	}
 

@@ -130,6 +130,38 @@ func CompareSnapshots(prev, next Snapshot, threshold float64) []TrendDelta {
 		}
 	}
 
+	// Shared-runtime cells (schema v4): throughput is flagged like the
+	// workload cells; the contract columns (garbage peak against the
+	// aggregated bound, fallback reuses) are informational here — the hard
+	// check is nbrbench -assert-bound — but a fallback count that becomes
+	// non-zero is a host-independent regression of the round guarantee, so
+	// it is always flagged, like the scan-alloc invariant below.
+	prevR := map[string]RuntimePoint{}
+	for _, r := range prev.Runtime {
+		prevR[fmt.Sprintf("runtime %s/%s t=%d w=%d", r.Structures, r.Scheme, r.Slots, r.Workers)] = r
+	}
+	for _, r := range next.Runtime {
+		key := fmt.Sprintf("runtime %s/%s t=%d w=%d", r.Structures, r.Scheme, r.Slots, r.Workers)
+		p, ok := prevR[key]
+		if !ok {
+			continue
+		}
+		add(key, "mops", p.Mops, r.Mops, false, true)
+		add(key, "sessions", float64(p.Sessions), float64(r.Sessions), false, false)
+		if p.GarbagePeak > 0 && r.GarbagePeak > 0 {
+			add(key, "garbage_pk", float64(p.GarbagePeak), float64(r.GarbagePeak), true, false)
+		}
+		out = append(out, TrendDelta{
+			Cell: key, Metric: "fallbacks",
+			Prev: float64(p.Fallbacks), Next: float64(r.Fallbacks),
+			Pct: worsePct(float64(p.Fallbacks), float64(r.Fallbacks), true),
+			// The round guarantee is host-independent: an unaged-slot
+			// fallback that appears is a regression on any machine.
+			Regression: p.Fallbacks == 0 && r.Fallbacks > 0,
+			Untrusted:  untrusted,
+		})
+	}
+
 	prevS := map[string]ScanCostPoint{}
 	for _, s := range prev.ScanCost {
 		prevS[fmt.Sprintf("scan N=%d R=%d", s.Threads, s.Slots)] = s

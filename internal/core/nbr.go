@@ -24,6 +24,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"nbr/internal/mem"
 	"nbr/internal/sigsim"
@@ -93,6 +94,11 @@ type Scheme struct {
 	// odd while the thread is broadcasting signals, even otherwise.
 	announceTS []smr.Pad64
 
+	// forceScan is the ForceRound collection scratch, serialized by forceMu
+	// (any acquirer may force a round; guards never touch this scratch).
+	forceMu   sync.Mutex
+	forceScan smr.ScanSet
+
 	gs []*guard
 }
 
@@ -110,6 +116,7 @@ func New(arena mem.Arena, threads int, cfg Config) *Scheme {
 		group:        sigsim.NewGroup(threads, cfg.Signals),
 		reservations: make([]smr.Pad64, threads*cfg.Slots),
 		announceTS:   make([]smr.Pad64, threads),
+		forceScan:    smr.NewScanSet(threads * cfg.Slots),
 	}
 	s.InitFixed(threads)
 	s.group.SetActive(s.ActiveMask)
@@ -231,6 +238,18 @@ func (s *Scheme) detachThread(tid int) {
 		g.row[i].Store(0)
 	}
 	g.cleanUp()
+}
+
+// ForceRound implements smr.RoundForcer: one bracketed reservation
+// collection over the active mask — the same snapshot reclaimFreeable takes
+// before sweeping, minus the sweep — so the registry's quarantine clock
+// advances without waiting for a bag to reach its watermark.
+func (s *Scheme) ForceRound() bool {
+	s.forceMu.Lock()
+	defer s.forceMu.Unlock()
+	return s.Membership.ForceRound(func() {
+		s.forceScan.CollectRows(s.reservations, s.cfg.Slots, s.ActiveMask)
+	})
 }
 
 // Drain implements smr.Drainer: adopt all orphans and reclaim everything the

@@ -52,9 +52,16 @@ type Tree struct {
 
 // New creates a tree sized for the given number of threads.
 func New(threads int) *Tree {
+	return NewWith(mem.Config{MaxThreads: threads})
+}
+
+// NewWith creates a tree over a pool built from cfg — the constructor a
+// shared-arena runtime uses, stamping its assigned arena tag (cfg.Tag) into
+// every node handle so a mem.Hub can route frees back here.
+func NewWith(cfg mem.Config) *Tree {
 	t := &Tree{
-		pool:      mem.NewPool[node](mem.Config{MaxThreads: threads}),
-		retireBuf: ds.NewRetireScratch(threads),
+		pool:      mem.NewPool[node](cfg),
+		retireBuf: ds.NewRetireScratch(cfg.MaxThreads),
 	}
 	l1, n1 := t.pool.Alloc(0) // left sentinel leaf: MaxKey-1
 	atomic.StoreUint64(&n1.key, ds.MaxKey-1)

@@ -51,7 +51,14 @@ type List struct {
 
 // New creates a list with the given restart policy, sized for `threads`.
 func New(threads int, v Variant) *List {
-	l := &List{pool: mem.NewPool[node](mem.Config{MaxThreads: threads}), variant: v}
+	return NewWith(mem.Config{MaxThreads: threads}, v)
+}
+
+// NewWith creates a list over a pool built from cfg — the constructor a
+// shared-arena runtime uses, stamping its assigned arena tag (cfg.Tag) into
+// every node handle so a mem.Hub can route frees back here.
+func NewWith(cfg mem.Config, v Variant) *List {
+	l := &List{pool: mem.NewPool[node](cfg), variant: v}
 	tp, tn := l.pool.Alloc(0)
 	atomic.StoreUint64(&tn.key, ds.MaxKey)
 	atomic.StoreUint64(&tn.next, uint64(mem.Null))

@@ -49,7 +49,14 @@ type List struct {
 
 // New creates a list sized for the given number of threads.
 func New(threads int) *List {
-	l := &List{pool: mem.NewPool[node](mem.Config{MaxThreads: threads})}
+	return NewWith(mem.Config{MaxThreads: threads})
+}
+
+// NewWith creates a list over a pool built from cfg — the constructor a
+// shared-arena runtime uses, stamping its assigned arena tag (cfg.Tag) into
+// every node handle so a mem.Hub can route frees back here.
+func NewWith(cfg mem.Config) *List {
+	l := &List{pool: mem.NewPool[node](cfg)}
 	tp, tn := l.pool.Alloc(0)
 	atomic.StoreUint64(&tn.key, ds.MaxKey)
 	atomic.StoreUint64(&tn.next, uint64(mem.Null))

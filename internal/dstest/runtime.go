@@ -1,0 +1,155 @@
+package dstest
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nbr"
+)
+
+// RuntimeChurn is the multi-structure lease-churn stress for the shared
+// reclamation runtime (the public nbr.Runtime): one registry, one arena
+// hub, one scheme instance, three structures. More worker goroutines than
+// slots acquire a single lease each through AcquireCtx (blocking admission,
+// not spin-retry), churn all three sets under it — so each per-thread bag
+// holds a mix of every structure's retired records — and release, recycling
+// slots mid-traffic. Meanwhile a sampler holds the aggregated live
+// GarbageBound contract (declared once per runtime, covering all attached
+// structures), and lease admission must never fall back to the unaged
+// oldest-slot reuse: the runtime forces the missing scan rounds instead.
+// At the end the runtime drains to Retired == Freed across every structure
+// and each structure validates.
+func RuntimeChurn(t *testing.T, scheme string) {
+	const (
+		maxThreads = 8
+		workers    = 12 // > maxThreads: admission queues and slots recycle
+		sessionOps = 60
+	)
+	sessions := 30
+	if testing.Short() {
+		sessions = 8
+	}
+	structures := []string{"lazylist", "harris", "dgt"}
+
+	rt, err := nbr.NewRuntime(nbr.RuntimeOptions{
+		Scheme:     scheme,
+		MaxThreads: maxThreads,
+		// The aggressive sizing the single-structure suites use, so
+		// reclamation and neutralization run constantly at test scale.
+		BagSize:   128,
+		ScanFreq:  4,
+		Threshold: 48,
+		EraFreq:   16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := make([]*nbr.Set, 0, len(structures))
+	for _, name := range structures {
+		s, err := rt.NewSet(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, s)
+	}
+
+	// owners tracks concurrent lease holders per tid: two at once is the
+	// recycled-tid aliasing the quarantine exists to prevent.
+	var owners [maxThreads]atomic.Int32
+
+	var stop atomic.Bool
+	var violation atomic.Bool
+	var peak, peakBound atomic.Uint64
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		for !stop.Load() {
+			g := rt.Stats().Garbage()
+			// GarbageBound is monotone, so a bound read after the garbage
+			// sample can only be ≥ the bound at sampling time: g > bound is
+			// a true violation, never a race artifact.
+			if bound := rt.GarbageBound(); bound != nbr.Unbounded && g > uint64(bound) {
+				violation.Store(true)
+				peak.Store(g)
+				peakBound.Store(uint64(bound))
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seed := uint64(w)*0x9e3779b97f4a7c15 + 1
+			next := func(n int) int {
+				seed = seed*6364136223846793005 + 1442695040888963407
+				return int((seed >> 33) % uint64(n))
+			}
+			for s := 0; s < sessions; s++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				l, err := rt.AcquireCtx(ctx)
+				cancel()
+				if err != nil {
+					t.Errorf("worker %d session %d: %v", w, s, err)
+					return
+				}
+				tid := l.Tid()
+				if owners[tid].Add(1) != 1 {
+					t.Errorf("tid %d leased to two goroutines at once (recycled-slot aliasing)", tid)
+					owners[tid].Add(-1)
+					l.Release()
+					return
+				}
+				for i := 0; i < sessionOps; i++ {
+					set := sets[next(len(sets))]
+					key := uint64(next(48)) + 1
+					if next(3) == 0 {
+						set.Insert(l, key)
+					} else {
+						set.Delete(l, key) // delete-heavy: retire traffic
+					}
+				}
+				owners[tid].Add(-1)
+				l.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop.Store(true)
+	<-samplerDone
+	if violation.Load() {
+		t.Fatalf("aggregated garbage-bound contract violated under multi-structure churn: sampled %d > declared bound %d",
+			peak.Load(), peakBound.Load())
+	}
+	// The round guarantee must hold without the oldest-slot fallback: every
+	// scheme in the harness except the leaky baseline can force the missing
+	// rounds (leaky never scans, so its fallback reuse is trivially safe).
+	if scheme != "none" && rt.FallbackReuses() != 0 {
+		t.Fatalf("lease admission used the unaged-slot fallback %d times; forced rounds must cover churn",
+			rt.FallbackReuses())
+	}
+
+	st := rt.Stats()
+	if st.Invalid() {
+		t.Fatalf("stats invalid at quiescence (double-free accounting): freed %d > retired %d",
+			st.Freed, st.Retired)
+	}
+	if err := rt.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st = rt.Stats(); scheme != "none" && st.Retired != st.Freed {
+		t.Fatalf("drain left orphaned records across the shared bags: retired %d, freed %d (%d leaked)",
+			st.Retired, st.Freed, st.Retired-st.Freed)
+	}
+	for _, s := range sets {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s after multi-structure churn: %v", s.Name(), err)
+		}
+	}
+}

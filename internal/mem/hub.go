@@ -1,0 +1,121 @@
+package mem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Hub is one Arena standing in front of several typed pools, so one
+// reclamation scheme (one set of limbo bags, one garbage bound) can serve
+// several data structures at once. Each pool is attached under a distinct
+// arena tag and stamps that tag into every handle it allocates (Config.Tag);
+// the Hub routes every Arena call to the pool the handle's tag names. The
+// scheme side needs no changes: its bags simply hold records whose owner
+// travels inside the Ptr, and FreeBatch splits a mixed bag into per-owner
+// runs so batched frees keep their one-shard-interaction amortization.
+//
+// Attach is construction-time wiring (the runtime attaches a structure's
+// pool before any handle from it can circulate); the routing path is
+// lock-free loads.
+type Hub struct {
+	subs [MaxTags]atomic.Pointer[hubSub]
+	n    atomic.Int32
+}
+
+// hubSub boxes an attached Arena so the routing slot is one atomic pointer.
+type hubSub struct {
+	a Arena
+}
+
+// NewHub returns an empty Hub. It is a valid Arena immediately — a scheme
+// may be constructed over it before any pool is attached, since no handle
+// can reach the scheme before its pool exists.
+func NewHub() *Hub {
+	return &Hub{}
+}
+
+// NextTag returns the tag the next Attach will occupy. The caller constructs
+// the pool with exactly this Config.Tag and then attaches it.
+func (h *Hub) NextTag() int { return int(h.n.Load()) }
+
+// Attach registers a pool under tag. Tags must be attached densely in order
+// (tag == NextTag()), which is what guarantees every circulating handle
+// routes to an attached pool; Attach panics otherwise, and when the Hub is
+// full.
+func (h *Hub) Attach(tag int, a Arena) {
+	if tag != int(h.n.Load()) {
+		panic(fmt.Sprintf("mem: Hub.Attach tag %d out of order (next is %d)", tag, h.n.Load()))
+	}
+	if tag >= MaxTags {
+		panic(fmt.Sprintf("mem: Hub full (%d arenas)", MaxTags))
+	}
+	h.subs[tag].Store(&hubSub{a: a})
+	h.n.Store(int32(tag + 1))
+}
+
+// Arenas returns the number of attached pools.
+func (h *Hub) Arenas() int { return int(h.n.Load()) }
+
+// Sub returns the pool attached under tag (nil if none).
+func (h *Hub) Sub(tag int) Arena {
+	if tag < 0 || tag >= MaxTags {
+		return nil
+	}
+	if s := h.subs[tag].Load(); s != nil {
+		return s.a
+	}
+	return nil
+}
+
+// route resolves p's owning pool, panicking on a tag no pool was attached
+// under — a handle that cannot be routed is corrupt, never a benign state.
+func (h *Hub) route(p Ptr) Arena {
+	if s := h.subs[p.ArenaTag()].Load(); s != nil {
+		return s.a
+	}
+	panic(fmt.Sprintf("mem: Hub cannot route %v (no arena attached under tag %d)", p, p.ArenaTag()))
+}
+
+// Free implements Arena by routing to the owning pool.
+func (h *Hub) Free(tid int, p Ptr) { h.route(p).Free(tid, p) }
+
+// FreeBatch implements Arena: the batch is split into maximal same-owner
+// runs and each run handed to its pool's FreeBatch, so a burst that retires
+// mostly within one structure keeps its single-interaction amortization. The
+// slice is not retained. Worst-case (owners perfectly interleaved) this
+// degrades to per-record dispatch, which is exactly what a Free loop would
+// have cost.
+func (h *Hub) FreeBatch(tid int, ps []Ptr) {
+	for i := 0; i < len(ps); {
+		tag := ps[i].ArenaTag()
+		j := i + 1
+		for j < len(ps) && ps[j].ArenaTag() == tag {
+			j++
+		}
+		h.route(ps[i]).FreeBatch(tid, ps[i:j])
+		i = j
+	}
+}
+
+// Hdr implements Arena by routing to the owning pool.
+func (h *Hub) Hdr(p Ptr) *Hdr { return h.route(p).Hdr(p) }
+
+// Valid implements Arena by routing to the owning pool.
+func (h *Hub) Valid(p Ptr) bool { return h.route(p).Valid(p) }
+
+// SizeCache implements Arena by fanning out to every attached pool: the
+// scheme's reclamation burst can land wholly in any one structure's pool, so
+// each must absorb it locally.
+func (h *Hub) SizeCache(tid, burst int) {
+	for t := 0; t < int(h.n.Load()); t++ {
+		h.subs[t].Load().a.SizeCache(tid, burst)
+	}
+}
+
+// DrainCache implements Arena by fanning out to every attached pool, so a
+// released thread slot strands no recyclable records in any structure.
+func (h *Hub) DrainCache(tid int) {
+	for t := 0; t < int(h.n.Load()); t++ {
+		h.subs[t].Load().a.DrainCache(tid)
+	}
+}

@@ -93,6 +93,12 @@ type Config struct {
 	// reclamation-burst bottleneck; 0 selects the scalable default, the
 	// power of two covering GOMAXPROCS (see DESIGN.md §6).
 	Shards int
+	// Tag is the arena tag stamped into every handle this pool returns
+	// (see Ptr), so a Hub standing in front of several pools can route a
+	// retired record back to its owner. 0 — the default — produces the
+	// untagged handles a standalone pool always produced. Must be below
+	// MaxTags.
+	Tag int
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +112,9 @@ func (c Config) withDefaults() Config {
 		c.Shards = runtime.GOMAXPROCS(0)
 	}
 	c.Shards = ceilPow2(c.Shards)
+	if c.Tag < 0 || c.Tag >= MaxTags {
+		panic(fmt.Sprintf("mem: arena tag %d out of range [0, %d)", c.Tag, MaxTags))
+	}
 	return c
 }
 
@@ -301,7 +310,7 @@ func (p *Pool[T]) Alloc(tid int) (Ptr, *T) {
 	g := atomic.LoadUint32(&s.hdr.gen) // even: slot is free
 	atomic.StoreUint32(&s.hdr.gen, g+1)
 	tc.allocs.Add(1)
-	return pack(idx, g+1), &s.val
+	return pack(idx, g+1, p.cfg.Tag), &s.val
 }
 
 // release CASes q's slot generation from live to free, panicking on double
@@ -309,6 +318,9 @@ func (p *Pool[T]) Alloc(tid int) (Ptr, *T) {
 func (p *Pool[T]) release(q Ptr) uint32 {
 	if q.IsNull() {
 		panic("mem: free of nil handle")
+	}
+	if q.ArenaTag() != p.cfg.Tag {
+		panic(fmt.Sprintf("mem: free of %v routed to pool with tag %d (Hub misroute or corrupt handle)", q, p.cfg.Tag))
 	}
 	s := p.slotAt(q.Idx())
 	if !atomic.CompareAndSwapUint32(&s.hdr.gen, q.Gen(), q.Gen()+1) {

@@ -16,7 +16,7 @@ func newTestPool(threads int) *Pool[rec] {
 }
 
 func TestPtrPackRoundTrip(t *testing.T) {
-	p := pack(12345, 678)
+	p := pack(12345, 678, 0)
 	if p.Idx() != 12345 || p.Gen() != 678 {
 		t.Fatalf("roundtrip got idx=%d gen=%d", p.Idx(), p.Gen())
 	}
@@ -26,7 +26,7 @@ func TestPtrPackRoundTrip(t *testing.T) {
 }
 
 func TestPtrMarkBit(t *testing.T) {
-	p := pack(7, 3)
+	p := pack(7, 3, 0)
 	m := p.WithMark()
 	if !m.Marked() {
 		t.Fatal("WithMark did not set mark")
@@ -55,10 +55,13 @@ func TestNullHandle(t *testing.T) {
 }
 
 func TestPtrQuickPacking(t *testing.T) {
-	f := func(idx uint32, gen uint32) bool {
+	f := func(idx uint32, gen uint32, tag uint8) bool {
 		gen &= uint32(genMask)
-		p := pack(idx, gen)
-		return p.Idx() == idx && p.Gen() == gen && p.WithMark().Unmarked() == p
+		idx &= slotIdxMask
+		tg := int(tag) % MaxTags
+		p := pack(idx, gen, tg)
+		return p.Idx() == idx && p.Gen() == gen && p.ArenaTag() == tg &&
+			p.WithMark().Unmarked() == p
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

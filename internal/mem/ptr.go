@@ -17,29 +17,51 @@ import "fmt"
 //
 //	bit  63     user mark bit (Harris-style marked pointers)
 //	bits 62..32 slot generation (odd = live)
-//	bits 31..0  slot index
+//	bits 31..28 arena tag (which pool behind a Hub owns the slot)
+//	bits 27..0  slot index
 //
 // The mark bit belongs to the data structure, not the allocator: two handles
 // that differ only in the mark bit address the same record. All Pool methods
 // ignore the mark bit, so callers may pass marked handles directly.
+//
+// The arena tag is what lets several typed pools stand behind one shared
+// mem.Arena (a Hub): a pool constructed with Config.Tag k stamps k into
+// every handle it returns, so a reclamation scheme holding a mixed bag of
+// retired records from many structures can route each free back to the pool
+// that owns it without per-record bookkeeping. maxSlots is 2^28, so the tag
+// bits are free; a pool with Tag 0 (the default) produces exactly the
+// handles it always did.
 type Ptr uint64
 
 // Null is the nil handle. Slot 0 is never allocated, so no live handle
 // compares equal to Null even with its mark bit cleared.
 const Null Ptr = 0
 
+// MaxTags is the number of distinct arena tags a Ptr can carry — the most
+// pools one Hub can stand in front of.
+const MaxTags = 1 << tagBits
+
 const (
 	markBit = Ptr(1) << 63
 	genMask = (uint64(1) << 31) - 1
+
+	tagBits     = 4
+	tagShift    = 32 - tagBits
+	slotIdxMask = uint32(1)<<tagShift - 1
 )
 
-// pack builds a handle from a slot index and generation.
-func pack(idx uint32, gen uint32) Ptr {
-	return Ptr(uint64(idx) | (uint64(gen)&genMask)<<32)
+// pack builds a handle from a slot index, generation and arena tag.
+func pack(idx uint32, gen uint32, tag int) Ptr {
+	return Ptr(uint64(idx) | uint64(tag)<<tagShift | (uint64(gen)&genMask)<<32)
 }
 
-// Idx returns the slot index of p.
-func (p Ptr) Idx() uint32 { return uint32(p) }
+// Idx returns the slot index of p within its owning pool (the arena tag
+// stripped).
+func (p Ptr) Idx() uint32 { return uint32(p) & slotIdxMask }
+
+// ArenaTag returns which pool behind a Hub owns p's slot (0 for a pool
+// constructed without a tag).
+func (p Ptr) ArenaTag() int { return int(uint32(p) >> tagShift) }
 
 // Gen returns the slot generation p was created with.
 func (p Ptr) Gen() uint32 { return uint32((uint64(p) >> 32) & genMask) }
@@ -64,6 +86,9 @@ func (p Ptr) String() string {
 	m := ""
 	if p.Marked() {
 		m = "*"
+	}
+	if t := p.ArenaTag(); t != 0 {
+		return fmt.Sprintf("mem.Ptr{arena:%d idx:%d gen:%d%s}", t, p.Idx(), p.Gen(), m)
 	}
 	return fmt.Sprintf("mem.Ptr{idx:%d gen:%d%s}", p.Idx(), p.Gen(), m)
 }

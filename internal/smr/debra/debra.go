@@ -112,6 +112,23 @@ func (s *Scheme) detachThread(tid int) {
 	s.announce[tid].Store(g.localE << 1)
 }
 
+// ForceRound implements smr.RoundForcer: one bracketed pass over the active
+// threads' epoch announcements. DEBRA's organic reclamation (rotation) is
+// not a bracketed scan at all — its grace-period check is amortized one peer
+// per operation — so under DEBRA the registry's round clock advances only
+// through forced rounds; the collection is the full epoch check a rotation's
+// worth of BeginOps performs.
+func (s *Scheme) ForceRound() bool {
+	return s.Membership.ForceRound(func() {
+		e := s.epoch.Load()
+		s.ActiveMask.Range(func(i int) {
+			v := s.announce[i].Load()
+			_ = v
+			_ = e
+		})
+	})
+}
+
 // Drain implements smr.Drainer: adopt all orphans into the current bag,
 // then attempt one epoch advance and rotation on behalf of tid. At
 // quiescence three consecutive calls walk the grace periods forward and

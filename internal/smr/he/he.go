@@ -8,6 +8,8 @@
 package he
 
 import (
+	"sync"
+
 	"nbr/internal/mem"
 	"nbr/internal/smr"
 )
@@ -52,6 +54,10 @@ type Scheme struct {
 	orphanPeak smr.Watermark
 	gs         []*guard
 	smr.Membership
+
+	// forceEras is the ForceRound collection scratch, serialized by forceMu.
+	forceMu   sync.Mutex
+	forceEras []uint64
 }
 
 // New creates a hazard-eras scheme for the given arena and thread count.
@@ -146,6 +152,24 @@ func (s *Scheme) detachThread(tid int) {
 		g.bag = g.bag[:0]
 	}
 	s.attachThread(tid)
+}
+
+// ForceRound implements smr.RoundForcer: one bracketed era collection over
+// the active mask — sweep's announcement snapshot without the lifetime
+// checks — advancing the registry's quarantine clock on demand.
+func (s *Scheme) ForceRound() bool {
+	s.forceMu.Lock()
+	defer s.forceMu.Unlock()
+	return s.Membership.ForceRound(func() {
+		s.forceEras = s.forceEras[:0]
+		s.ActiveMask.Range(func(tid int) {
+			for i := 0; i < s.cfg.Slots; i++ {
+				if v := s.slot(tid, i).Load(); v != 0 {
+					s.forceEras = append(s.forceEras, v)
+				}
+			}
+		})
+	})
 }
 
 // Drain implements smr.Drainer: adopt all orphans and sweep on behalf of tid.

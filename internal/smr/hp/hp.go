@@ -10,6 +10,8 @@
 package hp
 
 import (
+	"sync"
+
 	"nbr/internal/mem"
 	"nbr/internal/smr"
 )
@@ -44,6 +46,10 @@ type Scheme struct {
 	slots []smr.Pad64 // N*K announcement slots
 	gs    []*guard
 	smr.Membership
+
+	// forceScan is the ForceRound collection scratch, serialized by forceMu.
+	forceMu   sync.Mutex
+	forceScan smr.ScanSet
 }
 
 // New creates a hazard-pointer scheme for the given arena and thread count.
@@ -51,6 +57,7 @@ func New(arena mem.Arena, threads int, cfg Config) *Scheme {
 	s := &Scheme{arena: arena, cfg: cfg.withDefaults(threads)}
 	s.InitFixed(threads)
 	s.slots = make([]smr.Pad64, threads*s.cfg.Slots)
+	s.forceScan = smr.NewScanSet(threads * s.cfg.Slots)
 	s.gs = make([]*guard, threads)
 	for i := range s.gs {
 		s.gs[i] = &guard{
@@ -124,6 +131,17 @@ func (s *Scheme) detachThread(tid int) {
 		g.bag = g.bag[:0]
 	}
 	s.attachThread(tid)
+}
+
+// ForceRound implements smr.RoundForcer: one bracketed hazard collection
+// over the active mask — doScan's snapshot without the sweep — advancing
+// the registry's quarantine clock on demand.
+func (s *Scheme) ForceRound() bool {
+	s.forceMu.Lock()
+	defer s.forceMu.Unlock()
+	return s.Membership.ForceRound(func() {
+		s.forceScan.CollectRows(s.slots, s.cfg.Slots, s.ActiveMask)
+	})
 }
 
 // Drain implements smr.Drainer: adopt all orphans and scan on behalf of tid.

@@ -11,6 +11,8 @@
 package ibr
 
 import (
+	"sync"
+
 	"nbr/internal/mem"
 	"nbr/internal/smr"
 )
@@ -53,6 +55,12 @@ type Scheme struct {
 	orphanPeak smr.Watermark
 	gs         []*guard
 	smr.Membership
+
+	// forceLos/forceHis are the ForceRound collection scratch, serialized by
+	// forceMu.
+	forceMu  sync.Mutex
+	forceLos []uint64
+	forceHis []uint64
 }
 
 // New creates a 2GE-IBR scheme for the given arena and thread count.
@@ -140,6 +148,23 @@ func (s *Scheme) detachThread(tid int) {
 		g.bag = g.bag[:0]
 	}
 	s.attachThread(tid)
+}
+
+// ForceRound implements smr.RoundForcer: one bracketed reservation-interval
+// collection over the active mask — sweep's snapshot without the lifetime
+// checks — advancing the registry's quarantine clock on demand.
+func (s *Scheme) ForceRound() bool {
+	s.forceMu.Lock()
+	defer s.forceMu.Unlock()
+	return s.Membership.ForceRound(func() {
+		s.forceLos, s.forceHis = s.forceLos[:0], s.forceHis[:0]
+		s.ActiveMask.Range(func(tid int) {
+			if lo := s.lo[tid].Load(); lo != idleLo {
+				s.forceLos = append(s.forceLos, lo)
+				s.forceHis = append(s.forceHis, s.hi[tid].Load())
+			}
+		})
+	})
 }
 
 // Drain implements smr.Drainer: adopt all orphans and sweep on behalf of

@@ -112,6 +112,22 @@ func (s *Scheme) detachThread(tid int) {
 	}
 }
 
+// ForceRound implements smr.RoundForcer: one bracketed pass over the active
+// threads' epoch announcements — sweep's grace-period snapshot without the
+// bag walk — advancing the registry's quarantine clock on demand. No scratch
+// is kept (the collection reduces to a min), so no serialization is needed.
+func (s *Scheme) ForceRound() bool {
+	return s.Membership.ForceRound(func() {
+		min := ^uint64(0)
+		s.ActiveMask.Range(func(i int) {
+			if a := s.announce[i].Load(); a < min {
+				min = a
+			}
+		})
+		_ = min
+	})
+}
+
 // Drain implements smr.Drainer: adopt all orphans, then attempt one epoch
 // advance and sweep on behalf of tid. At quiescence three consecutive calls
 // walk the two grace periods forward and empty the bag.

@@ -113,6 +113,21 @@ func (s *Scheme) detachThread(tid int) {
 	s.announce[tid].Store(idle)
 }
 
+// ForceRound implements smr.RoundForcer: one bracketed pass over the active
+// threads' critical-section announcements — sweep's snapshot without the
+// bag walk — advancing the registry's quarantine clock on demand.
+func (s *Scheme) ForceRound() bool {
+	return s.Membership.ForceRound(func() {
+		min := ^uint64(0)
+		s.ActiveMask.Range(func(i int) {
+			if a := s.announce[i].Load(); a < min {
+				min = a
+			}
+		})
+		_ = min
+	})
+}
+
 // Drain implements smr.Drainer: adopt all orphans, then attempt one epoch
 // advance and sweep on behalf of tid. At quiescence three consecutive calls
 // walk the two grace periods forward and empty the bag.

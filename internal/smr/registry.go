@@ -61,12 +61,26 @@ type Registry struct {
 	rounds atomic.Uint64 // completed reclamation scan rounds (EndScan/NoteRound)
 	scans  atomic.Int64  // reclamation scans currently in flight (BeginScan)
 
+	// force is the bound scheme's on-demand round driver (RoundForcer, wired
+	// by Bind): when the oldest quarantined slot has not aged, Acquire forces
+	// the missing rounds itself instead of leaning on the no-scanner
+	// fallback, so the two-round reuse guarantee holds whatever the organic
+	// reclamation cadence. forced and fallbacks count the two paths.
+	force     func() bool
+	forced    atomic.Uint64
+	fallbacks atomic.Uint64
+
 	mu         sync.Mutex
 	fresh      []int // never-yet-quarantined slots (LIFO)
 	quarantine []quarSlot
 
 	onAcquire []func(tid int)
 	onRelease []func(tid int)
+	// afterRelease runs once the released slot has fully entered quarantine
+	// — i.e. once a subsequent Acquire can actually be served by it. This is
+	// the notification admission queues need; an OnRelease hook runs too
+	// early (the slot is not yet reusable when it fires).
+	afterRelease []func()
 
 	orphans struct {
 		mu    sync.Mutex
@@ -106,16 +120,35 @@ func (r *Registry) MaxThreads() int { return r.max }
 func (r *Registry) Active() *ActiveSet { return r.active }
 
 // Bind wires a scheme into the registry: the scheme adopts the active mask
-// and registers its membership hooks. It must run after the scheme is
-// constructed and before any guard is used. Bind panics if the scheme does
-// not participate in dynamic membership.
+// and registers its membership hooks, and — when the scheme can force scan
+// rounds (RoundForcer) — the registry adopts its forced-round driver for
+// quarantine aging. It must run after the scheme is constructed and before
+// any guard is used. Bind panics if the scheme does not participate in
+// dynamic membership.
 func (r *Registry) Bind(s Scheme) {
 	m, ok := s.(Member)
 	if !ok {
 		panic("smr: scheme does not implement smr.Member; cannot Bind")
 	}
 	m.AttachRegistry(r)
+	if f, ok := s.(RoundForcer); ok {
+		r.force = f.ForceRound
+	}
 }
+
+// SetForceRound installs the forced-round driver directly (test hook; Bind
+// wires it from the scheme). Pass nil to disable forced aging.
+func (r *Registry) SetForceRound(f func() bool) { r.force = f }
+
+// ForcedRounds returns how many scan rounds Acquire forced to age a
+// quarantined slot.
+func (r *Registry) ForcedRounds() uint64 { return r.forced.Load() }
+
+// FallbackReuses returns how many times Acquire served a quarantined slot
+// on the no-scanner proof instead of the two-round aging guarantee. With a
+// RoundForcer bound this stays zero under any churn: the missing rounds are
+// forced instead.
+func (r *Registry) FallbackReuses() uint64 { return r.fallbacks.Load() }
 
 // OnAcquire registers a hook run on the acquiring goroutine each time a slot
 // is handed out, after the slot is assigned and before it is marked active.
@@ -128,6 +161,12 @@ func (r *Registry) OnAcquire(f func(tid int)) { r.onAcquire = append(r.onAcquire
 // before a later-registered allocator-cache drain, so records the quiesce
 // frees reach the thread cache before it is flushed.
 func (r *Registry) OnRelease(f func(tid int)) { r.onRelease = append(r.onRelease, f) }
+
+// AfterRelease registers a hook run on the releasing goroutine after the
+// slot has entered quarantine, so an Acquire attempted from the hook (or a
+// goroutine it wakes) can be served by the freed slot. Hooks must be
+// registered before the registry is used concurrently.
+func (r *Registry) AfterRelease(f func()) { r.afterRelease = append(r.afterRelease, f) }
 
 // BeginScan marks a reclamation scan (a reservation/hazard/era collection
 // and its sweep) as in flight. Schemes bound to the registry bracket every
@@ -155,23 +194,65 @@ func (r *Registry) Rounds() uint64 { return r.rounds.Load() }
 // and the returned lease's Tid may be used with Scheme.Guard until Release.
 // Slot preference: never-yet-quarantined (fresh) slots first, then the
 // oldest quarantined slot — served only once it is safe from tid-reuse
-// aliasing, which holds on either of two proofs:
+// aliasing. Safety holds on one of three proofs, tried in order:
 //
 //   - aged: at least quarantineRounds scan rounds completed since the
 //     release, so any scan that could have captured the predecessor has
 //     long finished;
-//   - no scanner: the in-flight scan count is zero right now, so no
-//     snapshot of the predecessor can exist at all (scans that begin after
-//     this check see the slot's current mask state, which is the normal
-//     protocol).
+//   - forced: when the head has not aged organically and the bound scheme
+//     is a RoundForcer, Acquire drives the missing rounds itself — a real
+//     bracketed collection per round — so lease churn outrunning the
+//     reclamation cadence no longer voids the round guarantee;
+//   - no scanner (fallback): the in-flight scan count is zero right now, so
+//     no snapshot of the predecessor can exist at all (scans that begin
+//     after this check see the slot's current mask state, which is the
+//     normal protocol). Reached only when no RoundForcer is bound or it
+//     cannot complete a round, and counted in FallbackReuses.
 //
-// When neither holds — a scan is mid-flight and the slot is freshly
-// quarantined — Acquire refuses with ErrRegistryFull; the window is one
-// scan's duration, so a retrying caller succeeds promptly.
+// When none holds — a scan is mid-flight with no working forcer, or forced
+// rounds completed but a racing acquirer took the aged head — Acquire
+// refuses with ErrRegistryFull; the window is one scan's (or one race's)
+// duration, so a retrying caller succeeds promptly.
 func (r *Registry) Acquire() (*Lease, error) {
 	r.mu.Lock()
-	tid, ok := r.takeSlotLocked()
+	tid, ok, waiting := r.takeSlotLocked()
 	r.mu.Unlock()
+	forcedOK := false
+	if !ok && waiting && r.force != nil {
+		// Age the quarantine head with forced rounds, outside the lock: a
+		// round is a scheme-side collection that never touches the
+		// registry's mutex, but Release and other Acquires must not block
+		// behind it.
+		for i := 0; i < quarantineRounds && !ok; i++ {
+			if !r.force() {
+				break
+			}
+			forcedOK = true
+			r.forced.Add(1)
+			r.mu.Lock()
+			tid, ok, waiting = r.takeSlotLocked()
+			r.mu.Unlock()
+		}
+	}
+	if !ok && waiting && !forcedOK {
+		// Fallback: the no-scanner proof (see above), reached only when no
+		// forcer is bound or it could not complete a round. When forced
+		// rounds DID complete but the slot still was not served — a racing
+		// acquirer took the aged head and a fresh release replaced it — the
+		// refusal below stands instead: the caller retries, and the round
+		// guarantee is never traded away while a working forcer exists.
+		// The re-check and the pop happen under one lock hold; a scan
+		// beginning right after the load is the same benign race the
+		// original protocol documented.
+		r.mu.Lock()
+		if len(r.quarantine) > 0 && r.scans.Load() == 0 {
+			tid = r.quarantine[0].tid
+			r.quarantine = r.quarantine[1:]
+			ok = true
+			r.fallbacks.Add(1)
+		}
+		r.mu.Unlock()
+	}
 	if !ok {
 		return nil, ErrRegistryFull
 	}
@@ -183,24 +264,26 @@ func (r *Registry) Acquire() (*Lease, error) {
 	return l, nil
 }
 
-func (r *Registry) takeSlotLocked() (int, bool) {
+// takeSlotLocked pops a fresh slot, else the quarantine head when aged.
+// waiting reports that a quarantined slot exists but has not aged — the
+// caller may force rounds or fall back to the no-scanner proof.
+func (r *Registry) takeSlotLocked() (tid int, ok, waiting bool) {
 	if n := len(r.fresh); n > 0 {
 		tid := r.fresh[n-1]
 		r.fresh = r.fresh[:n-1]
-		return tid, true
+		return tid, true, false
 	}
 	if len(r.quarantine) == 0 {
-		return 0, false
+		return 0, false, false
 	}
 	// Rounds are monotone, so the FIFO head is always the most-aged entry:
 	// if it cannot be served, nothing behind it can.
 	head := r.quarantine[0]
-	aged := head.round+quarantineRounds <= r.rounds.Load()
-	if !aged && r.scans.Load() != 0 {
-		return 0, false
+	if head.round+quarantineRounds > r.rounds.Load() {
+		return 0, false, true
 	}
 	r.quarantine = r.quarantine[1:]
-	return head.tid, true
+	return head.tid, true, false
 }
 
 // Release returns the lease's slot: the slot leaves the active mask, the
@@ -222,6 +305,9 @@ func (l *Lease) Release() {
 	r.mu.Lock()
 	r.quarantine = append(r.quarantine, quarSlot{tid: l.tid, round: r.rounds.Load()})
 	r.mu.Unlock()
+	for _, f := range r.afterRelease {
+		f()
+	}
 }
 
 // Lease is one leased slot. Tid is stable for the lease's lifetime; after
@@ -264,6 +350,23 @@ func (m *Membership) Join(r *Registry, threads int, scheme string, onAcquire, on
 	m.ActiveMask = r.Active()
 	r.OnAcquire(onAcquire)
 	r.OnRelease(onRelease)
+}
+
+// ForceRound runs collect as one completed scan round: bracketed by the
+// registry's BeginScan/EndScan so it counts toward quarantine aging, and a
+// no-op (false) in fixed-N mode where there is no quarantine to age. collect
+// must be a genuine collection pass over the scheme's announcement state —
+// the round counter certifies "a collection that began after a release has
+// completed", nothing about sweeping — and the caller is responsible for
+// serializing access to whatever scratch it collects into.
+func (m *Membership) ForceRound(collect func()) bool {
+	if m.Reg == nil {
+		return false
+	}
+	m.Reg.BeginScan()
+	collect()
+	m.Reg.EndScan()
+	return true
 }
 
 // HasOrphans reports whether adoption would pull anything (one atomic load;

@@ -1,0 +1,406 @@
+package nbr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"nbr/internal/bench"
+	"nbr/internal/ds"
+	"nbr/internal/mem"
+	"nbr/internal/smr"
+)
+
+// This file is the shared reclamation runtime. The paper's machinery —
+// signals, reservations, bounded garbage — is per-*thread*, not
+// per-*structure*, so a service hosting several concurrent sets should not
+// pay one lease, one registry and one signal group per structure. A Runtime
+// owns exactly one smr.Registry, one scheme instance and one shared arena (a
+// mem.Hub routing to each structure's pool by the arena tag carried in every
+// handle), and hands out a single Lease valid across every Set attached to
+// it. One lease per request covers all of a handler's structures; the
+// garbage bound is declared once per runtime and covers every structure's
+// retired records, because they all live in the same per-thread bags.
+//
+// Single-structure users keep the unchanged nbr.New Domain API, which is now
+// a thin wrapper over a one-set Runtime.
+
+// RuntimeOptions configures a Runtime. The zero value selects NBR+ sized
+// for a moderately parallel host, exactly like Options.
+type RuntimeOptions struct {
+	// Scheme names the reclamation scheme (see Schemes). Default "nbr+".
+	Scheme string
+	// MaxThreads is the lease-registry capacity shared by every attached
+	// structure: the most goroutines that can hold a lease at once. Default
+	// 2·GOMAXPROCS, at least 8.
+	MaxThreads int
+	// MaxStructures caps how many Sets can attach (the arena-tag space of a
+	// handle). Default — and maximum — mem.MaxTags.
+	MaxStructures int
+
+	// The scheme knobs, as in Options (zero selects each scheme's default).
+	BagSize    int     // NBR limbo-bag HiWatermark
+	LoFraction float64 // NBR+ LoWatermark position
+	ScanFreq   int     // NBR+ announceTS scan cadence
+	Threshold  int     // retire-buffer depth for hp/he/ibr/qsbr/rcu
+	EraFreq    int     // era-advance period for he/ibr
+	SendSpin   int     // simulated signal-send cost
+	HandleSpin int     // simulated signal-delivery cost
+}
+
+func (o RuntimeOptions) withDefaults() RuntimeOptions {
+	if o.Scheme == "" {
+		o.Scheme = "nbr+"
+	}
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = 2 * runtime.GOMAXPROCS(0)
+		if o.MaxThreads < 8 {
+			o.MaxThreads = 8
+		}
+	}
+	if o.MaxStructures <= 0 || o.MaxStructures > mem.MaxTags {
+		o.MaxStructures = mem.MaxTags
+	}
+	return o
+}
+
+// Runtime is one shared reclamation substrate: one thread-lease registry,
+// one reclamation scheme, one arena hub, any number of attached structures.
+// All methods are safe for concurrent use except where noted on Set.
+type Runtime struct {
+	opts   RuntimeOptions
+	req    ds.Requirements // announcement widths the scheme was built with
+	hub    *mem.Hub
+	scheme smr.Scheme
+	reg    *smr.Registry
+
+	mu   sync.Mutex // guards sets (attachment vs. aggregation)
+	sets []*Set
+
+	// Admission control: AcquireCtx callers blocked on a full registry wait
+	// here in FIFO order; every lease release hands the head a baton.
+	admitMu sync.Mutex
+	waiters []chan struct{}
+}
+
+// NewRuntime creates a Runtime with no structures attached. The scheme is
+// constructed at the conservative announcement widths every structure in the
+// harness fits under (ds.DefaultRequirements), since structures attach
+// later; NewSet rejects a structure that would not fit.
+func NewRuntime(opts RuntimeOptions) (*Runtime, error) {
+	req := ds.DefaultRequirements
+	req.Threshold = ds.DefaultThreshold
+	return newRuntimeOver(mem.NewHub(), opts, req)
+}
+
+// newRuntimeOver builds the registry/scheme/arena triple over an existing
+// hub at explicit announcement widths — the shared core of NewRuntime and
+// the single-structure New, which knows its structure's exact widths before
+// the scheme exists.
+func newRuntimeOver(hub *mem.Hub, opts RuntimeOptions, req ds.Requirements) (*Runtime, error) {
+	opts = opts.withDefaults()
+	cfg := bench.SchemeConfig{
+		BagSize:    opts.BagSize,
+		LoFraction: opts.LoFraction,
+		ScanFreq:   opts.ScanFreq,
+		Threshold:  opts.Threshold,
+		EraFreq:    opts.EraFreq,
+		SendSpin:   opts.SendSpin,
+		HandleSpin: opts.HandleSpin,
+	}
+	scheme, err := bench.NewSchemeFor(opts.Scheme, hub, opts.MaxThreads, cfg, req)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		opts:   opts,
+		req:    req,
+		hub:    hub,
+		scheme: scheme,
+		reg:    smr.NewRegistry(opts.MaxThreads),
+	}
+	// Hook order matters: Bind registers the scheme's quiesce hook first, so
+	// a departing thread's frees reach its allocator caches before the drain
+	// flushes them, and the admission baton is handed only after the slot is
+	// fully quiesced.
+	rt.reg.Bind(scheme)
+	if burst := scheme.ReclaimBurst(); burst > 0 {
+		rt.reg.OnAcquire(func(tid int) { hub.SizeCache(tid, burst) })
+	}
+	rt.reg.OnRelease(func(tid int) { hub.DrainCache(tid) })
+	// The admission baton is handed only after the slot has fully entered
+	// quarantine (AfterRelease, not OnRelease): the woken waiter's Acquire
+	// must be servable by the slot that was just freed.
+	rt.reg.AfterRelease(rt.admitNext)
+	return rt, nil
+}
+
+// NewSet attaches a structure to the runtime: the structure's pool is
+// created under the next arena tag and registered with the hub, so records
+// it retires are routed home from the runtime's shared bags. The returned
+// Set shares the runtime's thread slots, stats and garbage bound with every
+// other attachment.
+func (rt *Runtime) NewSet(structure string) (*Set, error) {
+	if !bench.Runnable(structure, rt.opts.Scheme) {
+		return nil, fmt.Errorf("nbr: %s is not runnable under %s (the paper's Table 1)",
+			structure, rt.opts.Scheme)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	tag := rt.hub.NextTag()
+	if tag >= rt.opts.MaxStructures {
+		return nil, fmt.Errorf("nbr: runtime full (%d structures attached)", tag)
+	}
+	inst, err := bench.NewDSArena(structure, mem.Config{MaxThreads: rt.opts.MaxThreads, Tag: tag})
+	if err != nil {
+		return nil, err
+	}
+	if inst.Req.Slots > rt.req.Slots || inst.Req.Reservations > rt.req.Reservations {
+		return nil, fmt.Errorf("nbr: %s needs %d protect slots and %d reservations; the runtime's scheme was built with %d/%d",
+			structure, inst.Req.Slots, inst.Req.Reservations, rt.req.Slots, rt.req.Reservations)
+	}
+	rt.hub.Attach(tag, inst.Arena)
+	s := &Set{rt: rt, inst: inst, name: structure}
+	rt.sets = append(rt.sets, s)
+	return s, nil
+}
+
+// Acquire leases a thread slot valid across every Set attached to this
+// runtime. It fails fast with ErrNoLease when the registry is full; use
+// AcquireCtx to wait instead.
+func (rt *Runtime) Acquire() (*Lease, error) {
+	l, err := rt.reg.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	return &Lease{rt: rt, l: l, g: rt.scheme.Guard(l.Tid())}, nil
+}
+
+// AcquireCtx leases a thread slot, blocking while the registry is full
+// until a slot frees up or ctx is done. Blocked callers are admitted in
+// FIFO order — each lease release hands the longest waiter a baton — so an
+// oversubscribed server degrades to an orderly queue with deadlines instead
+// of a spin-retry storm. (A concurrent non-blocking Acquire can still take
+// a freed slot before the woken waiter retries; the waiter then rejoins at
+// the tail. Fairness is among waiters, not against barging.)
+func (rt *Runtime) AcquireCtx(ctx context.Context) (*Lease, error) {
+	if l, err := rt.Acquire(); err == nil || !errors.Is(err, ErrNoLease) {
+		return l, err
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ch := make(chan struct{}, 1)
+		rt.admitMu.Lock()
+		rt.waiters = append(rt.waiters, ch)
+		rt.admitMu.Unlock()
+		// A release that landed between the failed Acquire and the enqueue
+		// had no waiter to wake; re-try once now that we are visible.
+		if l, err := rt.Acquire(); err == nil || !errors.Is(err, ErrNoLease) {
+			rt.abandon(ch)
+			return l, err
+		}
+		select {
+		case <-ctx.Done():
+			rt.abandon(ch)
+			return nil, ctx.Err()
+		case <-ch:
+			if l, err := rt.Acquire(); err == nil || !errors.Is(err, ErrNoLease) {
+				return l, err
+			}
+			// A barger took the slot; rejoin the queue at the tail.
+		}
+	}
+}
+
+// admitNext hands the release baton to the longest-waiting AcquireCtx
+// caller. The send happens under admitMu, which is what lets abandon
+// distinguish "still queued" from "baton already handed" without a race.
+func (rt *Runtime) admitNext() {
+	rt.admitMu.Lock()
+	defer rt.admitMu.Unlock()
+	if len(rt.waiters) > 0 {
+		ch := rt.waiters[0]
+		rt.waiters = rt.waiters[1:]
+		ch <- struct{}{} // buffered, waiter enqueued once: never blocks
+	}
+}
+
+// abandon removes a waiter from the queue (context cancelled, or admitted
+// through a side door). If the waiter had already been handed the baton,
+// the baton is forwarded so the wakeup is not lost.
+func (rt *Runtime) abandon(ch chan struct{}) {
+	rt.admitMu.Lock()
+	for i := range rt.waiters {
+		if rt.waiters[i] == ch {
+			rt.waiters = append(rt.waiters[:i], rt.waiters[i+1:]...)
+			rt.admitMu.Unlock()
+			return
+		}
+	}
+	// Not queued: admitNext dequeued us, and its send completed under
+	// admitMu, so the baton is in the buffer. Pass it on.
+	var forward bool
+	select {
+	case <-ch:
+		forward = true
+	default:
+	}
+	rt.admitMu.Unlock()
+	if forward {
+		rt.admitNext()
+	}
+}
+
+// ForceRound drives one completed reclamation scan round through the
+// scheme — a bracketed collection over the active announcement state — so
+// slot-quarantine aging, which rides the scan-round clock, advances on
+// demand instead of waiting for organic reclamation cadence. The registry
+// calls this internally when an Acquire finds an un-aged quarantined slot;
+// it is exported for operators that want to age the quarantine ahead of a
+// known admission burst. Returns false if the scheme cannot force rounds.
+func (rt *Runtime) ForceRound() bool {
+	if f, ok := rt.scheme.(smr.RoundForcer); ok {
+		return f.ForceRound()
+	}
+	return false
+}
+
+// ForcedRounds returns how many scan rounds lease admission forced to age
+// quarantined slots (operational diagnostic).
+func (rt *Runtime) ForcedRounds() uint64 { return rt.reg.ForcedRounds() }
+
+// FallbackReuses returns how many times a quarantined slot was reused on
+// the no-scanner proof instead of the two-round aging guarantee. With every
+// scheme in the harness this stays zero: the runtime forces the missing
+// rounds instead.
+func (rt *Runtime) FallbackReuses() uint64 { return rt.reg.FallbackReuses() }
+
+// MaxThreads returns the registry capacity shared by all attached sets.
+func (rt *Runtime) MaxThreads() int { return rt.opts.MaxThreads }
+
+// ActiveThreads returns the number of currently held leases (approximate
+// under churn).
+func (rt *Runtime) ActiveThreads() int { return rt.reg.Active().Count() }
+
+// Waiters returns the number of AcquireCtx callers currently queued.
+func (rt *Runtime) Waiters() int {
+	rt.admitMu.Lock()
+	defer rt.admitMu.Unlock()
+	return len(rt.waiters)
+}
+
+// Scheme returns the reclamation scheme's name.
+func (rt *Runtime) Scheme() string { return rt.scheme.Name() }
+
+// Structures returns the names of the attached sets, in attachment order.
+func (rt *Runtime) Structures() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	names := make([]string, len(rt.sets))
+	for i, s := range rt.sets {
+		names[i] = s.name
+	}
+	return names
+}
+
+// Stats returns the aggregate reclamation counters across every attached
+// structure — one scheme, one set of bags, one tally.
+func (rt *Runtime) Stats() Stats { return rt.scheme.Stats() }
+
+// MemStats returns the allocator counters summed across every attached
+// structure's pool. SlotSize is reported only while exactly one structure
+// is attached (pools of different record types have different slot sizes).
+func (rt *Runtime) MemStats() MemStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var agg MemStats
+	for _, s := range rt.sets {
+		st := s.inst.MemStats()
+		agg.Allocs += st.Allocs
+		agg.Frees += st.Frees
+		agg.Live += st.Live
+		agg.LiveBytes += st.LiveBytes
+		agg.SlabBytes += st.SlabBytes
+		agg.GlobalOps += st.GlobalOps
+	}
+	if len(rt.sets) == 1 {
+		agg.SlotSize = rt.sets[0].inst.MemStats().SlotSize
+	}
+	return agg
+}
+
+// GarbageBound returns the runtime's declared worst-case retired-but-unfreed
+// record count (or Unbounded). It is declared once per runtime and covers
+// every attached structure: all structures retire into the same per-thread
+// bags, so the per-structure garbage aggregates inside the single scheme
+// bound instead of summing one bound per structure.
+func (rt *Runtime) GarbageBound() int { return rt.scheme.GarbageBound() }
+
+// Drain adopts any orphaned records and reclaims everything reclaimable
+// across all attached structures, using a temporary lease. At quiescence it
+// runs until every retired record is freed; under concurrent traffic it is
+// a best-effort pass. Use it before reading final Stats or shutting down.
+func (rt *Runtime) Drain() error {
+	dr, ok := rt.scheme.(smr.Drainer)
+	if !ok {
+		return nil
+	}
+	l, err := rt.reg.Acquire()
+	if err != nil {
+		return err
+	}
+	defer l.Release()
+	for i := 0; i < 64; i++ {
+		st := rt.scheme.Stats()
+		if st.Retired == st.Freed {
+			break
+		}
+		dr.Drain(l.Tid())
+	}
+	return nil
+}
+
+// Set is one structure attached to a Runtime. Operations take the lease
+// explicitly (set.Insert(lease, key)) because one lease covers many sets.
+// Len and Validate are quiescent: no concurrent mutators.
+type Set struct {
+	rt   *Runtime
+	inst bench.Instance
+	name string
+}
+
+// Name returns the structure's name (see Structures).
+func (s *Set) Name() string { return s.name }
+
+// guardOf returns the per-thread guard behind l, refusing a lease from a
+// different runtime — its tid indexes another registry's slots, so honoring
+// it would alias two threads' announcement rows.
+func (s *Set) guardOf(l *Lease) smr.Guard {
+	if l.rt != s.rt {
+		panic("nbr: lease used with a Set attached to a different Runtime")
+	}
+	return l.g
+}
+
+// Contains reports whether key is in the set.
+func (s *Set) Contains(l *Lease, key uint64) bool { return s.inst.Set.Contains(s.guardOf(l), key) }
+
+// Insert adds key, reporting false if it was already present.
+func (s *Set) Insert(l *Lease, key uint64) bool { return s.inst.Set.Insert(s.guardOf(l), key) }
+
+// Delete removes key, reporting false if it was absent.
+func (s *Set) Delete(l *Lease, key uint64) bool { return s.inst.Set.Delete(s.guardOf(l), key) }
+
+// Len counts the keys in the set. Quiescent: no concurrent mutators.
+func (s *Set) Len() int { return s.inst.Set.Len() }
+
+// Validate checks the structure's invariants. Quiescent.
+func (s *Set) Validate() error { return s.inst.Set.Validate() }
+
+// MemStats returns this structure's own allocator counters (the runtime's
+// MemStats sums them across structures).
+func (s *Set) MemStats() MemStats { return s.inst.MemStats() }
