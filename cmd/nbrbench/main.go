@@ -66,9 +66,12 @@ func main() {
 	cfg.HandleSpin = *sigspin / 2
 
 	if *snapshot != "" {
-		// The snapshot suite is fixed (8 threads, 6 cells + microbenchmarks)
-		// so BENCH_<n>.json files are comparable across PRs; workload flags
-		// other than -duration and the scheme knobs do not apply to it.
+		// The snapshot suite is fixed (8 threads: the end-to-end workload
+		// cells, the shared-runtime cells — including the adversarial
+		// interleaved-retire variants — the Domain-vs-Runtime width cells,
+		// and the scan/burst microbenchmarks) so BENCH_<n>.json files are
+		// comparable across PRs; workload flags other than -duration and the
+		// scheme knobs do not apply to it.
 		if *experiment != "" || *custom || *threads != "" {
 			fmt.Fprintln(os.Stderr, "nbrbench: -snapshot runs a fixed suite; it cannot be combined with -experiment, -custom, or -threads")
 			os.Exit(1)

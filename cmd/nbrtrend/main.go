@@ -1,7 +1,13 @@
 // Command nbrtrend charts the perf-snapshot trajectory: it diffs
 // consecutive BENCH_<n>.json files (written by `nbrbench -snapshot`) and
-// flags regressions — throughput drops in the end-to-end workload cells and
-// cost growth in the reservation-scan and free-burst microbenchmarks.
+// flags regressions — throughput drops in the end-to-end workload and
+// shared-runtime cells and cost growth in the reservation-scan and
+// free-burst microbenchmarks. Two schema-v5 invariants are flagged
+// host-independently, because they are counter ratios rather than timings:
+// the hub's dispatch-per-burst amortization blowing up on the interleaved
+// runtime cells, and a Domain-vs-Runtime width gap reopening (the runtime
+// scanning wider announcement rows than a Domain would for the same
+// structure).
 //
 // Only same-host snapshot pairs (matching gomaxprocs and goarch) are
 // compared by default: numbers from different host shapes say nothing about

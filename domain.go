@@ -2,7 +2,6 @@ package nbr
 
 import (
 	"context"
-	"fmt"
 
 	"nbr/internal/bench"
 	"nbr/internal/mem"
@@ -110,27 +109,24 @@ type Domain struct {
 }
 
 // New creates a Domain: a private one-structure Runtime whose scheme is
-// sized to exactly the announcement widths the structure declares.
+// sized to exactly the announcement widths the structure declares. Unlike a
+// bare Runtime — which defers scheme construction so later attachments can
+// widen it — a Domain materializes its scheme eagerly: the structure is
+// known, its widths are final, and the domain is ready to serve its first
+// Acquire without a construction step on the lease path.
 func New(opts Options) (*Domain, error) {
 	opts = opts.withDefaults()
-	if !bench.Runnable(opts.Structure, opts.Scheme) {
-		return nil, fmt.Errorf("nbr: %s is not runnable under %s (the paper's Table 1)",
-			opts.Structure, opts.Scheme)
-	}
-	// The structure is built first — its declared widths size the scheme —
-	// with its pool attached to the hub the scheme will route through.
-	hub := mem.NewHub()
-	inst, err := bench.NewDSArena(opts.Structure, mem.Config{MaxThreads: opts.MaxThreads, Tag: hub.NextTag()})
+	rt, err := NewRuntime(opts.runtime())
 	if err != nil {
 		return nil, err
 	}
-	hub.Attach(0, inst.Arena)
-	rt, err := newRuntimeOver(hub, opts.runtime(), inst.Req)
+	set, err := rt.NewSet(opts.Structure)
 	if err != nil {
 		return nil, err
 	}
-	set := &Set{rt: rt, inst: inst, name: opts.Structure}
-	rt.sets = append(rt.sets, set)
+	if _, err := rt.materialize(); err != nil {
+		return nil, err
+	}
 	return &Domain{rt: rt, set: set}, nil
 }
 

@@ -57,3 +57,51 @@ func NewDSArena(name string, cfg mem.Config) (Instance, error) {
 	inst.Req = inst.Set.Requirements()
 	return inst, nil
 }
+
+// dsRequirements is the width registry: the announcement widths each
+// structure kind declares, available without constructing an instance. A
+// shared runtime uses it to size its scheme for structure kinds that will
+// attach later (RuntimeOptions.Structures). TestDSRequirementsMatchInstances
+// pins each entry to the corresponding Set.Requirements(), so the table
+// cannot drift from the structures' own declarations.
+var dsRequirements = map[string]ds.Requirements{
+	"lazylist":         {Slots: 2, Reservations: 2, Threshold: ds.DefaultThreshold},
+	"harris":           {Slots: 3, Reservations: 2, Threshold: ds.DefaultThreshold},
+	"hmlist":           {Slots: 2, Reservations: 2, Threshold: ds.DefaultThreshold},
+	"hmlist-norestart": {Slots: 2, Reservations: 2, Threshold: ds.DefaultThreshold},
+	"dgt":              {Slots: 3, Reservations: 3, Threshold: ds.DefaultThreshold},
+	"abtree":           {Slots: 2, Reservations: 3, Threshold: ds.DefaultThreshold},
+}
+
+// DSRequirements returns the announcement widths the named structure kind
+// declares, without constructing it.
+func DSRequirements(name string) (ds.Requirements, error) {
+	req, ok := dsRequirements[name]
+	if !ok {
+		return ds.Requirements{}, fmt.Errorf("bench: unknown data structure %q (have %v)", name, DSNames)
+	}
+	return req, nil
+}
+
+// MaxRequirements folds the width registry over names: the smallest widths
+// every named structure kind fits under. An empty list yields the zero value
+// (callers grow it from actual attachments).
+func MaxRequirements(names []string) (ds.Requirements, error) {
+	var max ds.Requirements
+	for _, name := range names {
+		req, err := DSRequirements(name)
+		if err != nil {
+			return ds.Requirements{}, err
+		}
+		if req.Slots > max.Slots {
+			max.Slots = req.Slots
+		}
+		if req.Reservations > max.Reservations {
+			max.Reservations = req.Reservations
+		}
+		if req.Threshold > max.Threshold {
+			max.Threshold = req.Threshold
+		}
+	}
+	return max, nil
+}

@@ -33,6 +33,12 @@ type RuntimeWorkload struct {
 	SessionOps int // operations per lease session, spread across structures
 	Duration   time.Duration
 	Cfg        SchemeConfig
+	// Interleave selects the adversarial retire pattern: each session walks
+	// the structures round-robin doing insert-then-delete pairs, so the
+	// retire stream entering the shared bags alternates owners perfectly —
+	// the worst case for the hub's free routing (every same-owner run has
+	// length one). False keeps the mixed read/write service workload.
+	Interleave bool
 }
 
 // RuntimeResult is one measured shared-runtime cell.
@@ -49,9 +55,20 @@ type RuntimeResult struct {
 	// Quarantine-aging telemetry: forced rounds keep Fallbacks at zero.
 	ForcedRounds uint64
 	Fallbacks    uint64
-	// Drained reports Retired == Freed after the post-run drain: the
-	// shared bags leaked nothing across structures and lease churn.
+	// Drained reports Retired == Freed with the hub's free staging empty
+	// after the post-run drain: the shared bags leaked nothing across
+	// structures and lease churn, and no record was stranded in staging.
 	Drained bool
+	// Free-path amortization telemetry: reclamation bursts the hub received
+	// vs. pool FreeBatch calls it issued. DispatchPerBurst ≈ 1 is the
+	// single-structure Domain's amortization; one-per-run degradation under
+	// interleaved retires shows up as DispatchPerBurst ≈ records/burst.
+	HubBursts        uint64
+	HubDispatches    uint64
+	DispatchPerBurst float64
+	// ScanEntries is threads × reservations — the announcement rows one
+	// reservation scan visits at the widths the scheme was built with.
+	ScanEntries int
 }
 
 // BoundExceeded reports whether the sampled garbage peak violated the
@@ -83,7 +100,7 @@ func RunRuntime(w RuntimeWorkload) (RuntimeResult, error) {
 
 	// One hub, one pool per structure (tagged), one scheme over the hub at
 	// the widest attached announcement needs, one registry.
-	hub := mem.NewHub()
+	hub := mem.NewHub(w.Slots)
 	insts := make([]Instance, 0, len(w.Structures))
 	req := ds.Requirements{Threshold: ds.DefaultThreshold}
 	for _, name := range w.Structures {
@@ -173,6 +190,17 @@ func RunRuntime(w RuntimeWorkload) (RuntimeResult, error) {
 				g := sch.Guard(l.Tid())
 				for i := 0; i < w.SessionOps; i++ {
 					r := splitmix64(&rng)
+					if w.Interleave {
+						// Adversarial retires: round-robin the structures so
+						// consecutive retired records never share an owner,
+						// and pair insert/delete so nearly every op retires.
+						inst := insts[i%len(insts)]
+						key := r%w.KeyRange + 1
+						inst.Set.Insert(g, key)
+						inst.Set.Delete(g, key)
+						ops += 2
+						continue
+					}
 					inst := insts[r%uint64(len(insts))]
 					key := (r>>16)%w.KeyRange + 1
 					switch (r >> 8) % 4 {
@@ -221,8 +249,9 @@ func RunRuntime(w RuntimeWorkload) (RuntimeResult, error) {
 	}
 	res.Mops = float64(res.Ops) / elapsed.Seconds() / 1e6
 
-	// Drain the shared bags: the cell must end Retired == Freed or the
-	// runtime seam leaked records across structures.
+	// Drain the shared bags: the cell must end Retired == Freed with the
+	// hub's free staging empty, or the runtime seam leaked (or stranded)
+	// records across structures.
 	if dr, ok := sch.(smr.Drainer); ok {
 		if l, err := reg.Acquire(); err == nil {
 			for i := 0; i < 64; i++ {
@@ -235,9 +264,17 @@ func RunRuntime(w RuntimeWorkload) (RuntimeResult, error) {
 			l.Release()
 		}
 		res.Stats = sch.Stats()
-		res.Drained = res.Stats.Retired == res.Stats.Freed
+		res.Drained = res.Stats.Retired == res.Stats.Freed && hub.Staged() == 0
 	} else {
-		res.Drained = true // leaky never frees; nothing to drain
+		res.Drained = hub.Staged() == 0 // leaky never frees; nothing to drain
 	}
+
+	hs := hub.Stats()
+	res.HubBursts = hs.Bursts
+	res.HubDispatches = hs.Dispatches
+	if hs.Bursts > 0 {
+		res.DispatchPerBurst = float64(hs.Dispatches) / float64(hs.Bursts)
+	}
+	res.ScanEntries = w.Slots * req.Reservations
 	return res, nil
 }

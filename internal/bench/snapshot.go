@@ -30,16 +30,19 @@ type Snapshot struct {
 
 	Workloads []WorkloadPoint  `json:"workloads"`
 	Runtime   []RuntimePoint   `json:"runtime,omitempty"`
+	Widths    []WidthPoint     `json:"widths,omitempty"`
 	ScanCost  []ScanCostPoint  `json:"reservation_scan"`
 	FreeBurst []FreeBurstPoint `json:"free_burst"`
 }
 
 // SnapshotSchema names the current snapshot layout. v2 added the retire
 // batch-size distribution per workload cell; v3 added the garbage-bound
-// contract columns (declared bound + sampled garbage peak); v4 adds the
-// multi-structure shared-runtime cells. Older files lack the newer fields;
-// consumers treat them as absent.
-const SnapshotSchema = "nbr-perf-snapshot/v4"
+// contract columns (declared bound + sampled garbage peak); v4 added the
+// multi-structure shared-runtime cells; v5 adds the adversarial
+// interleaved-retire runtime cells with the hub's dispatch-per-burst
+// amortization columns, and the Domain-vs-Runtime width-comparison cells.
+// Older files lack the newer fields; consumers treat them as absent.
+const SnapshotSchema = "nbr-perf-snapshot/v5"
 
 // WorkloadPoint is one end-to-end cell.
 type WorkloadPoint struct {
@@ -91,6 +94,32 @@ type RuntimePoint struct {
 	ForcedRounds uint64  `json:"forced_rounds"`
 	Fallbacks    uint64  `json:"fallbacks"`
 	Drained      bool    `json:"drained"`
+	// Free-path amortization (schema v5). Interleaved marks the adversarial
+	// round-robin retire cell; DispatchPerBurst is pool FreeBatch calls per
+	// reclamation burst the hub received — ~1 is Domain-parity amortization,
+	// one-per-run degradation reads as ≈ records/burst. ScanEntries is
+	// threads × reservations at the widths the cell's scheme was built with.
+	Interleaved      bool    `json:"interleaved,omitempty"`
+	HubBursts        uint64  `json:"hub_bursts,omitempty"`
+	HubDispatches    uint64  `json:"hub_dispatches,omitempty"`
+	DispatchPerBurst float64 `json:"dispatch_per_burst,omitempty"`
+	ScanEntries      int     `json:"scan_entries,omitempty"`
+}
+
+// WidthPoint is one Domain-vs-Runtime width-comparison cell (schema v5): the
+// announcement widths each construction path gives one structure, and the
+// measured reservation-scan cost at those widths. With the width registry
+// the runtime builds at the structure's declared widths, so the entries gap
+// is zero and ns/scan is at parity; a reopened gap (RuntimeEntries >
+// DomainEntries) means the runtime is back to conservative global widths and
+// is always flagged by nbrtrend, host-independently.
+type WidthPoint struct {
+	DS              string  `json:"ds"`
+	Threads         int     `json:"threads"`
+	DomainEntries   int     `json:"domain_entries"`  // threads × declared reservations
+	RuntimeEntries  int     `json:"runtime_entries"` // threads × runtime-built reservations
+	DomainNsPerScan float64 `json:"domain_ns_per_scan"`
+	RuntimeNsScan   float64 `json:"runtime_ns_per_scan"`
 }
 
 // ScanCostPoint measures one reservation scan (collect + sort + BagSize
@@ -183,39 +212,64 @@ func WriteSnapshot(path string, duration time.Duration, cfg SchemeConfig, assert
 	// scheme over three structures, workers oversubscribing the slots, so
 	// the snapshot tracks the per-session admission + multi-owner routing
 	// cost alongside the fixed-N workloads. Both the paper's main baseline
-	// and NBR+ are recorded.
+	// and NBR+ are recorded; schema v5 adds, for each scheme, the
+	// adversarial interleaved-retire variant whose round-robin retire stream
+	// alternates owners perfectly — the dispatch-per-burst column on that
+	// cell is the hub's staging amortization under its worst case.
 	for _, scheme := range []string{"debra", "nbr+"} {
-		r, err := RunRuntime(RuntimeWorkload{
-			Structures: []string{"lazylist", "harris", "dgt"},
-			Scheme:     scheme,
-			Slots:      snapshotThreads,
-			Workers:    snapshotThreads + snapshotThreads/2,
-			KeyRange:   20_000,
-			SessionOps: 64,
-			Duration:   duration,
-			Cfg:        cfg,
-		})
+		for _, interleave := range []bool{false, true} {
+			r, err := RunRuntime(RuntimeWorkload{
+				Structures: []string{"lazylist", "harris", "dgt"},
+				Scheme:     scheme,
+				Slots:      snapshotThreads,
+				Workers:    snapshotThreads + snapshotThreads/2,
+				KeyRange:   20_000,
+				SessionOps: 64,
+				Duration:   duration,
+				Cfg:        cfg,
+				Interleave: interleave,
+			})
+			if err != nil {
+				return fmt.Errorf("snapshot runtime cell %s: %w", scheme, err)
+			}
+			snap.Runtime = append(snap.Runtime, RuntimePoint{
+				Structures: r.StructuresKey(), Scheme: scheme,
+				Slots: r.Slots, Workers: r.Workers, KeyRange: r.KeyRange,
+				Mops: r.Mops, Sessions: r.Sessions, Freed: r.Stats.Freed,
+				Bound: r.Bound, GarbagePeak: r.GarbagePeak,
+				ForcedRounds: r.ForcedRounds, Fallbacks: r.Fallbacks,
+				Drained:     r.Drained,
+				Interleaved: interleave, HubBursts: r.HubBursts,
+				HubDispatches: r.HubDispatches, DispatchPerBurst: r.DispatchPerBurst,
+				ScanEntries: r.ScanEntries,
+			})
+			cell := r.StructuresKey()
+			if interleave {
+				cell += "/interleaved"
+			}
+			if r.BoundExceeded() {
+				violations = append(violations,
+					fmt.Sprintf("runtime %s/%s: garbage peak %d > declared bound %d",
+						cell, scheme, r.GarbagePeak, r.Bound))
+			}
+			if !r.Drained {
+				violations = append(violations,
+					fmt.Sprintf("runtime %s/%s: drain left retired %d != freed %d (or staging non-empty)",
+						cell, scheme, r.Stats.Retired, r.Stats.Freed))
+			}
+		}
+	}
+
+	// The width-comparison cells (schema v5): for structures at both ends of
+	// the declared-reservation range, the scan entries and ns/scan a Domain
+	// gets (exact declared widths) vs what a Runtime hosting only that
+	// structure builds through the width registry. The gap must stay closed.
+	for _, name := range []string{"lazylist", "dgt"} {
+		wp, err := measureWidths(name, snapshotThreads)
 		if err != nil {
-			return fmt.Errorf("snapshot runtime cell %s: %w", scheme, err)
+			return fmt.Errorf("snapshot width cell %s: %w", name, err)
 		}
-		snap.Runtime = append(snap.Runtime, RuntimePoint{
-			Structures: r.StructuresKey(), Scheme: scheme,
-			Slots: r.Slots, Workers: r.Workers, KeyRange: r.KeyRange,
-			Mops: r.Mops, Sessions: r.Sessions, Freed: r.Stats.Freed,
-			Bound: r.Bound, GarbagePeak: r.GarbagePeak,
-			ForcedRounds: r.ForcedRounds, Fallbacks: r.Fallbacks,
-			Drained: r.Drained,
-		})
-		if r.BoundExceeded() {
-			violations = append(violations,
-				fmt.Sprintf("runtime %s/%s: garbage peak %d > declared bound %d",
-					r.StructuresKey(), scheme, r.GarbagePeak, r.Bound))
-		}
-		if !r.Drained {
-			violations = append(violations,
-				fmt.Sprintf("runtime %s/%s: drain left retired %d != freed %d",
-					r.StructuresKey(), scheme, r.Stats.Retired, r.Stats.Freed))
-		}
+		snap.Widths = append(snap.Widths, wp)
 	}
 
 	for _, dim := range []struct{ threads, slots int }{
@@ -270,6 +324,29 @@ func measureScanCost(threads, slots int) ScanCostPoint {
 		NsPerScan:   float64(r.NsPerOp()),
 		AllocsPerOp: r.AllocsPerOp(),
 	}
+}
+
+// measureWidths builds one width-comparison cell: the Domain side uses the
+// structure's own declared widths, the Runtime side the widths the shared
+// runtime's width registry resolves for a runtime hosting exactly that
+// structure (the same fold nbr.NewRuntime + NewSet performs). Scan cost is
+// measured at each side's threads × reservations entries.
+func measureWidths(name string, threads int) (WidthPoint, error) {
+	domainReq, err := DSRequirements(name)
+	if err != nil {
+		return WidthPoint{}, err
+	}
+	runtimeReq, err := MaxRequirements([]string{name})
+	if err != nil {
+		return WidthPoint{}, err
+	}
+	domain := measureScanCost(threads, domainReq.Reservations)
+	rt := measureScanCost(threads, runtimeReq.Reservations)
+	return WidthPoint{
+		DS: name, Threads: threads,
+		DomainEntries: domain.Entries, RuntimeEntries: rt.Entries,
+		DomainNsPerScan: domain.NsPerScan, RuntimeNsScan: rt.NsPerScan,
+	}, nil
 }
 
 type burstRec struct{ _ [4]uint64 }

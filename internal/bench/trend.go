@@ -136,12 +136,19 @@ func CompareSnapshots(prev, next Snapshot, threshold float64) []TrendDelta {
 	// check is nbrbench -assert-bound — but a fallback count that becomes
 	// non-zero is a host-independent regression of the round guarantee, so
 	// it is always flagged, like the scan-alloc invariant below.
+	runtimeKey := func(r RuntimePoint) string {
+		key := fmt.Sprintf("runtime %s/%s t=%d w=%d", r.Structures, r.Scheme, r.Slots, r.Workers)
+		if r.Interleaved {
+			key += " ilv" // schema v5: the adversarial round-robin retire cell
+		}
+		return key
+	}
 	prevR := map[string]RuntimePoint{}
 	for _, r := range prev.Runtime {
-		prevR[fmt.Sprintf("runtime %s/%s t=%d w=%d", r.Structures, r.Scheme, r.Slots, r.Workers)] = r
+		prevR[runtimeKey(r)] = r
 	}
 	for _, r := range next.Runtime {
-		key := fmt.Sprintf("runtime %s/%s t=%d w=%d", r.Structures, r.Scheme, r.Slots, r.Workers)
+		key := runtimeKey(r)
 		p, ok := prevR[key]
 		if !ok {
 			continue
@@ -150,6 +157,19 @@ func CompareSnapshots(prev, next Snapshot, threshold float64) []TrendDelta {
 		add(key, "sessions", float64(p.Sessions), float64(r.Sessions), false, false)
 		if p.GarbagePeak > 0 && r.GarbagePeak > 0 {
 			add(key, "garbage_pk", float64(p.GarbagePeak), float64(r.GarbagePeak), true, false)
+		}
+		// Dispatch-per-burst (schema v5) is a counter ratio, not a timing:
+		// host-independent, so its growth past the threshold is flagged even
+		// across host shapes. Losing the staging amortization shows up here
+		// as ~1 → ~records-per-burst.
+		if p.DispatchPerBurst > 0 && r.DispatchPerBurst > 0 {
+			pct := worsePct(p.DispatchPerBurst, r.DispatchPerBurst, true)
+			out = append(out, TrendDelta{
+				Cell: key, Metric: "disp_burst",
+				Prev: p.DispatchPerBurst, Next: r.DispatchPerBurst, Pct: pct,
+				Regression: pct > threshold,
+				Untrusted:  untrusted,
+			})
 		}
 		out = append(out, TrendDelta{
 			Cell: key, Metric: "fallbacks",
@@ -160,6 +180,31 @@ func CompareSnapshots(prev, next Snapshot, threshold float64) []TrendDelta {
 			Regression: p.Fallbacks == 0 && r.Fallbacks > 0,
 			Untrusted:  untrusted,
 		})
+	}
+
+	// Width-comparison cells (schema v5): the entries gap is a pure width
+	// count — host-independent and exact — so a Domain-vs-Runtime gap that
+	// reopens (runtime scanning wider announcement rows than a Domain would
+	// for the same structure) is always a regression, on any machine.
+	prevWd := map[string]WidthPoint{}
+	for _, wd := range prev.Widths {
+		prevWd[fmt.Sprintf("width %s t=%d", wd.DS, wd.Threads)] = wd
+	}
+	for _, wd := range next.Widths {
+		key := fmt.Sprintf("width %s t=%d", wd.DS, wd.Threads)
+		p, ok := prevWd[key]
+		if !ok {
+			continue
+		}
+		prevGap := float64(p.RuntimeEntries - p.DomainEntries)
+		nextGap := float64(wd.RuntimeEntries - wd.DomainEntries)
+		out = append(out, TrendDelta{
+			Cell: key, Metric: "width_gap",
+			Prev: prevGap, Next: nextGap,
+			Pct:        worsePct(prevGap, nextGap, true),
+			Regression: nextGap > 0,
+		})
+		add(key, "rt_ns_scan", p.RuntimeNsScan, wd.RuntimeNsScan, true, true)
 	}
 
 	prevS := map[string]ScanCostPoint{}

@@ -117,6 +117,85 @@ func TestCompareSnapshotsHostShapeMismatchUntrusted(t *testing.T) {
 	}
 }
 
+// trendSnapV5 extends the synthetic snapshot with the schema v5 cells: an
+// interleaved runtime cell carrying the dispatch-per-burst amortization and
+// a width-comparison cell carrying the Domain-vs-Runtime entries gap.
+func trendSnapV5(dispatchPerBurst float64, runtimeEntries int) Snapshot {
+	s := trendSnap(2.0, 1000, 100, 0)
+	s.Runtime = []RuntimePoint{{
+		Structures: "lazylist+harris+dgt", Scheme: "nbr+", Slots: 8, Workers: 12,
+		Mops: 1.0, Sessions: 100, Drained: true,
+		Interleaved: true, HubBursts: 1000,
+		HubDispatches: uint64(dispatchPerBurst * 1000), DispatchPerBurst: dispatchPerBurst,
+		ScanEntries: 24,
+	}}
+	s.Widths = []WidthPoint{{
+		DS: "lazylist", Threads: 8,
+		DomainEntries: 16, RuntimeEntries: runtimeEntries,
+		DomainNsPerScan: 500, RuntimeNsScan: 500 * float64(runtimeEntries) / 16,
+	}}
+	return s
+}
+
+func TestCompareSnapshotsV5DispatchPerBurst(t *testing.T) {
+	prev := trendSnapV5(1.1, 16)
+	// Amortization lost: one dispatch per record instead of ~one per burst.
+	next := trendSnapV5(30.0, 16)
+	regs := Regressions(CompareSnapshots(prev, next, 10))
+	found := false
+	for _, r := range regs {
+		if r.Metric == "disp_burst" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dispatch-per-burst blowup not flagged: %v", regs)
+	}
+	// Parity held: nothing flagged.
+	if regs := Regressions(CompareSnapshots(prev, trendSnapV5(1.1, 16), 10)); len(regs) != 0 {
+		t.Fatalf("steady amortization flagged: %v", regs)
+	}
+	// Host-independence: the counter ratio stays flagged across host shapes.
+	other := trendSnapV5(30.0, 16)
+	other.GOMAXPROCS = prev.GOMAXPROCS + 4
+	regs = Regressions(CompareSnapshots(prev, other, 10))
+	found = false
+	for _, r := range regs {
+		if r.Metric == "disp_burst" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dispatch-per-burst regression suppressed by host-shape mismatch: %v", regs)
+	}
+}
+
+func TestCompareSnapshotsV5WidthGapAlwaysFlagged(t *testing.T) {
+	closed := trendSnapV5(1.1, 16)
+	reopened := trendSnapV5(1.1, 32) // runtime scanning wider than the domain
+	reopened.GOMAXPROCS = closed.GOMAXPROCS + 4
+
+	regs := Regressions(CompareSnapshots(closed, reopened, 10))
+	found := false
+	for _, r := range regs {
+		if r.Metric == "width_gap" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reopened width gap not flagged despite host-shape mismatch: %v", regs)
+	}
+
+	// A closed gap is never flagged, and closing a gap is an improvement.
+	if regs := Regressions(CompareSnapshots(closed, closed, 10)); len(regs) != 0 {
+		t.Fatalf("closed width gap flagged: %v", regs)
+	}
+	sameHost := trendSnapV5(1.1, 16)
+	if regs := Regressions(CompareSnapshots(trendSnapV5(1.1, 32), sameHost, 10)); len(regs) != 0 {
+		t.Fatalf("gap closing flagged as regression: %v", regs)
+	}
+}
+
 func TestReadSnapshotRoundTripAndV1(t *testing.T) {
 	// The committed BENCH_1.json is schema v1; ReadSnapshot must load it and
 	// comparisons against a v2 snapshot must work on the shared fields.

@@ -147,6 +147,13 @@ func RuntimeChurn(t *testing.T, scheme string) {
 		t.Fatalf("drain left orphaned records across the shared bags: retired %d, freed %d (%d leaked)",
 			st.Retired, st.Freed, st.Retired-st.Freed)
 	}
+	// Retired == Freed counts a staged record as freed (it left the scheme),
+	// so the drain contract also requires the staging buffers themselves to
+	// be empty: every lease release — and the drain's temporary lease — must
+	// have flushed its per-tag buffers before DrainCache ran.
+	if staged := rt.StagedFrees(); staged != 0 {
+		t.Fatalf("drain left %d records stranded in the hub's free staging", staged)
+	}
 	for _, s := range sets {
 		if err := s.Validate(); err != nil {
 			t.Fatalf("%s after multi-structure churn: %v", s.Name(), err)

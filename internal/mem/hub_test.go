@@ -11,7 +11,7 @@ type recB struct{ v [3]uint64 }
 // distinct tags stamp their handles, the Hub routes Free/Hdr/Valid to the
 // owner, and a mixed FreeBatch reaches both pools.
 func TestHubRouting(t *testing.T) {
-	h := NewHub()
+	h := NewHub(2)
 	pa := NewPool[recA](Config{MaxThreads: 2, Tag: h.NextTag()})
 	h.Attach(0, pa)
 	pb := NewPool[recB](Config{MaxThreads: 2, Tag: h.NextTag()})
@@ -67,11 +67,127 @@ func TestHubRouting(t *testing.T) {
 	}
 }
 
+// TestHubLateAttachSizesCache is the regression test for pools attached
+// after leases are held: Hub.SizeCache historically fanned out only to
+// already-attached pools, so a late attachment kept its default cache target
+// and paid a shared-shard flush per burst. Attach must replay the recorded
+// burst for every thread slot.
+func TestHubLateAttachSizesCache(t *testing.T) {
+	const burst = 1024
+	h := NewHub(4)
+	// Leases exist first: the scheme declares its reclamation burst for a
+	// live slot while no pool is attached yet.
+	h.SizeCache(2, burst)
+
+	p := NewPool[recA](Config{MaxThreads: 4, Tag: h.NextTag()})
+	h.Attach(0, p)
+
+	ps := make([]Ptr, burst)
+	for i := range ps {
+		ps[i], _ = p.Alloc(2)
+	}
+	h.FreeBatch(2, ps)
+	if ops := p.Stats().GlobalOps; ops != 0 {
+		t.Fatalf("late-attached pool hit the shared shards %d times for one declared burst; its cache was not sized", ops)
+	}
+	if st := p.Stats(); st.Frees != burst {
+		t.Fatalf("Frees = %d, want %d", st.Frees, burst)
+	}
+}
+
+// TestHubStagingLifecycle pins the per-thread per-tag staging buffers: a
+// mixed burst below the declared reclamation burst stays staged (counted
+// freed by no pool, still Valid), crossing the threshold flushes one pool
+// FreeBatch per owner, and DrainCache empties every buffer.
+func TestHubStagingLifecycle(t *testing.T) {
+	const thresh = 4
+	h := NewHub(1)
+	pa := NewPool[recA](Config{MaxThreads: 1, Tag: h.NextTag()})
+	h.Attach(0, pa)
+	pb := NewPool[recB](Config{MaxThreads: 1, Tag: h.NextTag()})
+	h.Attach(1, pb)
+	h.SizeCache(0, thresh)
+
+	alloc := func(p *Pool[recA], q *Pool[recB], n int) (as, bs []Ptr) {
+		for i := 0; i < n; i++ {
+			a, _ := p.Alloc(0)
+			b, _ := q.Alloc(0)
+			as, bs = append(as, a), append(bs, b)
+		}
+		return
+	}
+	as, bs := alloc(pa, pb, thresh)
+
+	// Two mixed sub-threshold bursts: everything stages, nothing reaches a
+	// pool, handles still read valid (the generation flip is deferred).
+	h.FreeBatch(0, []Ptr{as[0], bs[0], as[1], bs[1]})
+	h.FreeBatch(0, []Ptr{as[2], bs[2]})
+	if st := h.Stats(); st.Staged != 6 || st.Dispatches != 0 || st.Bursts != 2 {
+		t.Fatalf("after sub-threshold bursts: %+v", st)
+	}
+	if pa.Stats().Frees != 0 || pb.Stats().Frees != 0 {
+		t.Fatal("staged records must not reach the pools")
+	}
+	if !h.Valid(as[0]) || !h.Valid(bs[2]) {
+		t.Fatal("staged records must still read valid")
+	}
+
+	// The burst that fills both buffers to the threshold flushes each owner
+	// in exactly one pool FreeBatch.
+	h.FreeBatch(0, []Ptr{as[3], bs[3]})
+	if st := h.Stats(); st.Staged != 0 || st.Dispatches != 2 {
+		t.Fatalf("after threshold crossing: %+v", st)
+	}
+	if pa.Stats().Frees != thresh || pb.Stats().Frees != thresh {
+		t.Fatalf("frees: a=%d b=%d, want %d/%d", pa.Stats().Frees, pb.Stats().Frees, thresh, thresh)
+	}
+	for _, p := range append(as, bs...) {
+		if h.Valid(p) {
+			t.Fatalf("%v still valid after flush", p)
+		}
+	}
+
+	// DrainCache flushes a part-filled buffer: no record survives a lease
+	// release in staging.
+	as, bs = alloc(pa, pb, 1)
+	h.FreeBatch(0, []Ptr{as[0], bs[0]})
+	if h.Staged() != 2 {
+		t.Fatalf("Staged = %d, want 2", h.Staged())
+	}
+	h.DrainCache(0)
+	if h.Staged() != 0 || h.Valid(as[0]) || h.Valid(bs[0]) {
+		t.Fatal("DrainCache must flush staged records to their pools")
+	}
+}
+
+// TestHubUniformFastPath pins the single-structure path: a uniform burst
+// with nothing staged for its owner bypasses staging entirely — one direct
+// pool dispatch, nothing ever staged — so a Domain pays only a tag scan.
+func TestHubUniformFastPath(t *testing.T) {
+	h := NewHub(1)
+	pa := NewPool[recA](Config{MaxThreads: 1, Tag: h.NextTag()})
+	h.Attach(0, pa)
+	h.SizeCache(0, 64)
+
+	ps := make([]Ptr, 8)
+	for i := range ps {
+		ps[i], _ = pa.Alloc(0)
+	}
+	h.FreeBatch(0, ps)
+	st := h.Stats()
+	if st.Bursts != 1 || st.Dispatches != 1 || st.Staged != 0 {
+		t.Fatalf("uniform burst must dispatch directly: %+v", st)
+	}
+	if pa.Stats().Frees != 8 {
+		t.Fatalf("Frees = %d, want 8", pa.Stats().Frees)
+	}
+}
+
 // TestHubMisroutePanics pins the release-side tag check: a handle freed
 // into the wrong pool directly (bypassing the Hub) must panic rather than
 // corrupt a foreign slot.
 func TestHubMisroutePanics(t *testing.T) {
-	h := NewHub()
+	h := NewHub(1)
 	pa := NewPool[recA](Config{MaxThreads: 1, Tag: h.NextTag()})
 	h.Attach(0, pa)
 	pb := NewPool[recB](Config{MaxThreads: 1, Tag: h.NextTag()})
@@ -87,7 +203,7 @@ func TestHubMisroutePanics(t *testing.T) {
 
 // TestHubUnattachedTagPanics pins route's corruption check.
 func TestHubUnattachedTagPanics(t *testing.T) {
-	h := NewHub()
+	h := NewHub(1)
 	pa := NewPool[recA](Config{MaxThreads: 1, Tag: 0})
 	h.Attach(0, pa)
 	p, _ := pa.Alloc(0)

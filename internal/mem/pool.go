@@ -68,9 +68,10 @@ type Arena interface {
 	// reclamation burst of the given size, so a scheme's characteristic
 	// burst (limbo bag, scan threshold) amortizes to at most one
 	// shared-shard interaction and the recycled slots stay local for the
-	// allocations that follow. Must be called by tid's owner (at scheme
-	// construction or lease acquisition), never while tid is mid-operation
-	// on another goroutine.
+	// allocations that follow. Safe to call from any goroutine: a pool
+	// attached to a Hub after leases are already held is sized for the
+	// live slots by the attaching goroutine, concurrent with the owners'
+	// Alloc/Free traffic.
 	SizeCache(tid, burst int)
 	// DrainCache flushes thread tid's entire free cache to the shared
 	// shards. A departing thread calls it on lease release so its cached
@@ -208,8 +209,11 @@ type tcache struct {
 	// global Config.CacheSize and is raised per thread by SizeCache to the
 	// owning scheme's declared reclamation burst — the NUMA-style sizing
 	// DESIGN.md §6 describes — so one thread reclaiming a full bag and
-	// another reclaiming nothing no longer share one global knob.
-	limit  int
+	// another reclaiming nothing no longer share one global knob. It is
+	// atomic because SizeCache may run on a goroutine other than the slot's
+	// owner: a Hub replays the recorded burst onto late-attaching pools for
+	// every slot while the owners are mid-traffic.
+	limit  atomic.Int32
 	allocs atomic.Uint64
 	frees  atomic.Uint64
 	_      [64]byte
@@ -220,7 +224,7 @@ func NewPool[T any](cfg Config) *Pool[T] {
 	p := &Pool[T]{cfg: cfg.withDefaults()}
 	p.threads = make([]tcache, p.cfg.MaxThreads)
 	for i := range p.threads {
-		p.threads[i].limit = p.cfg.CacheSize
+		p.threads[i].limit.Store(int32(p.cfg.CacheSize))
 	}
 	p.global.shards = make([]freeShard, p.cfg.Shards)
 	p.global.mask = p.cfg.Shards - 1
@@ -335,7 +339,7 @@ func (p *Pool[T]) Free(tid int, q Ptr) {
 	tc := &p.threads[tid]
 	tc.free = append(tc.free, p.release(q))
 	tc.frees.Add(1)
-	if len(tc.free) > 2*tc.limit {
+	if len(tc.free) > 2*int(tc.limit.Load()) {
 		p.flush(tc, tid, len(tc.free)/2)
 	}
 }
@@ -353,21 +357,26 @@ func (p *Pool[T]) FreeBatch(tid int, qs []Ptr) {
 		tc.free = append(tc.free, p.release(q))
 	}
 	tc.frees.Add(uint64(len(qs)))
-	if len(tc.free) > 2*tc.limit {
+	if limit := int(tc.limit.Load()); len(tc.free) > 2*limit {
 		// One push returns the whole overflow, not half of it, so a burst
 		// of any size costs a single lock acquisition.
-		p.flush(tc, tid, tc.limit)
+		p.flush(tc, tid, limit)
 	}
 }
 
 // SizeCache implements Arena: it raises (never shrinks) tid's cache target
 // to burst, so a reclamation burst of that size fits locally — at most one
 // flush per burst, and the recycled slots stay resident for the allocations
-// that refill the structure.
+// that refill the structure. The raise is a CAS loop so concurrent callers
+// (the slot's owner at acquire time, a Hub replaying the burst onto a
+// late-attached pool) converge on the max.
 func (p *Pool[T]) SizeCache(tid, burst int) {
 	tc := &p.threads[tid]
-	if burst > tc.limit {
-		tc.limit = burst
+	for {
+		cur := tc.limit.Load()
+		if int32(burst) <= cur || tc.limit.CompareAndSwap(cur, int32(burst)) {
+			return
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"nbr/internal/bench"
 	"nbr/internal/ds"
@@ -39,6 +40,14 @@ type RuntimeOptions struct {
 	// MaxStructures caps how many Sets can attach (the arena-tag space of a
 	// handle). Default — and maximum — mem.MaxTags.
 	MaxStructures int
+	// Structures pre-declares the structure kinds this runtime will host
+	// (see Structures() for the names). The scheme's announcement widths are
+	// sized to cover every declared kind from the width registry, so a
+	// structure named here can be attached with NewSet at any time — even
+	// after leases are held — without widening the scheme. Leaving it empty
+	// sizes the scheme to exactly the structures attached before the first
+	// lease (see NewRuntime).
+	Structures []string
 
 	// The scheme knobs, as in Options (zero selects each scheme's default).
 	BagSize    int     // NBR limbo-bag HiWatermark
@@ -69,15 +78,29 @@ func (o RuntimeOptions) withDefaults() RuntimeOptions {
 // Runtime is one shared reclamation substrate: one thread-lease registry,
 // one reclamation scheme, one arena hub, any number of attached structures.
 // All methods are safe for concurrent use except where noted on Set.
+//
+// The scheme is constructed lazily, at the first Acquire (or Drain): until
+// then NewSet grows the announcement widths monotonically to the maximum the
+// attached structures declare, so the scheme's reservation and hazard scans
+// run at the paper-exact narrow per-DS widths (≤3 reservations for every
+// structure in the harness) instead of a conservative global worst case —
+// the same widths a single-structure Domain gets. Once the scheme exists the
+// widths are frozen: a later NewSet whose structure fits still attaches (and
+// is cache-sized for every live slot), but one declaring wider needs is
+// rejected — pre-declare such structures via RuntimeOptions.Structures.
 type Runtime struct {
-	opts   RuntimeOptions
-	req    ds.Requirements // announcement widths the scheme was built with
-	hub    *mem.Hub
-	scheme smr.Scheme
-	reg    *smr.Registry
+	opts RuntimeOptions
+	hub  *mem.Hub
+	reg  *smr.Registry
 
-	mu   sync.Mutex // guards sets (attachment vs. aggregation)
+	mu   sync.Mutex      // guards sets, req and scheme materialization
+	req  ds.Requirements // announcement widths (grown until materialized)
 	sets []*Set
+
+	// sch is the materialized scheme: nil until the first Acquire/Drain,
+	// immutable after. The atomic pointer keeps the lease path lock-free
+	// once materialized; materialization itself serializes under mu.
+	sch atomic.Pointer[schemeBox]
 
 	// Admission control: AcquireCtx callers blocked on a full registry wait
 	// here in FIFO order; every lease release hands the head a baton.
@@ -85,51 +108,26 @@ type Runtime struct {
 	waiters []chan struct{}
 }
 
-// NewRuntime creates a Runtime with no structures attached. The scheme is
-// constructed at the conservative announcement widths every structure in the
-// harness fits under (ds.DefaultRequirements), since structures attach
-// later; NewSet rejects a structure that would not fit.
-func NewRuntime(opts RuntimeOptions) (*Runtime, error) {
-	req := ds.DefaultRequirements
-	req.Threshold = ds.DefaultThreshold
-	return newRuntimeOver(mem.NewHub(), opts, req)
+// schemeBox wraps the scheme interface so it fits an atomic.Pointer.
+type schemeBox struct {
+	s smr.Scheme
 }
 
-// newRuntimeOver builds the registry/scheme/arena triple over an existing
-// hub at explicit announcement widths — the shared core of NewRuntime and
-// the single-structure New, which knows its structure's exact widths before
-// the scheme exists.
-func newRuntimeOver(hub *mem.Hub, opts RuntimeOptions, req ds.Requirements) (*Runtime, error) {
+// NewRuntime creates a Runtime with no structures attached. Structure kinds
+// named in opts.Structures are resolved through the width registry and
+// widen the (not-yet-built) scheme up front; unknown names are rejected.
+func NewRuntime(opts RuntimeOptions) (*Runtime, error) {
 	opts = opts.withDefaults()
-	cfg := bench.SchemeConfig{
-		BagSize:    opts.BagSize,
-		LoFraction: opts.LoFraction,
-		ScanFreq:   opts.ScanFreq,
-		Threshold:  opts.Threshold,
-		EraFreq:    opts.EraFreq,
-		SendSpin:   opts.SendSpin,
-		HandleSpin: opts.HandleSpin,
-	}
-	scheme, err := bench.NewSchemeFor(opts.Scheme, hub, opts.MaxThreads, cfg, req)
+	req, err := bench.MaxRequirements(opts.Structures)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("nbr: RuntimeOptions.Structures: %w", err)
 	}
 	rt := &Runtime{
-		opts:   opts,
-		req:    req,
-		hub:    hub,
-		scheme: scheme,
-		reg:    smr.NewRegistry(opts.MaxThreads),
+		opts: opts,
+		req:  req,
+		hub:  mem.NewHub(opts.MaxThreads),
+		reg:  smr.NewRegistry(opts.MaxThreads),
 	}
-	// Hook order matters: Bind registers the scheme's quiesce hook first, so
-	// a departing thread's frees reach its allocator caches before the drain
-	// flushes them, and the admission baton is handed only after the slot is
-	// fully quiesced.
-	rt.reg.Bind(scheme)
-	if burst := scheme.ReclaimBurst(); burst > 0 {
-		rt.reg.OnAcquire(func(tid int) { hub.SizeCache(tid, burst) })
-	}
-	rt.reg.OnRelease(func(tid int) { hub.DrainCache(tid) })
 	// The admission baton is handed only after the slot has fully entered
 	// quarantine (AfterRelease, not OnRelease): the woken waiter's Acquire
 	// must be servable by the slot that was just freed.
@@ -137,11 +135,62 @@ func newRuntimeOver(hub *mem.Hub, opts RuntimeOptions, req ds.Requirements) (*Ru
 	return rt, nil
 }
 
+// materialize builds the scheme at the widths grown so far and wires it into
+// the registry; idempotent, and a no-op once built. Every path that hands
+// out a guard (Acquire) or drives the scheme (Drain, ForceRound) goes
+// through it, so "materialized" and "a lease may exist" coincide — which is
+// why NewSet can treat a materialized scheme as width-frozen.
+func (rt *Runtime) materialize() (smr.Scheme, error) {
+	if b := rt.sch.Load(); b != nil {
+		return b.s, nil
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if b := rt.sch.Load(); b != nil {
+		return b.s, nil
+	}
+	req := rt.req
+	if req.Threshold <= 0 {
+		req.Threshold = ds.DefaultThreshold
+	}
+	cfg := bench.SchemeConfig{
+		BagSize:    rt.opts.BagSize,
+		LoFraction: rt.opts.LoFraction,
+		ScanFreq:   rt.opts.ScanFreq,
+		Threshold:  rt.opts.Threshold,
+		EraFreq:    rt.opts.EraFreq,
+		SendSpin:   rt.opts.SendSpin,
+		HandleSpin: rt.opts.HandleSpin,
+	}
+	scheme, err := bench.NewSchemeFor(rt.opts.Scheme, rt.hub, rt.opts.MaxThreads, cfg, req)
+	if err != nil {
+		return nil, err
+	}
+	// Hook order matters: Bind registers the scheme's quiesce hook first, so
+	// a departing thread's frees reach the hub's staging buffers and its
+	// allocator caches before the drain hook flushes them.
+	rt.reg.Bind(scheme)
+	if burst := scheme.ReclaimBurst(); burst > 0 {
+		rt.reg.OnAcquire(func(tid int) { rt.hub.SizeCache(tid, burst) })
+	}
+	rt.reg.OnRelease(func(tid int) { rt.hub.DrainCache(tid) })
+	rt.req = req
+	rt.sch.Store(&schemeBox{s: scheme})
+	return scheme, nil
+}
+
 // NewSet attaches a structure to the runtime: the structure's pool is
 // created under the next arena tag and registered with the hub, so records
 // it retires are routed home from the runtime's shared bags. The returned
 // Set shares the runtime's thread slots, stats and garbage bound with every
 // other attachment.
+//
+// Before the first lease, an attachment may widen the scheme's announcement
+// widths (they grow to the maximum any attached structure declares). After
+// the first lease the widths are frozen: a structure that fits them still
+// attaches — its pool is sized for every live slot exactly as if it had
+// been attached up front — but a wider one is rejected; pre-declare it in
+// RuntimeOptions.Structures to reserve its widths.
 func (rt *Runtime) NewSet(structure string) (*Set, error) {
 	if !bench.Runnable(structure, rt.opts.Scheme) {
 		return nil, fmt.Errorf("nbr: %s is not runnable under %s (the paper's Table 1)",
@@ -157,9 +206,23 @@ func (rt *Runtime) NewSet(structure string) (*Set, error) {
 	if err != nil {
 		return nil, err
 	}
-	if inst.Req.Slots > rt.req.Slots || inst.Req.Reservations > rt.req.Reservations {
-		return nil, fmt.Errorf("nbr: %s needs %d protect slots and %d reservations; the runtime's scheme was built with %d/%d",
-			structure, inst.Req.Slots, inst.Req.Reservations, rt.req.Slots, rt.req.Reservations)
+	if rt.sch.Load() != nil {
+		// Width-frozen: the scheme exists, so its reservation rows and
+		// hazard arrays cannot grow under live guards.
+		if inst.Req.Slots > rt.req.Slots || inst.Req.Reservations > rt.req.Reservations {
+			return nil, fmt.Errorf("nbr: %s needs %d protect slots and %d reservations, but the runtime's scheme is already built at %d/%d; attach it before the first lease or pre-declare it in RuntimeOptions.Structures",
+				structure, inst.Req.Slots, inst.Req.Reservations, rt.req.Slots, rt.req.Reservations)
+		}
+	} else {
+		if inst.Req.Slots > rt.req.Slots {
+			rt.req.Slots = inst.Req.Slots
+		}
+		if inst.Req.Reservations > rt.req.Reservations {
+			rt.req.Reservations = inst.Req.Reservations
+		}
+		if inst.Req.Threshold > rt.req.Threshold {
+			rt.req.Threshold = inst.Req.Threshold
+		}
 	}
 	rt.hub.Attach(tag, inst.Arena)
 	s := &Set{rt: rt, inst: inst, name: structure}
@@ -167,15 +230,47 @@ func (rt *Runtime) NewSet(structure string) (*Set, error) {
 	return s, nil
 }
 
+// Widths returns the announcement widths the runtime's scans run at: the
+// number of Protect slots and Reserve slots per thread. Before the first
+// lease they track the widest attached structure (every scan is N·width
+// entries, so narrow widths are the Domain-parity fast path); after it they
+// are frozen.
+func (rt *Runtime) Widths() (protectSlots, reservations int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	req := rt.req
+	if rt.sch.Load() == nil {
+		// Report what materialize would build right now.
+		if req.Slots <= 0 {
+			req.Slots = ds.DefaultRequirements.Slots
+		}
+		if req.Reservations <= 0 {
+			req.Reservations = ds.DefaultRequirements.Reservations
+		}
+	}
+	return req.Slots, req.Reservations
+}
+
+// StagedFrees returns the number of records currently sitting in the shared
+// arena's per-thread free-staging buffers: counted as freed by the scheme,
+// not yet released to their owning pools. Every lease release flushes its
+// slot's buffers, so this reads zero once all leases are released.
+func (rt *Runtime) StagedFrees() int { return int(rt.hub.Staged()) }
+
 // Acquire leases a thread slot valid across every Set attached to this
 // runtime. It fails fast with ErrNoLease when the registry is full; use
-// AcquireCtx to wait instead.
+// AcquireCtx to wait instead. The first Acquire freezes the scheme's
+// announcement widths (see NewSet).
 func (rt *Runtime) Acquire() (*Lease, error) {
+	scheme, err := rt.materialize()
+	if err != nil {
+		return nil, err
+	}
 	l, err := rt.reg.Acquire()
 	if err != nil {
 		return nil, err
 	}
-	return &Lease{rt: rt, l: l, g: rt.scheme.Guard(l.Tid())}, nil
+	return &Lease{rt: rt, l: l, g: scheme.Guard(l.Tid())}, nil
 }
 
 // AcquireCtx leases a thread slot, blocking while the registry is full
@@ -263,7 +358,11 @@ func (rt *Runtime) abandon(ch chan struct{}) {
 // it is exported for operators that want to age the quarantine ahead of a
 // known admission burst. Returns false if the scheme cannot force rounds.
 func (rt *Runtime) ForceRound() bool {
-	if f, ok := rt.scheme.(smr.RoundForcer); ok {
+	scheme, err := rt.materialize()
+	if err != nil {
+		return false
+	}
+	if f, ok := scheme.(smr.RoundForcer); ok {
 		return f.ForceRound()
 	}
 	return false
@@ -293,8 +392,18 @@ func (rt *Runtime) Waiters() int {
 	return len(rt.waiters)
 }
 
-// Scheme returns the reclamation scheme's name.
-func (rt *Runtime) Scheme() string { return rt.scheme.Name() }
+// Scheme returns the reclamation scheme's name. Before the first lease this
+// is the configured name (the scheme is built lazily); note the leaky scheme
+// reports itself as "none" once built, matching its config alias.
+func (rt *Runtime) Scheme() string {
+	if b := rt.sch.Load(); b != nil {
+		return b.s.Name()
+	}
+	if rt.opts.Scheme == "leaky" {
+		return "none"
+	}
+	return rt.opts.Scheme
+}
 
 // Structures returns the names of the attached sets, in attachment order.
 func (rt *Runtime) Structures() []string {
@@ -308,8 +417,15 @@ func (rt *Runtime) Structures() []string {
 }
 
 // Stats returns the aggregate reclamation counters across every attached
-// structure — one scheme, one set of bags, one tally.
-func (rt *Runtime) Stats() Stats { return rt.scheme.Stats() }
+// structure — one scheme, one set of bags, one tally. Before the first lease
+// every counter is zero (nothing can retire without a lease), so the zero
+// value is returned without building the scheme.
+func (rt *Runtime) Stats() Stats {
+	if b := rt.sch.Load(); b != nil {
+		return b.s.Stats()
+	}
+	return Stats{}
+}
 
 // MemStats returns the allocator counters summed across every attached
 // structure's pool. SlotSize is reported only while exactly one structure
@@ -337,15 +453,26 @@ func (rt *Runtime) MemStats() MemStats {
 // record count (or Unbounded). It is declared once per runtime and covers
 // every attached structure: all structures retire into the same per-thread
 // bags, so the per-structure garbage aggregates inside the single scheme
-// bound instead of summing one bound per structure.
-func (rt *Runtime) GarbageBound() int { return rt.scheme.GarbageBound() }
+// bound instead of summing one bound per structure. Before the first lease
+// the bound is 0 — no lease, no retire, no garbage — and it rises to the
+// scheme's declared bound when the first Acquire builds the scheme.
+func (rt *Runtime) GarbageBound() int {
+	if b := rt.sch.Load(); b != nil {
+		return b.s.GarbageBound()
+	}
+	return 0
+}
 
 // Drain adopts any orphaned records and reclaims everything reclaimable
 // across all attached structures, using a temporary lease. At quiescence it
 // runs until every retired record is freed; under concurrent traffic it is
 // a best-effort pass. Use it before reading final Stats or shutting down.
 func (rt *Runtime) Drain() error {
-	dr, ok := rt.scheme.(smr.Drainer)
+	scheme, err := rt.materialize()
+	if err != nil {
+		return err
+	}
+	dr, ok := scheme.(smr.Drainer)
 	if !ok {
 		return nil
 	}
@@ -355,7 +482,7 @@ func (rt *Runtime) Drain() error {
 	}
 	defer l.Release()
 	for i := 0; i < 64; i++ {
-		st := rt.scheme.Stats()
+		st := scheme.Stats()
 		if st.Retired == st.Freed {
 			break
 		}

@@ -211,6 +211,158 @@ func TestRuntimeSharedLeaseAcrossSets(t *testing.T) {
 	}
 }
 
+// TestRuntimeWidthNarrowing pins the width-registry fast path: a runtime's
+// scheme is built lazily at the widths its attached structures declare, not
+// at the conservative global defaults, so scans under Runtime visit exactly
+// as many announcement rows as under a single-structure Domain.
+func TestRuntimeWidthNarrowing(t *testing.T) {
+	rt, err := nbr.NewRuntime(nbr.RuntimeOptions{MaxThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.NewSet("lazylist"); err != nil {
+		t.Fatal(err)
+	}
+	if s, r := rt.Widths(); s != 2 || r != 2 {
+		t.Fatalf("lazylist-only runtime widths = %d/%d, want 2/2", s, r)
+	}
+	// A wider attachment grows the not-yet-built scheme monotonically.
+	if _, err := rt.NewSet("dgt"); err != nil {
+		t.Fatal(err)
+	}
+	if s, r := rt.Widths(); s != 3 || r != 3 {
+		t.Fatalf("lazylist+dgt runtime widths = %d/%d, want 3/3", s, r)
+	}
+
+	// The widths must match a Domain hosting the widest structure exactly.
+	d, err := nbr.New(nbr.Options{Structure: "dgt", MaxThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, dr := d.Runtime().Widths()
+	if s, r := rt.Widths(); s != ds || r != dr {
+		t.Fatalf("Runtime widths %d/%d != Domain widths %d/%d", s, r, ds, dr)
+	}
+
+	l, err := rt.Acquire() // freezes the widths
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	if s, r := rt.Widths(); s != 3 || r != 3 {
+		t.Fatalf("widths changed across materialization: %d/%d", s, r)
+	}
+}
+
+// TestRuntimePostLeaseWidening pins the freeze: once a lease has been
+// handed out the scheme's announcement widths cannot grow, so an attachment
+// declaring wider needs is rejected — while one that fits still attaches.
+func TestRuntimePostLeaseWidening(t *testing.T) {
+	rt, err := nbr.NewRuntime(nbr.RuntimeOptions{MaxThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.NewSet("lazylist"); err != nil {
+		t.Fatal(err)
+	}
+	l, err := rt.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.NewSet("harris"); err == nil {
+		t.Fatal("harris (3 protect slots) must not widen a materialized 2-slot scheme")
+	}
+	// hmlist declares the same widths as lazylist: it must attach late and
+	// be fully usable under the live lease.
+	s, err := rt.NewSet("hmlist")
+	if err != nil {
+		t.Fatalf("width-compatible late attach rejected: %v", err)
+	}
+	s.Insert(l, 9)
+	if !s.Contains(l, 9) {
+		t.Fatal("late-attached set unusable under a live lease")
+	}
+	s.Delete(l, 9)
+	l.Release()
+	if err := rt.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRuntimeStructuresOption pins pre-declaration: naming a structure kind
+// in RuntimeOptions.Structures reserves its widths from the registry, so it
+// can attach after leases exist even though nothing else declared its
+// widths; unknown names fail construction.
+func TestRuntimeStructuresOption(t *testing.T) {
+	rt, err := nbr.NewRuntime(nbr.RuntimeOptions{MaxThreads: 2, Structures: []string{"dgt"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.NewSet("lazylist"); err != nil {
+		t.Fatal(err)
+	}
+	l, err := rt.Acquire() // freezes at dgt's pre-declared 3/3, not lazylist's 2/2
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	dgt, err := rt.NewSet("dgt")
+	if err != nil {
+		t.Fatalf("pre-declared structure rejected after lease: %v", err)
+	}
+	dgt.Insert(l, 3)
+	if !dgt.Contains(l, 3) {
+		t.Fatal("pre-declared late attachment unusable")
+	}
+
+	if _, err := nbr.NewRuntime(nbr.RuntimeOptions{Structures: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown structure kind in Structures must fail construction")
+	}
+}
+
+// TestRuntimeStagedFreesDrain pins the staging lifecycle through the public
+// API: interleaved retires across structures may sit in the hub's staging
+// buffers mid-lease, but a release flushes them — StagedFrees reads zero
+// with every lease released, and the books balance after Drain.
+func TestRuntimeStagedFreesDrain(t *testing.T) {
+	rt, err := nbr.NewRuntime(nbr.RuntimeOptions{MaxThreads: 2, BagSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"lazylist", "harris", "dgt"}
+	sets := make([]*nbr.Set, len(names))
+	for i, n := range names {
+		if sets[i], err = rt.NewSet(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := rt.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin insert/delete pairs: the adversarially interleaved retire
+	// stream the staging buffers exist for.
+	for i := 0; i < 4000; i++ {
+		s := sets[i%len(sets)]
+		key := uint64(i%97) + 1
+		s.Insert(l, key)
+		s.Delete(l, key)
+	}
+	l.Release()
+	if staged := rt.StagedFrees(); staged != 0 {
+		t.Fatalf("StagedFrees = %d after every lease released, want 0", staged)
+	}
+	if err := rt.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.Stats(); st.Retired != st.Freed {
+		t.Fatalf("retired %d != freed %d", st.Retired, st.Freed)
+	}
+	if staged := rt.StagedFrees(); staged != 0 {
+		t.Fatalf("StagedFrees = %d after drain, want 0", staged)
+	}
+}
+
 // TestRuntimeCrossRuntimePanics pins the misuse guard: a lease from one
 // runtime must not drive a set attached to another.
 func TestRuntimeCrossRuntimePanics(t *testing.T) {
