@@ -2,6 +2,8 @@ package nbr
 
 import (
 	"context"
+	"errors"
+	"time"
 
 	"nbr/internal/bench"
 	"nbr/internal/mem"
@@ -33,6 +35,12 @@ const Unbounded = smr.Unbounded
 // treat it as admission control.
 var ErrNoLease = smr.ErrRegistryFull
 
+// ErrLeaseReaped is returned by With when the lease it was running under
+// overran its deadline and was revoked by the watchdog: the handler's slot
+// has already been recovered and handed on, so its work must be considered
+// void (retry under a fresh lease if it is idempotent).
+var ErrLeaseReaped = errors.New("nbr: lease deadline overrun; slot reaped by the watchdog")
+
 // MinKey and MaxKey bound the usable key space; both are sentinels — Insert,
 // Delete and Contains accept keys strictly between them.
 const (
@@ -61,6 +69,10 @@ type Options struct {
 	// proportional to *live* leases, so over-provisioning is cheap.
 	// Default 2·GOMAXPROCS, at least 8.
 	MaxThreads int
+	// LeaseTimeout arms the lease watchdog (see RuntimeOptions.LeaseTimeout):
+	// a holder outstanding past Acquire + LeaseTimeout is reaped and its slot
+	// recovered. Zero disables reaping.
+	LeaseTimeout time.Duration
 
 	// The scheme knobs, as in the experiments (zero selects each scheme's
 	// default; see DESIGN.md §6 for the rationale behind the defaults).
@@ -86,15 +98,16 @@ func (o Options) withDefaults() Options {
 // runtime maps the Domain options onto the shared-runtime options.
 func (o Options) runtime() RuntimeOptions {
 	return RuntimeOptions{
-		Scheme:     o.Scheme,
-		MaxThreads: o.MaxThreads,
-		BagSize:    o.BagSize,
-		LoFraction: o.LoFraction,
-		ScanFreq:   o.ScanFreq,
-		Threshold:  o.Threshold,
-		EraFreq:    o.EraFreq,
-		SendSpin:   o.SendSpin,
-		HandleSpin: o.HandleSpin,
+		Scheme:       o.Scheme,
+		MaxThreads:   o.MaxThreads,
+		LeaseTimeout: o.LeaseTimeout,
+		BagSize:      o.BagSize,
+		LoFraction:   o.LoFraction,
+		ScanFreq:     o.ScanFreq,
+		Threshold:    o.Threshold,
+		EraFreq:      o.EraFreq,
+		SendSpin:     o.SendSpin,
+		HandleSpin:   o.HandleSpin,
 	}
 }
 
@@ -162,6 +175,13 @@ func (d *Domain) AcquireCtx(ctx context.Context) (*Lease, error) {
 	return l, nil
 }
 
+// With runs fn under a freshly acquired lease with the panic-safe release
+// guarantee of Runtime.With; the lease operates on the domain's set directly
+// (lease.Insert(key) etc.).
+func (d *Domain) With(ctx context.Context, fn func(*Lease) error) error {
+	return d.rt.with(ctx, d.set, fn)
+}
+
 // MaxThreads returns the registry capacity.
 func (d *Domain) MaxThreads() int { return d.rt.MaxThreads() }
 
@@ -214,10 +234,32 @@ type Lease struct {
 // recycle across leases).
 func (l *Lease) Tid() int { return l.l.Tid() }
 
-// Release returns the slot to the registry. The departing thread's
-// unreclaimed records are reclaimed or handed to the runtime's orphan list —
-// nothing leaks, whatever state the protocol was in.
-func (l *Lease) Release() { l.l.Release() }
+// Release returns the slot to the registry through the shared recovery
+// path. The departing thread's unreclaimed records are reclaimed or handed
+// to the runtime's orphan list — nothing leaks, whatever state the protocol
+// was in. Releasing a lease the watchdog already reaped is a counted no-op
+// (see Runtime.RevokedReleases).
+func (l *Lease) Release() {
+	l.rt.unwatchLease(l.l)
+	l.l.Release()
+}
+
+// SetDeadline overrides this lease's reap deadline: the watchdog revokes the
+// lease if it is still outstanding at t. A zero t clears the deadline,
+// opting this lease out of reaping (e.g. a long-running maintenance task on
+// a runtime whose LeaseTimeout is tuned for request handlers).
+func (l *Lease) SetDeadline(t time.Time) {
+	if t.IsZero() {
+		l.rt.unwatchLease(l.l)
+		return
+	}
+	l.rt.watchLease(l.l, t)
+}
+
+// Revoked reports whether the watchdog reaped this lease. A revoked lease
+// must not be used: operations on it panic sigsim.Revoked (converted to
+// ErrLeaseReaped by With), and its Release is a counted no-op.
+func (l *Lease) Revoked() bool { return l.l.Revoked() }
 
 // home returns the Domain set behind a Domain-issued lease. Runtime leases
 // have no home set: one lease covers many sets, so operations go through a

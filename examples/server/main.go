@@ -4,9 +4,10 @@
 // "sessions" list and a "catalog" tree — and serves each request on a
 // short-lived handler goroutine. This example measures exactly the regime
 // the runtime layer exists for: one nbr.Runtime owns one lease registry,
-// one reclamation scheme and one shared arena; every HTTP request acquires
-// ONE lease via AcquireCtx (blocking admission with the request's deadline,
-// not spin-retry) and drives both structures under it.
+// one reclamation scheme and one shared arena; every HTTP request runs
+// inside Runtime.With — ONE lease acquired with the request's deadline
+// (blocking admission, not spin-retry), both structures driven under it,
+// and the release guaranteed even if the handler panics.
 //
 // Two lease-management modes compare the cost of membership churn:
 //
@@ -72,31 +73,30 @@ type leaseBox struct {
 	l *nbr.Lease
 }
 
-// lease hands the handler a lease under the request's context: per-request
-// admission in lease mode, pool reuse in pool mode.
-func (s *service) lease(ctx context.Context) (*nbr.Lease, func(), error) {
+// with runs the request body under a lease. Lease mode is Runtime.With —
+// the panic-safe acquire/run/release envelope, so a handler that crashes or
+// overruns can never strand a slot. Pool mode keeps the manual lifecycle on
+// purpose: it is the sync.Pool baseline the envelope is compared against.
+func (s *service) with(ctx context.Context, fn func(*nbr.Lease) error) error {
 	if s.mode == "pool" {
-		if b, ok := s.pool.Get().(*leaseBox); ok && b != nil {
-			return b.l, func() { s.pool.Put(b) }, nil
+		b, ok := s.pool.Get().(*leaseBox)
+		if !ok || b == nil {
+			l, err := s.rt.AcquireCtx(ctx)
+			if err != nil {
+				return err
+			}
+			s.mu.Lock()
+			s.all = append(s.all, l)
+			s.mu.Unlock()
+			b = &leaseBox{l: l}
+			// The box is only unreachable once neither the pool nor a handler
+			// holds it, so the release can never race an in-flight request.
+			runtime.SetFinalizer(b, func(b *leaseBox) { b.l.Release() })
 		}
-		l, err := s.rt.AcquireCtx(ctx)
-		if err != nil {
-			return nil, nil, err
-		}
-		s.mu.Lock()
-		s.all = append(s.all, l)
-		s.mu.Unlock()
-		b := &leaseBox{l: l}
-		// The box is only unreachable once neither the pool nor a handler
-		// holds it, so the release can never race an in-flight request.
-		runtime.SetFinalizer(b, func(b *leaseBox) { b.l.Release() })
-		return l, func() { s.pool.Put(b) }, nil
+		defer s.pool.Put(b)
+		return fn(b.l)
 	}
-	l, err := s.rt.AcquireCtx(ctx)
-	if err != nil {
-		return nil, nil, err
-	}
-	return l, l.Release, nil
+	return s.rt.With(ctx, fn)
 }
 
 // handle is the one HTTP endpoint: /op?key=N&kind=M mixes inserts, deletes
@@ -105,13 +105,6 @@ func (s *service) lease(ctx context.Context) (*nbr.Lease, func(), error) {
 func (s *service) handle(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
 	defer cancel()
-	l, done, err := s.lease(ctx)
-	if err != nil {
-		s.rejects.Add(1)
-		http.Error(w, "admission: "+err.Error(), http.StatusServiceUnavailable)
-		return
-	}
-	defer done()
 
 	var key, kind uint64
 	fmt.Sscanf(r.URL.Query().Get("key"), "%d", &key)
@@ -122,28 +115,35 @@ func (s *service) handle(w http.ResponseWriter, r *http.Request) {
 
 	// A request session: touch the session list and the catalog tree under
 	// the same lease, delete-heavy so retire traffic flows constantly.
-	var hits int
-	for i := uint64(0); i < 8; i++ {
-		k := key + i*131
-		switch (kind + i) % 4 {
-		case 0:
-			s.sessions.Insert(l, k)
-			s.catalog.Insert(l, k*2+1)
-		case 1:
-			s.sessions.Delete(l, k)
-		case 2:
-			s.catalog.Delete(l, k*2+1)
-		default:
-			if s.sessions.Contains(l, k) {
-				hits++
-			}
-			if s.catalog.Contains(l, k*2+1) {
-				hits++
+	err := s.with(ctx, func(l *nbr.Lease) error {
+		var hits int
+		for i := uint64(0); i < 8; i++ {
+			k := key + i*131
+			switch (kind + i) % 4 {
+			case 0:
+				s.sessions.Insert(l, k)
+				s.catalog.Insert(l, k*2+1)
+			case 1:
+				s.sessions.Delete(l, k)
+			case 2:
+				s.catalog.Delete(l, k*2+1)
+			default:
+				if s.sessions.Contains(l, k) {
+					hits++
+				}
+				if s.catalog.Contains(l, k*2+1) {
+					hits++
+				}
 			}
 		}
+		s.served.Add(1)
+		fmt.Fprintf(w, "ok hits=%d tid=%d\n", hits, l.Tid())
+		return nil
+	})
+	if err != nil {
+		s.rejects.Add(1)
+		http.Error(w, "admission: "+err.Error(), http.StatusServiceUnavailable)
 	}
-	s.served.Add(1)
-	fmt.Fprintf(w, "ok hits=%d tid=%d\n", hits, l.Tid())
 }
 
 func main() {

@@ -39,7 +39,20 @@ type RuntimeWorkload struct {
 	// the worst case for the hub's free routing (every same-owner run has
 	// length one). False keeps the mixed read/write service workload.
 	Interleave bool
+	// Stall selects the holder-death cell: every stallEvery-th session the
+	// worker wedges with its lease held — it never releases — and hands the
+	// lease to a harness reaper that revokes it through Registry.Revoke (the
+	// shared recovery path, run on the reaper's goroutine mid-measurement)
+	// and then issues the zombie's late Release. The cell tracks the cost of
+	// recycling reaped slots under load and records the recovery counters.
+	Stall bool
 }
+
+// stallEvery is the holder-death cadence under Stall: one wedged session per
+// this many completed ones, per worker — frequent enough that every slot sees
+// reaped-slot recycling within a short run, rare enough that the cell still
+// measures throughput rather than pure recovery.
+const stallEvery = 8
 
 // RuntimeResult is one measured shared-runtime cell.
 type RuntimeResult struct {
@@ -69,6 +82,15 @@ type RuntimeResult struct {
 	// ScanEntries is threads × reservations — the announcement rows one
 	// reservation scan visits at the widths the scheme was built with.
 	ScanEntries int
+	// Holder-death telemetry (schema v6). In a Stall cell Reaped counts the
+	// wedged holders the harness reaper revoked, RevokedReleases the zombie
+	// late-Release no-ops, and OrphansAdopted the orphaned records survivors
+	// re-homed. In a non-stall cell all three must read zero — nothing
+	// injects holder deaths there, so a non-zero Reaped means a healthy
+	// holder was revoked (nbrtrend flags that host-independently).
+	Reaped          uint64
+	RevokedReleases uint64
+	OrphansAdopted  uint64
 }
 
 // BoundExceeded reports whether the sampled garbage peak violated the
@@ -155,6 +177,27 @@ func RunRuntime(w RuntimeWorkload) (RuntimeResult, error) {
 		opCounts    = make([]uint64, w.Workers)
 		sessions    atomic.Uint64
 	)
+	// The harness reaper for Stall cells: wedged holders' leases arrive here;
+	// each is revoked — the shared recovery path runs on this goroutine, not
+	// the holder's — and then given the zombie's late Release. The channel
+	// holds at most Slots leases (a wedge keeps its slot until revoked), so
+	// the send in the worker never blocks.
+	var reapCh chan *smr.Lease
+	reaperDone := make(chan struct{})
+	if w.Stall {
+		reapCh = make(chan *smr.Lease, w.Slots)
+		go func() {
+			defer close(reaperDone)
+			for l := range reapCh {
+				if reg.Revoke(l) {
+					l.Release() // the zombie waking up late: a counted no-op
+				}
+			}
+		}()
+	} else {
+		close(reaperDone)
+	}
+
 	samplerDone := make(chan struct{})
 	go func() {
 		defer close(samplerDone)
@@ -178,6 +221,7 @@ func RunRuntime(w RuntimeWorkload) (RuntimeResult, error) {
 			rng := uint64(wk)*0x100000001b3 + 0x9e3779b97f4a7c15
 			started.Done()
 			var ops uint64
+			var nsess int
 			for !stop.Load() {
 				l, err := reg.Acquire()
 				if errors.Is(err, smr.ErrRegistryFull) {
@@ -213,7 +257,12 @@ func RunRuntime(w RuntimeWorkload) (RuntimeResult, error) {
 					}
 					ops++
 				}
-				l.Release()
+				nsess++
+				if w.Stall && nsess%stallEvery == 0 {
+					reapCh <- l // wedged: never releases; the reaper revokes
+				} else {
+					l.Release()
+				}
 				sessions.Add(1)
 				if ops%1024 == 0 {
 					runtime.Gosched() // oversubscribed: keep interleaving fine
@@ -229,6 +278,10 @@ func RunRuntime(w RuntimeWorkload) (RuntimeResult, error) {
 	stop.Store(true)
 	done.Wait()
 	elapsed := time.Since(begin)
+	if w.Stall {
+		close(reapCh)
+	}
+	<-reaperDone
 	<-samplerDone
 
 	res := RuntimeResult{
@@ -240,6 +293,9 @@ func RunRuntime(w RuntimeWorkload) (RuntimeResult, error) {
 		GarbagePeak:     peakGarbage.Load(),
 		ForcedRounds:    reg.ForcedRounds(),
 		Fallbacks:       reg.FallbackReuses(),
+		Reaped:          reg.ReapedLeases(),
+		RevokedReleases: reg.RevokedReleases(),
+		OrphansAdopted:  reg.OrphansAdopted(),
 	}
 	if g := res.Stats.Garbage(); g > res.GarbagePeak {
 		res.GarbagePeak = g

@@ -38,11 +38,14 @@ type Snapshot struct {
 // SnapshotSchema names the current snapshot layout. v2 added the retire
 // batch-size distribution per workload cell; v3 added the garbage-bound
 // contract columns (declared bound + sampled garbage peak); v4 added the
-// multi-structure shared-runtime cells; v5 adds the adversarial
+// multi-structure shared-runtime cells; v5 added the adversarial
 // interleaved-retire runtime cells with the hub's dispatch-per-burst
-// amortization columns, and the Domain-vs-Runtime width-comparison cells.
-// Older files lack the newer fields; consumers treat them as absent.
-const SnapshotSchema = "nbr-perf-snapshot/v5"
+// amortization columns, and the Domain-vs-Runtime width-comparison cells;
+// v6 adds the stall-injection runtime cell (wedged holders reaped by
+// revocation mid-run) and the recovery columns — reaped, revoked_releases,
+// orphans_adopted — on every runtime cell. Older files lack the newer
+// fields; consumers treat them as absent.
+const SnapshotSchema = "nbr-perf-snapshot/v6"
 
 // WorkloadPoint is one end-to-end cell.
 type WorkloadPoint struct {
@@ -104,6 +107,17 @@ type RuntimePoint struct {
 	HubDispatches    uint64  `json:"hub_dispatches,omitempty"`
 	DispatchPerBurst float64 `json:"dispatch_per_burst,omitempty"`
 	ScanEntries      int     `json:"scan_entries,omitempty"`
+	// Holder-death columns (schema v6). Stall marks the stall-injection cell:
+	// wedged holders never release and a harness reaper revokes them mid-run,
+	// so Reaped must be non-zero there (zero is asserted as a violation by
+	// -assert-bound: the revocation path went dead). In every other cell all
+	// three columns must read zero — a reap appearing in a non-stall cell
+	// means a healthy holder was revoked, which nbrtrend always flags
+	// (counter, not timing: host-independent).
+	Stall           bool   `json:"stall,omitempty"`
+	Reaped          uint64 `json:"reaped"`
+	RevokedReleases uint64 `json:"revoked_releases"`
+	OrphansAdopted  uint64 `json:"orphans_adopted"`
 }
 
 // WidthPoint is one Domain-vs-Runtime width-comparison cell (schema v5): the
@@ -215,48 +229,76 @@ func WriteSnapshot(path string, duration time.Duration, cfg SchemeConfig, assert
 	// and NBR+ are recorded; schema v5 adds, for each scheme, the
 	// adversarial interleaved-retire variant whose round-robin retire stream
 	// alternates owners perfectly — the dispatch-per-burst column on that
-	// cell is the hub's staging amortization under its worst case.
-	for _, scheme := range []string{"debra", "nbr+"} {
-		for _, interleave := range []bool{false, true} {
-			r, err := RunRuntime(RuntimeWorkload{
-				Structures: []string{"lazylist", "harris", "dgt"},
-				Scheme:     scheme,
-				Slots:      snapshotThreads,
-				Workers:    snapshotThreads + snapshotThreads/2,
-				KeyRange:   20_000,
-				SessionOps: 64,
-				Duration:   duration,
-				Cfg:        cfg,
-				Interleave: interleave,
-			})
-			if err != nil {
-				return fmt.Errorf("snapshot runtime cell %s: %w", scheme, err)
-			}
-			snap.Runtime = append(snap.Runtime, RuntimePoint{
-				Structures: r.StructuresKey(), Scheme: scheme,
-				Slots: r.Slots, Workers: r.Workers, KeyRange: r.KeyRange,
-				Mops: r.Mops, Sessions: r.Sessions, Freed: r.Stats.Freed,
-				Bound: r.Bound, GarbagePeak: r.GarbagePeak,
-				ForcedRounds: r.ForcedRounds, Fallbacks: r.Fallbacks,
-				Drained:     r.Drained,
-				Interleaved: interleave, HubBursts: r.HubBursts,
-				HubDispatches: r.HubDispatches, DispatchPerBurst: r.DispatchPerBurst,
-				ScanEntries: r.ScanEntries,
-			})
-			cell := r.StructuresKey()
-			if interleave {
-				cell += "/interleaved"
-			}
-			if r.BoundExceeded() {
-				violations = append(violations,
-					fmt.Sprintf("runtime %s/%s: garbage peak %d > declared bound %d",
-						cell, scheme, r.GarbagePeak, r.Bound))
-			}
-			if !r.Drained {
-				violations = append(violations,
-					fmt.Sprintf("runtime %s/%s: drain left retired %d != freed %d (or staging non-empty)",
-						cell, scheme, r.Stats.Retired, r.Stats.Freed))
-			}
+	// cell is the hub's staging amortization under its worst case. Schema v6
+	// adds the stall-injection cell: NBR+ with every stallEvery-th holder
+	// wedging lease-held and a reaper revoking it mid-run, so the snapshot
+	// tracks reaped-slot recycling under load; the bound and drain-to-zero
+	// contracts must hold through holder deaths, and a stall cell that reaps
+	// nothing is itself a violation (the revocation path went dead).
+	for _, rc := range []struct {
+		scheme            string
+		interleave, stall bool
+	}{
+		{"debra", false, false},
+		{"debra", true, false},
+		{"nbr+", false, false},
+		{"nbr+", true, false},
+		{"nbr+", false, true},
+	} {
+		r, err := RunRuntime(RuntimeWorkload{
+			Structures: []string{"lazylist", "harris", "dgt"},
+			Scheme:     rc.scheme,
+			Slots:      snapshotThreads,
+			Workers:    snapshotThreads + snapshotThreads/2,
+			KeyRange:   20_000,
+			SessionOps: 64,
+			Duration:   duration,
+			Cfg:        cfg,
+			Interleave: rc.interleave,
+			Stall:      rc.stall,
+		})
+		if err != nil {
+			return fmt.Errorf("snapshot runtime cell %s: %w", rc.scheme, err)
+		}
+		snap.Runtime = append(snap.Runtime, RuntimePoint{
+			Structures: r.StructuresKey(), Scheme: rc.scheme,
+			Slots: r.Slots, Workers: r.Workers, KeyRange: r.KeyRange,
+			Mops: r.Mops, Sessions: r.Sessions, Freed: r.Stats.Freed,
+			Bound: r.Bound, GarbagePeak: r.GarbagePeak,
+			ForcedRounds: r.ForcedRounds, Fallbacks: r.Fallbacks,
+			Drained:     r.Drained,
+			Interleaved: rc.interleave, HubBursts: r.HubBursts,
+			HubDispatches: r.HubDispatches, DispatchPerBurst: r.DispatchPerBurst,
+			ScanEntries: r.ScanEntries,
+			Stall:       rc.stall, Reaped: r.Reaped,
+			RevokedReleases: r.RevokedReleases, OrphansAdopted: r.OrphansAdopted,
+		})
+		cell := r.StructuresKey()
+		if rc.interleave {
+			cell += "/interleaved"
+		}
+		if rc.stall {
+			cell += "/stall"
+		}
+		if r.BoundExceeded() {
+			violations = append(violations,
+				fmt.Sprintf("runtime %s/%s: garbage peak %d > declared bound %d",
+					cell, rc.scheme, r.GarbagePeak, r.Bound))
+		}
+		if !r.Drained {
+			violations = append(violations,
+				fmt.Sprintf("runtime %s/%s: drain left retired %d != freed %d (or staging non-empty)",
+					cell, rc.scheme, r.Stats.Retired, r.Stats.Freed))
+		}
+		if rc.stall && r.Reaped == 0 {
+			violations = append(violations,
+				fmt.Sprintf("runtime %s/%s: stall injection reaped nothing (revocation path dead)",
+					cell, rc.scheme))
+		}
+		if !rc.stall && r.Reaped != 0 {
+			violations = append(violations,
+				fmt.Sprintf("runtime %s/%s: %d holders reaped in a cell with no stall injection",
+					cell, rc.scheme, r.Reaped))
 		}
 	}
 

@@ -141,6 +141,9 @@ func CompareSnapshots(prev, next Snapshot, threshold float64) []TrendDelta {
 		if r.Interleaved {
 			key += " ilv" // schema v5: the adversarial round-robin retire cell
 		}
+		if r.Stall {
+			key += " stall" // schema v6: the holder-death injection cell
+		}
 		return key
 	}
 	prevR := map[string]RuntimePoint{}
@@ -179,6 +182,17 @@ func CompareSnapshots(prev, next Snapshot, threshold float64) []TrendDelta {
 			// fallback that appears is a regression on any machine.
 			Regression: p.Fallbacks == 0 && r.Fallbacks > 0,
 			Untrusted:  untrusted,
+		})
+		// Reap counts (schema v6) are counters, not timings. In a stall cell
+		// they are the injection working (informational); in any other cell
+		// nothing injects holder deaths, so reaps that go 0 → non-zero mean
+		// the watchdog revoked a healthy holder — a regression on any
+		// machine, flagged across host shapes.
+		out = append(out, TrendDelta{
+			Cell: key, Metric: "reaped",
+			Prev: float64(p.Reaped), Next: float64(r.Reaped),
+			Pct:        worsePct(float64(p.Reaped), float64(r.Reaped), true),
+			Regression: !r.Stall && p.Reaped == 0 && r.Reaped > 0,
 		})
 	}
 

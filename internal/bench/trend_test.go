@@ -3,6 +3,7 @@ package bench
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -223,5 +224,49 @@ func TestReadSnapshotRejectsForeignJSON(t *testing.T) {
 	}
 	if _, err := ReadSnapshot(path); err == nil {
 		t.Fatal("foreign schema accepted")
+	}
+}
+
+// trendSnapV6 extends the synthetic snapshot with the schema v6 recovery
+// columns: one ordinary runtime cell and one stall-injection cell, each
+// carrying a reap count.
+func trendSnapV6(quietReaps, stallReaps uint64) Snapshot {
+	s := trendSnap(2.0, 1000, 100, 0)
+	s.Runtime = []RuntimePoint{
+		{
+			Structures: "lazylist+harris+dgt", Scheme: "nbr+", Slots: 8, Workers: 12,
+			Mops: 1.0, Sessions: 100, Drained: true,
+			Reaped: quietReaps, RevokedReleases: quietReaps,
+		},
+		{
+			Structures: "lazylist+harris+dgt", Scheme: "nbr+", Slots: 8, Workers: 12,
+			Mops: 0.9, Sessions: 100, Drained: true, Stall: true,
+			Reaped: stallReaps, RevokedReleases: stallReaps, OrphansAdopted: 40,
+		},
+	}
+	return s
+}
+
+func TestCompareSnapshotsV6ReapsFlaggedOnlyOffStall(t *testing.T) {
+	prev := trendSnapV6(0, 120)
+	// A reap appearing in the non-stall cell is the watchdog revoking a
+	// healthy holder: always a regression, even across host shapes.
+	next := trendSnapV6(3, 120)
+	next.GOMAXPROCS = prev.GOMAXPROCS + 4
+	regs := Regressions(CompareSnapshots(prev, next, 10))
+	if len(regs) != 1 || regs[0].Metric != "reaped" {
+		t.Fatalf("spurious reap in a non-stall cell not flagged: %v", regs)
+	}
+	if !strings.Contains(regs[0].Cell, "runtime") || strings.Contains(regs[0].Cell, "stall") {
+		t.Fatalf("reap regression flagged on the wrong cell: %v", regs[0])
+	}
+
+	// Reap-count swings inside the stall cell are the injection working, not
+	// a regression; steady state flags nothing.
+	if regs := Regressions(CompareSnapshots(prev, trendSnapV6(0, 400), 10)); len(regs) != 0 {
+		t.Fatalf("stall-cell reap growth flagged: %v", regs)
+	}
+	if regs := Regressions(CompareSnapshots(prev, prev, 10)); len(regs) != 0 {
+		t.Fatalf("steady state flagged: %v", regs)
 	}
 }

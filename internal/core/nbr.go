@@ -190,7 +190,7 @@ func (s *Scheme) ReclaimBurst() int { return s.cfg.BagSize }
 // active mask for its scans and signal broadcasts and registers the lease
 // hooks. Must be called before any guard is used.
 func (s *Scheme) AttachRegistry(r *smr.Registry) {
-	s.Join(r, len(s.gs), "core", s.attachThread, s.detachThread)
+	s.Join(r, len(s.gs), "core", s.attachThread)
 	s.group.SetActive(s.ActiveMask)
 }
 
@@ -211,34 +211,51 @@ func (s *Scheme) attachThread(tid int) {
 	g.sinceScan = 0
 }
 
-// detachThread is the release-side quiesce protocol: the departing thread
-// adopts any previously orphaned records into its bag, runs one full
-// signal-and-scan reclamation over everything, hands the survivors (records
-// peers still reserve — at most N·R) to the shared orphan list for the next
-// reclaimer to adopt, and neutralizes its announcement state. It runs on the
-// releasing goroutine, after the slot left the active mask.
-func (s *Scheme) detachThread(tid int) {
+// ReclaimAll implements smr.Quiescer: adopt any previously orphaned records
+// into tid's bag and run one full signal-and-scan reclamation over
+// everything. Part of the shared recovery path; runs on whichever goroutine
+// recovers the slot (owner or reaper), after the slot left the active mask.
+func (s *Scheme) ReclaimAll(tid int) {
 	g := s.gs[tid]
 	g.adopt(0)
-	if len(g.limbo) > 0 {
-		if s.cfg.Plus {
-			s.announceTS[tid].Add(1)
-			s.group.SignalAll(tid)
-			s.announceTS[tid].Add(1)
-		} else {
-			s.group.SignalAll(tid)
-		}
-		g.reclaimFreeable(len(g.limbo))
+	if len(g.limbo) == 0 {
+		return
 	}
+	if s.cfg.Plus {
+		s.announceTS[tid].Add(1)
+		s.group.SignalAll(tid)
+		s.announceTS[tid].Add(1)
+	} else {
+		s.group.SignalAll(tid)
+	}
+	g.reclaimFreeable(len(g.limbo))
+}
+
+// OrphanSurvivors implements smr.Quiescer: hand the records peers still
+// reserve (at most N·R) to the shared orphan list for the next reclaimer.
+func (s *Scheme) OrphanSurvivors(tid int) {
+	g := s.gs[tid]
 	if len(g.limbo) > 0 {
 		s.Reg.AddOrphans(g.limbo)
 		g.limbo = g.limbo[:0]
 	}
+}
+
+// ResetSlot implements smr.Quiescer: neutralize tid's announcement state.
+// announceTS stays monotone across occupants (see attachThread).
+func (s *Scheme) ResetSlot(tid int) {
+	g := s.gs[tid]
 	for i := range g.row {
 		g.row[i].Store(0)
 	}
 	g.cleanUp()
 }
+
+// RevokeSlot implements smr.SlotRevoker: post a sticky revocation so a
+// zombie occupant still running on tid is killed (sigsim.Revoked) at its
+// next delivery point — the same channel neutralization uses, aimed at one
+// slot.
+func (s *Scheme) RevokeSlot(tid int) { s.group.Revoke(tid) }
 
 // ForceRound implements smr.RoundForcer: one bracketed reservation
 // collection over the active mask — the same snapshot reclaimFreeable takes

@@ -1,5 +1,5 @@
 // Package dstest is the shared correctness suite for the data structures in
-// the harness. Each structure runs the same four suites against every
+// the harness. Each structure runs the same suites against every
 // reclamation scheme the applicability matrix admits:
 //
 //   - sequential: results match a reference map model;
@@ -18,7 +18,15 @@
 //     deliberately tiny bag while a sampler races Stats().Garbage() against
 //     the scheme's declared bound, so an oversized splice (a Harris marked
 //     chain, an ABTree subtree) that outruns a watermark check is caught
-//     in the act, not averaged away.
+//     in the act, not averaged away;
+//   - lease: dynamic-membership churn — more workers than slots, each
+//     session acquiring and releasing mid-traffic, with a recycled-tid
+//     aliasing detector and a drain to zero orphans;
+//   - kill: the holder-death suite — holders panic or wedge with the lease
+//     held, a reaper revokes the wedged ones through the shared recovery
+//     path from a foreign goroutine, and the registry must come back whole:
+//     every slot reusable, zombie releases counted as no-ops, drain to
+//     Retired == Freed, zero fallback reuses.
 package dstest
 
 import (
@@ -95,6 +103,7 @@ func RunAll(t *testing.T, f Factory) {
 		t.Run("stall/"+scheme, func(t *testing.T) { Stall(t, f, scheme) })
 		t.Run("bound/"+scheme, func(t *testing.T) { Bound(t, f, scheme) })
 		t.Run("lease/"+scheme, func(t *testing.T) { Lease(t, f, scheme) })
+		t.Run("kill/"+scheme, func(t *testing.T) { Kill(t, f, scheme) })
 		if f.Chain != nil {
 			t.Run("boundchain/"+scheme, func(t *testing.T) { BoundChain(t, f, scheme) })
 		}

@@ -57,9 +57,16 @@ type hubSub struct {
 	a Arena
 }
 
-// hubThread is one thread's free-staging state. It is owned by the slot's
-// leaseholder: FreeBatch, Free and DrainCache for a tid are only ever called
-// by the goroutine owning that tid, so the buffers need no locks.
+// hubThread is one thread's free-staging state. It is owned by whichever
+// goroutine currently speaks for the slot — normally the leaseholder, but
+// during recovery the goroutine running the slot's release (the holder on a
+// voluntary or panic-unwind Release, the watchdog on a reap): FreeBatch,
+// Free and DrainCache for a tid are only ever called by that one goroutine
+// at a time, so the buffers need no locks. The handover is safe because the
+// registry serializes it — a reaped slot's zombie is killed at its next
+// delivery point (or its next public-API operation) before it can touch the
+// buffers again, and the slot is not re-leased until recovery, including the
+// DrainCache flush, has finished.
 type hubThread struct {
 	// tags[t] stages records owned by the pool attached under tag t.
 	tags [MaxTags][]Ptr

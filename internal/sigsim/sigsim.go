@@ -4,7 +4,8 @@
 //
 // Each participating thread owns a 64-bit state word:
 //
-//	bits 63..1  count of neutralization signals posted to the thread
+//	bits 63..2  count of neutralization signals posted to the thread
+//	bit  1      revoked flag (sticky: the slot's lease was reaped)
 //	bit  0      restartable flag (the paper's per-thread `restartable` var)
 //
 // SignalAll posts a signal by atomically incrementing every peer's count.
@@ -35,9 +36,18 @@ import "sync/atomic"
 // recovers it and re-runs the operation body.
 type Neutralized struct{}
 
+// Revoked is the panic payload delivered to a thread whose slot lease was
+// involuntarily revoked (the watchdog reaped an over-deadline holder). Unlike
+// Neutralized it is terminal: smr.Execute does NOT recover it, so the zombie
+// unwinds out of its operation instead of restarting on a slot that may
+// already belong to a successor. The runtime's With wrapper converts the
+// unwind into an error for the caller.
+type Revoked struct{}
+
 const (
 	restartableBit = uint64(1)
-	postUnit       = uint64(2) // one signal in the count field
+	revokedBit     = uint64(2)
+	postUnit       = uint64(4) // one signal in the count field
 )
 
 // state is one thread's signal state, padded to its own cache line.
@@ -50,7 +60,8 @@ type state struct {
 	sent        atomic.Uint64 // signals this thread sent (as reclaimer)
 	neutralized atomic.Uint64 // deliveries that restarted this thread
 	ignored     atomic.Uint64 // deliveries ignored (non-restartable)
-	_           [40]byte
+	revoked     atomic.Uint64 // deliveries that killed a revoked occupant
+	_           [32]byte
 }
 
 // Config sets the simulated costs, in spin iterations (~1ns each).
@@ -84,14 +95,17 @@ func (g *Group) SetActive(a *ActiveSet) { g.active = a }
 
 // Attach readies slot tid for a new occupant: any signals posted to the
 // previous occupant (or to the vacant slot) are absorbed without running a
-// handler, and the slot starts non-restartable. It must be called by the
-// acquiring goroutine before the slot's first read phase, so a recycled tid
-// can never be neutralized by a broadcast aimed at its predecessor.
+// handler, a pending revocation is acknowledged (the sticky revoked bit is
+// cleared — only the next occupant may clear it, which is the ack the reaper
+// protocol relies on), and the slot starts non-restartable. It must be called
+// by the acquiring goroutine before the slot's first read phase, so a
+// recycled tid can never be neutralized — or killed — by a post aimed at its
+// predecessor.
 func (g *Group) Attach(tid int) {
 	s := &g.states[tid]
 	for {
 		old := s.word.Load()
-		if s.word.CompareAndSwap(old, old&^restartableBit) {
+		if s.word.CompareAndSwap(old, old&^(restartableBit|revokedBit)) {
 			s.delivered = old / postUnit
 			return
 		}
@@ -126,11 +140,16 @@ func (g *Group) SignalAll(self int) {
 // SetRestartable is the sigsetjmp point at the start of a read phase: it
 // makes the thread restartable and absorbs any signals that arrived while it
 // was quiescent or writing (their handlers would have been no-ops) or that
-// caused the jump here (the restart consumed them).
+// caused the jump here (the restart consumed them). A revoked occupant is
+// killed instead: a zombie must not start a new read phase on a slot that may
+// already have a successor.
 func (g *Group) SetRestartable(tid int) {
 	s := &g.states[tid]
 	for {
 		old := s.word.Load()
+		if old&revokedBit != 0 {
+			g.deliver(s, old)
+		}
 		if s.word.CompareAndSwap(old, old|restartableBit) {
 			s.delivered = old / postUnit
 			return
@@ -149,7 +168,7 @@ func (g *Group) ClearRestartable(tid int) {
 	s := &g.states[tid]
 	for {
 		old := s.word.Load()
-		if old/postUnit > s.delivered {
+		if old&revokedBit != 0 || old/postUnit > s.delivered {
 			g.deliver(s, old)
 			// deliver panics (restartable is still set); not reached.
 		}
@@ -165,20 +184,48 @@ func (g *Group) ClearRestartable(tid int) {
 func (g *Group) Poll(tid int) {
 	s := &g.states[tid]
 	old := s.word.Load()
-	if old/postUnit > s.delivered {
+	if old&revokedBit != 0 || old/postUnit > s.delivered {
 		g.deliver(s, old)
 	}
 }
 
-// deliver runs the signal handler for all outstanding posts in old.
+// deliver runs the signal handler for all outstanding posts in old. A sticky
+// revocation outranks neutralization: it panics Revoked at EVERY delivery
+// point until the next occupant's Attach acknowledges it, whatever the
+// restartable flag says — the zombie must unwind, not restart.
 func (g *Group) deliver(s *state, old uint64) {
 	s.delivered = old / postUnit
 	s.sink = spin(g.cfg.HandleSpin, s.sink)
+	if old&revokedBit != 0 {
+		s.revoked.Add(1)
+		panic(Revoked{})
+	}
 	if old&restartableBit != 0 {
 		s.neutralized.Add(1)
 		panic(Neutralized{})
 	}
 	s.ignored.Add(1)
+}
+
+// Revoke posts a sticky revocation to slot tid: every subsequent delivery
+// point the occupant passes (Poll, a read-phase transition) panics Revoked
+// until a successor's Attach clears the bit. It also counts as one posted
+// signal, so the pending-post fast paths notice it. Unlike SignalAll this
+// targets one slot and ignores the active mask: the reaper revokes a slot it
+// has already unpublished.
+func (g *Group) Revoke(tid int) {
+	s := &g.states[tid]
+	for {
+		old := s.word.Load()
+		if s.word.CompareAndSwap(old, (old|revokedBit)+postUnit) {
+			return
+		}
+	}
+}
+
+// IsRevoked reports whether slot tid carries an unacknowledged revocation.
+func (g *Group) IsRevoked(tid int) bool {
+	return g.states[tid].word.Load()&revokedBit != 0
 }
 
 // Restartable reports the thread's restartable flag (for tests and asserts).
@@ -202,6 +249,7 @@ type Stats struct {
 	Sent        uint64 // signals sent by reclaimers
 	Neutralized uint64 // deliveries that restarted a read phase
 	Ignored     uint64 // deliveries ignored (thread not restartable)
+	Revoked     uint64 // deliveries that killed a revoked occupant
 }
 
 // Stats returns a snapshot of the group's counters.
@@ -211,6 +259,7 @@ func (g *Group) Stats() Stats {
 		st.Sent += g.states[i].sent.Load()
 		st.Neutralized += g.states[i].neutralized.Load()
 		st.Ignored += g.states[i].ignored.Load()
+		st.Revoked += g.states[i].revoked.Load()
 	}
 	return st
 }

@@ -210,3 +210,99 @@ func TestQuickDeliveredNeverExceedsPosted(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func revokes(f func()) (hit bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(Revoked); !ok {
+				panic(r)
+			}
+			hit = true
+		}
+	}()
+	f()
+	return false
+}
+
+func TestRevokeKillsAtEveryDeliveryPoint(t *testing.T) {
+	resume := map[string]func(g *Group){
+		"Poll":             func(g *Group) { g.Poll(0) },
+		"SetRestartable":   func(g *Group) { g.SetRestartable(0) },
+		"ClearRestartable": func(g *Group) { g.ClearRestartable(0) },
+	}
+	for name, f := range resume {
+		t.Run(name, func(t *testing.T) {
+			g := NewGroup(2, Config{})
+			g.SetRestartable(0) // frozen mid-read-phase
+			g.Revoke(0)
+			if !g.IsRevoked(0) {
+				t.Fatal("Revoke did not set the revoked bit")
+			}
+			if !revokes(func() { f(g) }) {
+				t.Fatalf("%s on a revoked slot must panic Revoked", name)
+			}
+			// Sticky: the zombie is killed again at its next delivery point,
+			// not just once — only a successor's Attach acknowledges.
+			if !revokes(func() { f(g) }) {
+				t.Fatalf("second %s did not kill: revocation must be sticky", name)
+			}
+			if !g.IsRevoked(0) {
+				t.Fatal("delivery cleared the revoked bit; only Attach may")
+			}
+		})
+	}
+}
+
+func TestRevokeOutranksNeutralization(t *testing.T) {
+	g := NewGroup(2, Config{})
+	g.SetRestartable(0)
+	g.SignalAll(1) // a pending neutralization post...
+	g.Revoke(0)    // ...and a revocation: the kill must win
+	hit := false
+	func() {
+		defer func() {
+			switch recover().(type) {
+			case Revoked:
+				hit = true
+			case Neutralized:
+				t.Fatal("revoked restartable thread was restarted, not killed")
+			}
+		}()
+		g.Poll(0)
+	}()
+	if !hit {
+		t.Fatal("revoked thread passed a delivery point alive")
+	}
+}
+
+func TestAttachAcknowledgesRevocation(t *testing.T) {
+	g := NewGroup(2, Config{})
+	g.Revoke(0)
+	g.Attach(0) // the successor's ack
+	if g.IsRevoked(0) {
+		t.Fatal("Attach did not clear the revoked bit")
+	}
+	if revokes(func() { g.Poll(0) }) {
+		t.Fatal("successor killed by its predecessor's revocation")
+	}
+	if g.Delivered(0) != g.Posted(0) {
+		t.Fatalf("Attach absorbed %d of %d posts", g.Delivered(0), g.Posted(0))
+	}
+	g.SetRestartable(0)
+	if neutralizes(func() { g.Poll(0) }) {
+		t.Fatal("successor neutralized by an absorbed post")
+	}
+}
+
+func TestStatsRevokedCount(t *testing.T) {
+	g := NewGroup(2, Config{})
+	g.Revoke(0)
+	revokes(func() { g.Poll(0) })
+	revokes(func() { g.ClearRestartable(0) })
+	if st := g.Stats(); st.Revoked != 2 {
+		t.Fatalf("Stats.Revoked = %d, want 2", st.Revoked)
+	}
+	if st := g.Stats(); st.Neutralized != 0 {
+		t.Fatalf("kills miscounted as neutralizations: %d", st.Neutralized)
+	}
+}

@@ -78,7 +78,7 @@ func (s *Scheme) ReclaimBurst() int { return 0 }
 // — and the lease hooks keep announcements and limbo bags coherent across
 // slot reuse. Must run before guards are used.
 func (s *Scheme) AttachRegistry(r *smr.Registry) {
-	s.Join(r, len(s.gs), "debra", s.attachThread, s.detachThread)
+	s.Join(r, len(s.gs), "debra", s.attachThread)
 }
 
 // attachThread readies slot tid for a new leaseholder: adopt the current
@@ -92,24 +92,34 @@ func (s *Scheme) attachThread(tid int) {
 	s.announce[tid].Store(e << 1) // current epoch, quiescent
 }
 
-// detachThread quiesces a departing thread: rotate once if the epoch moved
-// (freeing any bags past their grace periods), then orphan everything still
-// in limbo — the adopter files the records under its own current epoch,
-// which is at least as late as DEBRA would have used, so the two-epoch
-// safety margin is preserved. Runs on the releasing goroutine after the
-// slot left the active mask.
-func (s *Scheme) detachThread(tid int) {
+// ReclaimAll implements smr.Quiescer: rotate once if the epoch moved,
+// freeing any bags past their grace periods. Part of the shared recovery
+// path; runs after the slot left the active mask.
+func (s *Scheme) ReclaimAll(tid int) {
 	g := s.gs[tid]
 	if e := s.epoch.Load(); e != g.localE {
 		g.rotate(e)
 	}
+}
+
+// OrphanSurvivors implements smr.Quiescer: orphan everything still in limbo
+// — the adopter files the records under its own current epoch, which is at
+// least as late as DEBRA would have used, so the two-epoch safety margin is
+// preserved.
+func (s *Scheme) OrphanSurvivors(tid int) {
+	g := s.gs[tid]
 	for i := range g.bags {
 		if len(g.bags[i]) > 0 {
 			s.Reg.AddOrphans(g.bags[i])
 			g.bags[i] = g.bags[i][:0]
 		}
 	}
-	s.announce[tid].Store(g.localE << 1)
+}
+
+// ResetSlot implements smr.Quiescer: announce tid quiescent at its last
+// local epoch so a vacant slot cannot pin the epoch.
+func (s *Scheme) ResetSlot(tid int) {
+	s.announce[tid].Store(s.gs[tid].localE << 1)
 }
 
 // ForceRound implements smr.RoundForcer: one bracketed pass over the active

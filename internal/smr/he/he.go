@@ -125,7 +125,7 @@ func (s *Scheme) ReclaimBurst() int { return s.cfg.Threshold }
 // AttachRegistry implements smr.Member: adopt the registry's active mask for
 // era scans and register the lease hooks. Must run before guards are used.
 func (s *Scheme) AttachRegistry(r *smr.Registry) {
-	s.Join(r, len(s.gs), "he", s.attachThread, s.detachThread)
+	s.Join(r, len(s.gs), "he", s.attachThread)
 }
 
 // attachThread clears slot tid's era announcements for a new leaseholder.
@@ -136,23 +136,30 @@ func (s *Scheme) attachThread(tid int) {
 	s.gs[tid].hiSlot = -1
 }
 
-// detachThread quiesces a departing thread: adopt previously orphaned
-// records, sweep everything once, orphan the era-pinned survivors, and
-// clear the thread's announcements. Runs on the releasing goroutine after
-// the slot left the active mask.
-func (s *Scheme) detachThread(tid int) {
+// ReclaimAll implements smr.Quiescer: adopt previously orphaned records and
+// sweep everything once. Part of the shared recovery path; runs after the
+// slot left the active mask.
+func (s *Scheme) ReclaimAll(tid int) {
 	g := s.gs[tid]
 	g.adopt(0)
 	if len(g.bag) > 0 {
 		g.sweep()
 	}
+}
+
+// OrphanSurvivors implements smr.Quiescer: orphan the era-pinned survivors,
+// raising the measured-bound watermark the orphan list contributes to.
+func (s *Scheme) OrphanSurvivors(tid int) {
+	g := s.gs[tid]
 	if len(g.bag) > 0 {
 		s.Reg.AddOrphans(g.bag)
 		s.orphanPeak.Raise(uint64(s.Reg.OrphanCount()))
 		g.bag = g.bag[:0]
 	}
-	s.attachThread(tid)
 }
+
+// ResetSlot implements smr.Quiescer: clear tid's era announcements.
+func (s *Scheme) ResetSlot(tid int) { s.attachThread(tid) }
 
 // ForceRound implements smr.RoundForcer: one bracketed era collection over
 // the active mask — sweep's announcement snapshot without the lifetime

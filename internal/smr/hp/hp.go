@@ -105,7 +105,7 @@ func (s *Scheme) ReclaimBurst() int { return s.cfg.Threshold }
 // AttachRegistry implements smr.Member: adopt the registry's active mask for
 // hazard scans and register the lease hooks. Must run before guards are used.
 func (s *Scheme) AttachRegistry(r *smr.Registry) {
-	s.Join(r, len(s.gs), "hp", s.attachThread, s.detachThread)
+	s.Join(r, len(s.gs), "hp", s.attachThread)
 }
 
 // attachThread clears slot tid's hazard announcements for a new leaseholder.
@@ -116,22 +116,29 @@ func (s *Scheme) attachThread(tid int) {
 	s.gs[tid].hiSlot = -1
 }
 
-// detachThread quiesces a departing thread: adopt previously orphaned
-// records, scan once over everything, orphan the protected survivors
-// (≤ N·K), and clear the thread's announcements. Runs on the releasing
-// goroutine after the slot left the active mask.
-func (s *Scheme) detachThread(tid int) {
+// ReclaimAll implements smr.Quiescer: adopt previously orphaned records and
+// scan once over everything. Part of the shared recovery path; runs after
+// the slot left the active mask.
+func (s *Scheme) ReclaimAll(tid int) {
 	g := s.gs[tid]
 	g.adopt(0)
 	if len(g.bag) > 0 {
 		g.doScan()
 	}
+}
+
+// OrphanSurvivors implements smr.Quiescer: orphan the protected survivors
+// (≤ N·K) for the next reclaimer to adopt.
+func (s *Scheme) OrphanSurvivors(tid int) {
+	g := s.gs[tid]
 	if len(g.bag) > 0 {
 		s.Reg.AddOrphans(g.bag)
 		g.bag = g.bag[:0]
 	}
-	s.attachThread(tid)
 }
+
+// ResetSlot implements smr.Quiescer: clear tid's hazard announcements.
+func (s *Scheme) ResetSlot(tid int) { s.attachThread(tid) }
 
 // ForceRound implements smr.RoundForcer: one bracketed hazard collection
 // over the active mask — doScan's snapshot without the sweep — advancing

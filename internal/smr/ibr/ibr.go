@@ -122,7 +122,7 @@ func (s *Scheme) ReclaimBurst() int { return s.cfg.Threshold }
 // for interval scans and register the lease hooks. Must run before guards
 // are used.
 func (s *Scheme) AttachRegistry(r *smr.Registry) {
-	s.Join(r, len(s.gs), "ibr", s.attachThread, s.detachThread)
+	s.Join(r, len(s.gs), "ibr", s.attachThread)
 }
 
 // attachThread empties slot tid's reservation interval for a new
@@ -132,23 +132,31 @@ func (s *Scheme) attachThread(tid int) {
 	s.hi[tid].Store(0)
 }
 
-// detachThread quiesces a departing thread: adopt previously orphaned
-// records, sweep everything once, orphan the interval-pinned survivors, and
-// empty the thread's reservation. Runs on the releasing goroutine after the
+// ReclaimAll implements smr.Quiescer: adopt previously orphaned records and
+// sweep everything once. Part of the shared recovery path; runs after the
 // slot left the active mask.
-func (s *Scheme) detachThread(tid int) {
+func (s *Scheme) ReclaimAll(tid int) {
 	g := s.gs[tid]
 	g.adopt(0)
 	if len(g.bag) > 0 {
 		g.sweep()
 	}
+}
+
+// OrphanSurvivors implements smr.Quiescer: orphan the interval-pinned
+// survivors, raising the measured-bound watermark the orphan list
+// contributes to.
+func (s *Scheme) OrphanSurvivors(tid int) {
+	g := s.gs[tid]
 	if len(g.bag) > 0 {
 		s.Reg.AddOrphans(g.bag)
 		s.orphanPeak.Raise(uint64(s.Reg.OrphanCount()))
 		g.bag = g.bag[:0]
 	}
-	s.attachThread(tid)
 }
+
+// ResetSlot implements smr.Quiescer: empty tid's reservation interval.
+func (s *Scheme) ResetSlot(tid int) { s.attachThread(tid) }
 
 // ForceRound implements smr.RoundForcer: one bracketed reservation-interval
 // collection over the active mask — sweep's snapshot without the lifetime

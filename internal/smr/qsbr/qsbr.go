@@ -80,7 +80,7 @@ func (s *Scheme) ReclaimBurst() int { return s.cfg.Threshold }
 // grace period — and the lease hooks keep announcements coherent across
 // slot reuse. Must run before guards are used.
 func (s *Scheme) AttachRegistry(r *smr.Registry) {
-	s.Join(r, len(s.gs), "qsbr", s.attachThread, s.detachThread)
+	s.Join(r, len(s.gs), "qsbr", s.attachThread)
 }
 
 // attachThread announces the current epoch for a new leaseholder, so a
@@ -90,18 +90,23 @@ func (s *Scheme) attachThread(tid int) {
 	s.announce[tid].Store(s.epoch.Load())
 }
 
-// detachThread quiesces a departing thread: one advance-and-sweep attempt,
-// then the rest of the bag is orphaned for the next reclaimer (re-tagged at
-// adoption with the adopter's current epoch — later than the original tag,
-// so strictly conservative). Runs on the releasing goroutine after the slot
-// left the active mask.
-func (s *Scheme) detachThread(tid int) {
+// ReclaimAll implements smr.Quiescer: adopt any orphaned records and make
+// one advance-and-sweep attempt. Part of the shared recovery path; runs
+// after the slot left the active mask.
+func (s *Scheme) ReclaimAll(tid int) {
 	g := s.gs[tid]
 	g.adopt()
 	if len(g.bag) > 0 {
 		g.tryAdvance()
 		g.sweep()
 	}
+}
+
+// OrphanSurvivors implements smr.Quiescer: orphan the rest of the bag for
+// the next reclaimer (re-tagged at adoption with the adopter's current
+// epoch — later than the original tag, so strictly conservative).
+func (s *Scheme) OrphanSurvivors(tid int) {
+	g := s.gs[tid]
 	if len(g.bag) > 0 {
 		orphans := make([]mem.Ptr, 0, len(g.bag))
 		for _, e := range g.bag {
@@ -111,6 +116,11 @@ func (s *Scheme) detachThread(tid int) {
 		g.bag = g.bag[:0]
 	}
 }
+
+// ResetSlot implements smr.Quiescer: nothing to clear — an inactive slot's
+// epoch announcement is ignored by advance/sweep, and attachThread
+// re-announces for the next occupant.
+func (s *Scheme) ResetSlot(tid int) {}
 
 // ForceRound implements smr.RoundForcer: one bracketed pass over the active
 // threads' epoch announcements — sweep's grace-period snapshot without the

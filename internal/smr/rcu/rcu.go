@@ -83,7 +83,7 @@ func (s *Scheme) ReclaimBurst() int { return s.cfg.Threshold }
 // only active threads' announcements, and the lease hooks keep the idle
 // sentinel coherent across slot reuse. Must run before guards are used.
 func (s *Scheme) AttachRegistry(r *smr.Registry) {
-	s.Join(r, len(s.gs), "rcu", s.attachThread, s.detachThread)
+	s.Join(r, len(s.gs), "rcu", s.attachThread)
 }
 
 // attachThread resets slot tid to the idle sentinel for a new leaseholder.
@@ -91,17 +91,23 @@ func (s *Scheme) attachThread(tid int) {
 	s.announce[tid].Store(idle)
 }
 
-// detachThread quiesces a departing thread: one advance-and-sweep attempt,
-// then the rest of the bag is orphaned (re-tagged at adoption with the
-// adopter's current epoch — strictly conservative). Runs on the releasing
-// goroutine after the slot left the active mask.
-func (s *Scheme) detachThread(tid int) {
+// ReclaimAll implements smr.Quiescer: adopt any orphaned records and make
+// one advance-and-sweep attempt. Part of the shared recovery path; runs
+// after the slot left the active mask.
+func (s *Scheme) ReclaimAll(tid int) {
 	g := s.gs[tid]
 	g.adopt()
 	if len(g.bag) > 0 {
 		g.tryAdvance()
 		g.sweep()
 	}
+}
+
+// OrphanSurvivors implements smr.Quiescer: orphan the rest of the bag
+// (re-tagged at adoption with the adopter's current epoch — strictly
+// conservative).
+func (s *Scheme) OrphanSurvivors(tid int) {
+	g := s.gs[tid]
 	if len(g.bag) > 0 {
 		orphans := make([]mem.Ptr, 0, len(g.bag))
 		for _, e := range g.bag {
@@ -110,8 +116,11 @@ func (s *Scheme) detachThread(tid int) {
 		s.Reg.AddOrphans(orphans)
 		g.bag = g.bag[:0]
 	}
-	s.announce[tid].Store(idle)
 }
+
+// ResetSlot implements smr.Quiescer: park tid on the idle sentinel so it
+// can never stall a grace period while vacant.
+func (s *Scheme) ResetSlot(tid int) { s.announce[tid].Store(idle) }
 
 // ForceRound implements smr.RoundForcer: one bracketed pass over the active
 // threads' critical-section announcements — sweep's snapshot without the

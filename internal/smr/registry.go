@@ -70,6 +70,17 @@ type Registry struct {
 	forced    atomic.Uint64
 	fallbacks atomic.Uint64
 
+	// quiescer is the bound scheme's recovery residue and revoker its
+	// sticky-revocation channel (both wired by Bind, both optional); see
+	// recovery.go for the shared release/revocation path built on them.
+	quiescer Quiescer
+	revoker  SlotRevoker
+	// Crash-safety counters: reaped counts successful Revokes,
+	// revokedReleases counts a zombie's late Release arriving after its
+	// lease was revoked (the counted no-op).
+	reaped          atomic.Uint64
+	revokedReleases atomic.Uint64
+
 	mu         sync.Mutex
 	fresh      []int // never-yet-quarantined slots (LIFO)
 	quarantine []quarSlot
@@ -83,9 +94,10 @@ type Registry struct {
 	afterRelease []func()
 
 	orphans struct {
-		mu    sync.Mutex
-		ps    []mem.Ptr
-		count atomic.Int64 // mirrors len(ps) so adoption gates stay lock-free
+		mu      sync.Mutex
+		ps      []mem.Ptr
+		count   atomic.Int64  // mirrors len(ps) so adoption gates stay lock-free
+		adopted atomic.Uint64 // lifetime records handed to adopters
 	}
 }
 
@@ -120,8 +132,10 @@ func (r *Registry) MaxThreads() int { return r.max }
 func (r *Registry) Active() *ActiveSet { return r.active }
 
 // Bind wires a scheme into the registry: the scheme adopts the active mask
-// and registers its membership hooks, and — when the scheme can force scan
-// rounds (RoundForcer) — the registry adopts its forced-round driver for
+// and registers its membership hooks; the registry captures the scheme's
+// recovery residue (Quiescer) for the shared release/revocation path, its
+// sticky-revocation channel (SlotRevoker) when it has one, and — when the
+// scheme can force scan rounds (RoundForcer) — its forced-round driver for
 // quarantine aging. It must run after the scheme is constructed and before
 // any guard is used. Bind panics if the scheme does not participate in
 // dynamic membership.
@@ -131,6 +145,12 @@ func (r *Registry) Bind(s Scheme) {
 		panic("smr: scheme does not implement smr.Member; cannot Bind")
 	}
 	m.AttachRegistry(r)
+	if q, ok := s.(Quiescer); ok {
+		r.quiescer = q
+	}
+	if rv, ok := s.(SlotRevoker); ok {
+		r.revoker = rv
+	}
 	if f, ok := s.(RoundForcer); ok {
 		r.force = f.ForceRound
 	}
@@ -287,27 +307,25 @@ func (r *Registry) takeSlotLocked() (tid int, ok, waiting bool) {
 }
 
 // Release returns the lease's slot: the slot leaves the active mask, the
-// release hooks quiesce its scheme and allocator state (reclaiming what they
-// can, orphaning the rest), and the slot enters quarantine (see Acquire for
-// when it becomes reusable). Release is idempotent per lease and must be
-// called by the goroutine that owns it; each Acquire returns a distinct
-// Lease, so a duplicate Release of an old lease can never revoke the slot's
-// next occupant.
+// shared recovery path quiesces its scheme and allocator state (reclaiming
+// what it can, orphaning the rest — see recovery.go), and the slot enters
+// quarantine (see Acquire for when it becomes reusable). Release is
+// idempotent per lease and must be called by the goroutine that owns it;
+// each Acquire returns a distinct Lease, so a duplicate Release of an old
+// lease can never revoke the slot's next occupant. A Release arriving after
+// the lease was involuntarily revoked (the zombie waking up) is the same
+// harmless no-op, counted in RevokedReleases.
 func (l *Lease) Release() {
 	if l.released.Swap(true) {
+		if l.revoked.Load() {
+			l.reg.revokedReleases.Add(1)
+		}
 		return
 	}
 	r := l.reg
 	r.active.Clear(l.tid)
-	for _, f := range r.onRelease {
-		f(l.tid)
-	}
-	r.mu.Lock()
-	r.quarantine = append(r.quarantine, quarSlot{tid: l.tid, round: r.rounds.Load()})
-	r.mu.Unlock()
-	for _, f := range r.afterRelease {
-		f()
-	}
+	r.runRecovery(l.tid)
+	r.finishRelease(l.tid)
 }
 
 // Lease is one leased slot. Tid is stable for the lease's lifetime; after
@@ -316,17 +334,24 @@ type Lease struct {
 	reg      *Registry
 	tid      int
 	released atomic.Bool
+	revoked  atomic.Bool
 }
 
 // Tid returns the dense slot this lease owns.
 func (l *Lease) Tid() int { return l.tid }
 
+// Revoked reports whether the lease was involuntarily revoked by the
+// watchdog/reaper. The public operation layer checks it on entry so a
+// zombie of a scheme without signal delivery points is still caught at its
+// next operation.
+func (l *Lease) Revoked() bool { return l.revoked.Load() }
+
 // Membership is the scheme-side half of dynamic membership, embedded by
 // every scheme so the registry wiring exists in exactly one place: the
 // bound registry (nil in fixed-N mode), the active mask every scan
 // iterates, and the orphan-adoption gate. Schemes keep only their genuinely
-// distinct parts — the attach/detach quiesce protocols they register
-// through Join.
+// distinct parts — the attach protocol registered through Join and the
+// release-side residue exposed as a Quiescer (captured by Bind).
 type Membership struct {
 	// Reg is the bound registry, nil in fixed-N mode.
 	Reg *Registry
@@ -340,16 +365,18 @@ func (m *Membership) InitFixed(threads int) {
 	m.ActiveMask = sigsim.FullActiveSet(threads)
 }
 
-// Join wires the scheme into r: capacity check, mask adoption, and hook
-// registration. Must run after construction and before any guard is used.
-func (m *Membership) Join(r *Registry, threads int, scheme string, onAcquire, onRelease func(tid int)) {
+// Join wires the scheme into r: capacity check, mask adoption, and the
+// acquire-hook registration. The release side no longer registers here — it
+// is the shared recovery path, which calls back into the scheme through the
+// Quiescer methods Bind captured. Must run after construction and before any
+// guard is used.
+func (m *Membership) Join(r *Registry, threads int, scheme string, onAcquire func(tid int)) {
 	if r.MaxThreads() != threads {
 		panic(scheme + ": registry capacity does not match scheme thread count")
 	}
 	m.Reg = r
 	m.ActiveMask = r.Active()
 	r.OnAcquire(onAcquire)
-	r.OnRelease(onRelease)
 }
 
 // ForceRound runs collect as one completed scan round: bracketed by the
@@ -418,6 +445,7 @@ func (r *Registry) AdoptOrphans(dst []mem.Ptr, max int) []mem.Ptr {
 	dst = append(dst, r.orphans.ps[n-take:]...)
 	r.orphans.ps = r.orphans.ps[:n-take]
 	r.orphans.count.Store(int64(n - take))
+	r.orphans.adopted.Add(uint64(take))
 	r.orphans.mu.Unlock()
 	return dst
 }

@@ -7,10 +7,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nbr/internal/bench"
 	"nbr/internal/ds"
 	"nbr/internal/mem"
+	"nbr/internal/sigsim"
 	"nbr/internal/smr"
 )
 
@@ -48,6 +50,17 @@ type RuntimeOptions struct {
 	// sizes the scheme to exactly the structures attached before the first
 	// lease (see NewRuntime).
 	Structures []string
+
+	// LeaseTimeout, when positive, arms the lease watchdog: every lease gets
+	// a reap deadline of Acquire time + LeaseTimeout (override per lease with
+	// SetDeadline). A holder still outstanding past its deadline is presumed
+	// wedged and reaped — its lease value is revoked (a late Release becomes
+	// a counted no-op), a sticky neutralization signal kills a zombie still
+	// running on a signal-capable scheme, the shared recovery path quiesces
+	// the slot from the watchdog's goroutine, and the slot is handed to the
+	// next AcquireCtx waiter. Zero disables reaping (the pre-watchdog
+	// behavior: a lost lease strands its slot).
+	LeaseTimeout time.Duration
 
 	// The scheme knobs, as in Options (zero selects each scheme's default).
 	BagSize    int     // NBR limbo-bag HiWatermark
@@ -106,6 +119,12 @@ type Runtime struct {
 	// here in FIFO order; every lease release hands the head a baton.
 	admitMu sync.Mutex
 	waiters []chan struct{}
+
+	// Lease watchdog: outstanding deadlines keyed by the smr lease (unique
+	// per acquire). The reaper goroutine runs only while deadlines exist.
+	watchMu sync.Mutex
+	watched map[*smr.Lease]time.Time
+	watchOn bool
 }
 
 // schemeBox wraps the scheme interface so it fits an atomic.Pointer.
@@ -270,8 +289,125 @@ func (rt *Runtime) Acquire() (*Lease, error) {
 	if err != nil {
 		return nil, err
 	}
+	if d := rt.opts.LeaseTimeout; d > 0 {
+		rt.watchLease(l, time.Now().Add(d))
+	}
 	return &Lease{rt: rt, l: l, g: scheme.Guard(l.Tid())}, nil
 }
+
+// With runs fn under a freshly acquired lease and guarantees the lease is
+// returned through the shared recovery path whatever happens inside: on a
+// clean return, on an error, and on a panic — which is recovered, the lease
+// released, and then rethrown. A panic caused by the watchdog reaping this
+// very lease (the holder overran its deadline and got neutralized) is not
+// rethrown: the release is already a counted no-op and fn's work is void, so
+// With reports ErrLeaseReaped instead. This is the recommended way to write
+// request handlers: a handler that panics or overruns can never strand a
+// slot.
+func (rt *Runtime) With(ctx context.Context, fn func(*Lease) error) error {
+	return rt.with(ctx, nil, fn)
+}
+
+func (rt *Runtime) with(ctx context.Context, home *Set, fn func(*Lease) error) (err error) {
+	l, err := rt.AcquireCtx(ctx)
+	if err != nil {
+		return err
+	}
+	l.set = home
+	defer func() {
+		p := recover()
+		l.Release()
+		if p == nil {
+			if err == nil && l.Revoked() {
+				err = ErrLeaseReaped
+			}
+			return
+		}
+		if _, ok := p.(sigsim.Revoked); ok {
+			err = ErrLeaseReaped
+			return
+		}
+		panic(p)
+	}()
+	return fn(l)
+}
+
+// watchLease registers (or moves) a lease's reap deadline and makes sure the
+// watchdog goroutine is running.
+func (rt *Runtime) watchLease(l *smr.Lease, at time.Time) {
+	rt.watchMu.Lock()
+	if rt.watched == nil {
+		rt.watched = make(map[*smr.Lease]time.Time)
+	}
+	rt.watched[l] = at
+	if !rt.watchOn {
+		rt.watchOn = true
+		go rt.watchdog()
+	}
+	rt.watchMu.Unlock()
+}
+
+// unwatchLease drops a lease from the watchdog (voluntary release, or a
+// deadline cleared with SetDeadline's zero time).
+func (rt *Runtime) unwatchLease(l *smr.Lease) {
+	rt.watchMu.Lock()
+	delete(rt.watched, l)
+	rt.watchMu.Unlock()
+}
+
+// watchdog is the reaper loop: it sleeps until the earliest outstanding
+// deadline, revokes every over-deadline lease through the registry's shared
+// recovery path (Registry.Revoke — recovery runs HERE, on the reaper's
+// goroutine, including the allocator-cache drain), and exits when no
+// deadline remains (the next watchLease restarts it). A revoked slot's
+// after-release hook hands the admission baton to the longest AcquireCtx
+// waiter exactly like a voluntary release.
+func (rt *Runtime) watchdog() {
+	for {
+		rt.watchMu.Lock()
+		if len(rt.watched) == 0 {
+			rt.watchOn = false
+			rt.watchMu.Unlock()
+			return
+		}
+		now := time.Now()
+		var expired []*smr.Lease
+		next := now.Add(time.Minute)
+		for l, at := range rt.watched {
+			if !at.After(now) {
+				expired = append(expired, l)
+				delete(rt.watched, l)
+			} else if at.Before(next) {
+				next = at
+			}
+		}
+		rt.watchMu.Unlock()
+		if len(expired) > 0 {
+			for _, l := range expired {
+				rt.reg.Revoke(l)
+			}
+			continue // deadlines may have moved while we reaped
+		}
+		d := time.Until(next)
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		time.Sleep(d)
+	}
+}
+
+// ReapedLeases returns how many leases the watchdog has revoked from
+// over-deadline holders.
+func (rt *Runtime) ReapedLeases() uint64 { return rt.reg.ReapedLeases() }
+
+// RevokedReleases returns how many Release calls arrived on an
+// already-reaped lease — each one a zombie holder waking up late, made
+// harmless by the distinct-lease-value guard.
+func (rt *Runtime) RevokedReleases() uint64 { return rt.reg.RevokedReleases() }
+
+// OrphansAdopted returns how many orphaned records reclaimers have adopted
+// from the runtime's shared orphan list.
+func (rt *Runtime) OrphansAdopted() uint64 { return rt.reg.OrphansAdopted() }
 
 // AcquireCtx leases a thread slot, blocking while the registry is full
 // until a slot frees up or ctx is done. Blocked callers are admitted in
@@ -505,10 +641,17 @@ func (s *Set) Name() string { return s.name }
 
 // guardOf returns the per-thread guard behind l, refusing a lease from a
 // different runtime — its tid indexes another registry's slots, so honoring
-// it would alias two threads' announcement rows.
+// it would alias two threads' announcement rows — and killing a zombie: a
+// lease the watchdog reaped panics sigsim.Revoked on its next operation, so
+// holders of schemes without mid-operation signal delivery are still caught
+// before they can race the slot's successor. With converts the unwind into
+// ErrLeaseReaped.
 func (s *Set) guardOf(l *Lease) smr.Guard {
 	if l.rt != s.rt {
 		panic("nbr: lease used with a Set attached to a different Runtime")
+	}
+	if l.l.Revoked() {
+		panic(sigsim.Revoked{})
 	}
 	return l.g
 }
