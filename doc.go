@@ -30,6 +30,12 @@
 // evaluation (driven by cmd/nbrbench or the top-level testing.B benchmarks
 // in bench_test.go).
 //
+// The usage rules this API implies — leases never leave their acquiring
+// goroutine, read phases contain only restartable operations, arena handles
+// are dereferenced only under a guard bracket or reservation — are enforced
+// statically by cmd/nbrvet, which runs as a blocking CI check; see
+// DESIGN.md §13 for the rules and the annotation grammar.
+//
 // See README.md for a tour, DESIGN.md for the architecture and the
 // substitution arguments, and EXPERIMENTS.md for measured-vs-paper results.
 package nbr

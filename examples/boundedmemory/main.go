@@ -25,6 +25,10 @@ func main() {
 	fmt.Println("it, reclaims everything unreserved, and neutralizes it when it wakes.")
 }
 
+// runWithStalledThread churns inserts/deletes around one thread that parks
+// inside an open read phase, then wakes it to show the neutralization.
+//
+//nbr:allow readphase — the open read phase held across worker churn is the demo's whole point; the main goroutine coordinating it never runs under a guard that could be neutralized
 func runWithStalledThread(scheme string) (garbage, retired uint64) {
 	const workers = 3
 	threads := workers + 1

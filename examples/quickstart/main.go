@@ -15,6 +15,13 @@
 // from nbr.NewRuntime and attaches structures with NewSet instead; see
 // examples/server for that regime over real HTTP.
 //
+// What nbrvet would catch here: the protocol mistakes this example is
+// careful not to make are all static findings — stashing the lease in a
+// package variable or handing it to another goroutine (leaseescape; a lease
+// is goroutine-affine), or touching it after Release (guardderef). See
+// testdata/badusage.go for the flagged versions of this file's patterns,
+// and DESIGN.md §13 for the full rule set.
+//
 // Run with: go run ./examples/quickstart
 package main
 

@@ -24,6 +24,14 @@
 // structures valid. Any violation exits non-zero, which is how CI runs this
 // as a smoke test.
 //
+// What nbrvet would catch here: handing a request's lease to a background
+// goroutine, parking it in a struct that outlives the request, or using it
+// after Release are all static findings (leaseescape, guardderef). The one
+// deliberate exception in this file — the pool mode's leaseBox, which caches
+// leases across requests by design — carries a justified //nbr:allow
+// annotation at the store; testdata/badusage.go shows the unjustified
+// versions, and DESIGN.md §13 the full rule set.
+//
 // Run with: go run ./examples/server            (or -mode pool, -requests 50000)
 package main
 
@@ -88,6 +96,7 @@ func (s *service) with(ctx context.Context, fn func(*nbr.Lease) error) error {
 			s.mu.Lock()
 			s.all = append(s.all, l)
 			s.mu.Unlock()
+			//nbr:allow leaseescape — the session pool caches leases across requests by design; the box is checked out by one handler at a time and a finalizer releases stragglers
 			b = &leaseBox{l: l}
 			// The box is only unreachable once neither the pool nor a handler
 			// holds it, so the release can never race an in-flight request.

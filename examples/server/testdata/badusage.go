@@ -1,0 +1,52 @@
+// Bad-usage companion to examples/server: the lease-handling mistakes a
+// request-scoped service is most tempted by, with the nbrvet finding each
+// one draws. This file lives under testdata/ so the go tool never builds
+// it. The one pattern the real example does keep — a pool of long-lived
+// leases in pool mode — is only legal because the box is checked out by one
+// handler at a time; that store carries a justified //nbr:allow in main.go.
+// See DESIGN.md §13.
+package main
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"nbr"
+)
+
+type badService struct {
+	rt *nbr.Runtime
+	// A per-connection cache of leases looks like an optimization and is a
+	// cross-goroutine guard-slot race: net/http moves connections between
+	// goroutines freely.
+	byConn map[string]*nbr.Lease
+}
+
+func (s *badService) handle(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 50*time.Millisecond)
+	defer cancel()
+
+	l, err := s.rt.AcquireCtx(ctx)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+
+	// nbrvet: "lease stored to a map element escapes its acquiring
+	// goroutine" (leaseescape) — the next request for this connection may
+	// run on a different goroutine.
+	s.byConn[r.RemoteAddr] = l
+
+	// nbrvet: "lease passed to a new goroutine: a lease is goroutine-affine;
+	// acquire inside the goroutine instead" (leaseescape) — audit logging
+	// that outlives the request must not borrow its guard slot.
+	go auditLog(l)
+
+	l.Release()
+	// nbrvet: "use of lease l after Release: its guard slot may already
+	// belong to another goroutine" (guardderef)
+	auditLog(l)
+}
+
+func auditLog(l *nbr.Lease) { _ = l }

@@ -1,3 +1,13 @@
+// Dependency-free by construction: the build environment has no module
+// proxy, so cmd/nbrvet's analysis stack (internal/analysis/framework,
+// .../atest) is a stdlib-only mirror of golang.org/x/tools/go/analysis,
+// go/packages, and analysistest instead of a pinned x/tools requirement.
+// The mirror keeps the x/tools surface (Analyzer/Pass/Diagnostic, facts,
+// want-comment corpora) so a future change with network access can add
+//
+//	require golang.org/x/tools vX.Y.Z
+//
+// swap the import paths, and delete the mirror mechanically. DESIGN.md §13.
 module nbr
 
 go 1.24

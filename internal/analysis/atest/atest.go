@@ -1,0 +1,175 @@
+// Package atest is the golden-test harness for the nbrvet analyzers — the
+// offline counterpart of golang.org/x/tools/go/analysis/analysistest.
+//
+// A corpus is a directory of .go files (conventionally testdata/src/<name>,
+// which the go tool ignores) that imports the real module packages, so the
+// analyzers run against the genuine smr/mem/nbr types. Expected diagnostics
+// are declared in the source with want comments:
+//
+//	g.EndRead() // want "EndRead with no open read phase"
+//
+// Each `// want "re" ["re" ...]` comment expects one diagnostic per quoted
+// regexp on its own line; diagnostics with no matching want, and wants with
+// no matching diagnostic, fail the test.
+package atest
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nbr/internal/analysis/framework"
+	"nbr/internal/analysis/protocol"
+)
+
+// moduleRoot walks up from the working directory to the directory holding
+// go.mod (tests run with the package directory as cwd).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// parseWants extracts want expectations from one file's comments.
+func parseWants(t *testing.T, fset *token.FileSet, filename string) []*want {
+	t.Helper()
+	src, err := os.ReadFile(filename)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				text, ok = strings.CutPrefix(c.Text, "//want ")
+			}
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, raw := range splitQuoted(t, pos.String(), text) {
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+				}
+				out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted parses a sequence of Go-quoted strings ("..." or `...`).
+func splitQuoted(t *testing.T, at, text string) []string {
+	t.Helper()
+	var out []string
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		var q byte = rest[0]
+		if q != '"' && q != '`' {
+			t.Fatalf("%s: want comment: expected quoted regexp, got %q", at, rest)
+		}
+		end := 1
+		for end < len(rest) {
+			if rest[end] == q && (q == '`' || rest[end-1] != '\\') {
+				break
+			}
+			end++
+		}
+		if end == len(rest) {
+			t.Fatalf("%s: want comment: unterminated string in %q", at, rest)
+		}
+		s, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			t.Fatalf("%s: want comment: %v", at, err)
+		}
+		out = append(out, s)
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	return out
+}
+
+// Run loads dir as one package and checks the analyzers' findings against
+// the corpus's want comments.
+func Run(t *testing.T, dir string, analyzers ...*framework.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := framework.NewSession(moduleRoot(t))
+	session.SetFactPass(protocol.ComputeFacts)
+	pkg, err := session.LoadDir(abs)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", dir, err)
+	}
+	findings, err := session.Analyze(analyzers, []*framework.Package{pkg})
+	if err != nil {
+		t.Fatalf("analyzing %s: %v", dir, err)
+	}
+
+	wantFset := token.NewFileSet()
+	var wants []*want
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".go") {
+			continue
+		}
+		wants = append(wants, parseWants(t, wantFset, filepath.Join(abs, de.Name()))...)
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != f.Position.Filename || w.line != f.Position.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", f.Position, f.Message, f.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package bracket checks guard-bracket ordering discipline: EndRead needs a
+// dominating BeginRead, Reserve must happen inside the read phase it
+// protects, retires belong in the write phase, and an smr.Execute operation
+// body must close every read phase before returning.
+package bracket
+
+import (
+	"go/ast"
+	"go/token"
+
+	"nbr/internal/analysis/framework"
+	"nbr/internal/analysis/protocol"
+)
+
+// Analyzer is the bracket-discipline analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "bracket",
+	Doc: `check BeginRead/EndRead bracket ordering
+
+Reports EndRead calls no open read phase can reach, Reserve calls outside a
+read phase (a reservation must be taken between BeginRead and EndRead to
+survive it), Retire/RetireBatch reachable inside a read phase, and
+smr.Execute operation bodies that can return with a read phase still open.
+The analysis is a may-dataflow over the CFG with interprocedural bracket
+summaries, so a helper that opens a phase for its caller (the search/validate
+split every structure uses) is understood, not flagged.`,
+	Run: run,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	for _, unit := range protocol.Units(pass.TypesInfo, pass.Files) {
+		unit := unit
+		// Immediately-invoked literals are flowed inline, so their returns
+		// show up in the walk; they exit the literal, not the operation.
+		var nestedLits []*ast.FuncLit
+		ast.Inspect(unit.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit != unit.Node {
+				nestedLits = append(nestedLits, lit)
+			}
+			return true
+		})
+		inNestedLit := func(pos token.Pos) bool {
+			for _, lit := range nestedLits {
+				if pos >= lit.Pos() && pos <= lit.End() {
+					return true
+				}
+			}
+			return false
+		}
+		flow := protocol.RunFlow(pass.TypesInfo, pass.Facts, unit.Body, protocol.Closed)
+		flow.Walk(func(n ast.Node, st protocol.State) {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				switch m := protocol.GuardMethod(pass.TypesInfo, n); m {
+				case "EndRead":
+					if st&protocol.Open == 0 {
+						pass.Reportf(n.Pos(), "EndRead with no open read phase on any path here (missing or non-dominating BeginRead)")
+					}
+				case "Reserve":
+					if st&protocol.Open == 0 {
+						pass.Reportf(n.Pos(), "Reserve outside a read phase: reservations must be taken between BeginRead and EndRead to survive it")
+					}
+				case "Retire", "RetireBatch":
+					if st&protocol.Open != 0 {
+						pass.Reportf(n.Pos(), "%s reachable inside a read phase: retires belong in the write phase, after EndRead", m)
+					}
+				}
+			case *ast.ReturnStmt:
+				if !unit.ExecClosure || inNestedLit(n.Pos()) {
+					return
+				}
+				// The state at the return is the state after evaluating its
+				// results (a result expression may close the phase).
+				after := protocol.StepNode(pass.TypesInfo, pass.Facts, n, st, nil)
+				if after&protocol.Open != 0 {
+					pass.Reportf(n.Pos(), "operation body can return with a read phase still open: every normal exit must EndRead first")
+				}
+			}
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package bracket_test
+
+import (
+	"testing"
+
+	"nbr/internal/analysis/atest"
+	"nbr/internal/analysis/bracket"
+)
+
+func TestBracketsCorpus(t *testing.T) {
+	atest.Run(t, "testdata/src/brackets", bracket.Analyzer)
+}

@@ -1,0 +1,71 @@
+// Package brackets is the bracket analyzer's corpus: each ordering mistake
+// the analyzer guards against, plus the clean search/validate split where a
+// helper opens the phase and the caller closes it (understood through the
+// interprocedural bracket summary, not flagged).
+package brackets
+
+import (
+	"nbr/internal/mem"
+	"nbr/internal/smr"
+)
+
+// doubleEnd closes the phase twice; the second EndRead has nothing to close.
+func doubleEnd(g smr.Guard) {
+	g.BeginRead()
+	g.EndRead()
+	g.EndRead() // want "EndRead with no open read phase"
+}
+
+// lateReserve reserves after the phase closed: the record it names may
+// already be gone, so the reservation protects nothing.
+func lateReserve(g smr.Guard, p mem.Ptr) {
+	g.BeginRead()
+	g.EndRead()
+	g.Reserve(0, p) // want "Reserve outside a read phase"
+}
+
+// earlyRetire retires while the phase is still open: the retire belongs in
+// the write phase, after the reservations are published.
+func earlyRetire(g smr.Guard, p mem.Ptr) {
+	g.BeginRead()
+	g.Retire(p) // want "Retire reachable inside a read phase"
+	g.EndRead()
+}
+
+// leakyOp is an smr.Execute operation body with a path that returns while
+// its read phase is still open.
+func leakyOp(g smr.Guard, p mem.Ptr) int {
+	return smr.Execute(g, func() int {
+		g.BeginRead()
+		if p == mem.Null {
+			return 0 // want "operation body can return with a read phase still open"
+		}
+		g.EndRead()
+		return 1
+	})
+}
+
+// suppressed exercises the //nbr:allow escape hatch: the stray EndRead
+// below carries a justified suppression, so the analyzer stays quiet and
+// the annotation counts as used (no hygiene finding either).
+func suppressed(g smr.Guard) {
+	g.BeginRead()
+	g.EndRead()
+	//nbr:allow bracket — corpus fixture: demonstrating the justified-suppression path
+	g.EndRead()
+}
+
+// locate opens a read phase and hands it to the caller — the search half of
+// the search/validate split every structure uses.
+func locate(g smr.Guard) {
+	g.BeginRead()
+}
+
+// clean is the correct shape: the helper opens, the caller reserves, closes,
+// and retires in the write phase. Nothing here is flagged.
+func clean(g smr.Guard, p mem.Ptr) {
+	locate(g)
+	g.Reserve(0, p)
+	g.EndRead()
+	g.Retire(p)
+}

@@ -1,0 +1,167 @@
+// Package framework is a self-contained miniature of
+// golang.org/x/tools/go/analysis, built on nothing but the standard library.
+//
+// The repo's module is intentionally dependency-free (the build environment
+// has no module proxy), so nbrvet cannot vendor x/tools. Instead this package
+// mirrors the parts of the go/analysis surface the nbrvet analyzers need —
+// Analyzer, Pass, Diagnostic, object facts — with the same field names and
+// the same reporting discipline, so that a future PR with network access can
+// swap the import path to golang.org/x/tools/go/analysis and delete this
+// package with mechanical edits only. See DESIGN.md §13.
+//
+// Differences from x/tools, all deliberate simplifications:
+//
+//   - packages are loaded by the framework itself (load.go) via
+//     `go list -export -deps -json`: module packages are type-checked from
+//     source in dependency order, standard-library dependencies are imported
+//     from compiler export data — no network, no GOPATH assumptions;
+//   - facts are a process-wide store keyed by types.Object rather than
+//     gob-encoded per-package files: every analyzed package shares one
+//     type-checker universe, so object identity is stable across packages;
+//   - diagnostics can be suppressed by an explicit, justified source
+//     annotation (`//nbr:allow <analyzer> — <justification>`); the driver
+//     diagnoses suppressions that matched nothing, so stale annotations rot
+//     loudly instead of silently.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //nbr:allow
+	// suppressions. By convention a short lowercase word.
+	Name string
+	// Doc is the one-paragraph description printed by `nbrvet -help`.
+	Doc string
+	// Run applies the analyzer to one package. Diagnostics go through
+	// pass.Report/Reportf; the return value is unused (kept for x/tools
+	// signature parity).
+	Run func(pass *Pass) (interface{}, error)
+}
+
+// Pass carries one analyzer's view of one package, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Facts is the process-wide fact store shared by every pass (see
+	// FactStore). Analyzers read facts deposited by earlier passes over the
+	// package's dependencies; the protocol fact pass writes them.
+	Facts *FactStore
+
+	// Report delivers a diagnostic. The driver wires this to the suppression
+	// filter and output sink.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, mirroring analysis.Diagnostic.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the driver
+}
+
+// FactStore holds analysis facts keyed by type-checker object. All packages
+// in a Session share one types universe (source-loaded module packages import
+// each other's *types.Package directly), so a fact attached to a function in
+// nbr/internal/smr is visible verbatim when a dependent package is analyzed.
+type FactStore struct {
+	m map[factKey]interface{}
+}
+
+type factKey struct {
+	obj types.Object
+	key string
+}
+
+// NewFactStore creates an empty fact store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey]interface{})}
+}
+
+// Set records a fact about obj under the given key (typically the fact
+// type's name), replacing any previous value.
+func (s *FactStore) Set(obj types.Object, key string, fact interface{}) {
+	s.m[factKey{obj, key}] = fact
+}
+
+// Get returns the fact recorded for obj under key, or nil.
+func (s *FactStore) Get(obj types.Object, key string) interface{} {
+	return s.m[factKey{obj, key}]
+}
+
+// suppression is one parsed //nbr:allow comment.
+type suppression struct {
+	file     string
+	line     int    // the line the comment sits on
+	endLine  int    // >0 when widened to a whole function declaration
+	analyzer string // analyzer name the suppression targets
+	justif   string // free-form justification (required non-empty)
+	pos      token.Pos
+	used     bool
+}
+
+// parseSuppressions scans a file's comments for //nbr:allow annotations.
+// Grammar (DESIGN.md §13):
+//
+//	//nbr:allow <analyzer> — <justification>
+//
+// The annotation suppresses <analyzer>'s diagnostics on its own source line
+// and on the immediately following line (so it can trail the flagged
+// statement or sit on its own line above it). Placed in a function's doc
+// comment, it covers the whole declaration — for harness code that violates
+// a rule deliberately and pervasively (stall injection, kill testing). The
+// justification is mandatory: an allow with no stated reason is itself
+// diagnosed.
+func parseSuppressions(fset *token.FileSet, f *ast.File) []*suppression {
+	var out []*suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//nbr:allow")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			s := &suppression{
+				file: fset.Position(c.Pos()).Filename,
+				line: fset.Position(c.Pos()).Line,
+				pos:  c.Pos(),
+			}
+			if len(fields) > 0 {
+				s.analyzer = fields[0]
+				s.justif = strings.TrimLeft(strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), fields[0])), "—-– \t")
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// diagSorter orders diagnostics by position for stable output.
+func sortDiags(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}

@@ -1,0 +1,17 @@
+package framework
+
+import "testing"
+
+func TestSmokeLoad(t *testing.T) {
+	s := NewSession("/root/repo")
+	pkgs, err := s.Load("./internal/mem", "./internal/smr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		t.Logf("loaded %s: %d files, scope ok=%v", p.Path, len(p.Files), p.Types.Complete())
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("want 2 target packages, got %d", len(pkgs))
+	}
+}

@@ -1,0 +1,156 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+)
+
+// Finding is one post-suppression diagnostic with its resolved position.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// Analyze runs the analyzers over the packages (which must have been loaded
+// by this session, in the dependency order Load returned) and returns the
+// surviving findings plus suppression-hygiene findings:
+//
+//   - a diagnostic on a line covered by a matching //nbr:allow annotation is
+//     suppressed;
+//   - an //nbr:allow annotation with no justification text is a finding;
+//   - an //nbr:allow annotation that suppressed nothing in this run is a
+//     finding (stale suppressions are noise that hides real rot). Stale
+//     checking is skipped for analyzers not in this run, so a single-analyzer
+//     test does not flag another analyzer's legitimate suppressions.
+func (s *Session) Analyze(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+
+	// Run the fact pass over every module package the session has loaded —
+	// dependencies included, in dependency order — so interprocedural facts
+	// (restartability, bracket summaries) exist before any dependent package
+	// is analyzed, whether or not the dependency itself is a target.
+	if s.factPass != nil {
+		for _, path := range s.order {
+			pkg := s.pkgs[path]
+			if s.factsDone[path] {
+				continue
+			}
+			pass := &Pass{
+				Fset:      s.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Facts:     s.Facts,
+				Report:    func(Diagnostic) {},
+			}
+			if err := s.factPass(pass); err != nil {
+				return nil, fmt.Errorf("fact pass: %s: %v", pkg.Path, err)
+			}
+			s.factsDone[path] = true
+		}
+	}
+
+	var findings []Finding
+	var allSupp []*suppression
+	for _, pkg := range pkgs {
+		// Index this package's suppressions by file:line.
+		supp := make(map[string][]*suppression)
+		for _, f := range pkg.Files {
+			for _, sp := range parseSuppressions(s.Fset, f) {
+				supp[sp.file] = append(supp[sp.file], sp)
+				allSupp = append(allSupp, sp)
+			}
+		}
+		// A suppression sitting in a function's doc comment (or on its first
+		// line) widens to the whole declaration.
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				declPos := s.Fset.Position(decl.Pos())
+				start := declPos.Line
+				if decl.Doc != nil {
+					start = s.Fset.Position(decl.Doc.Pos()).Line
+				}
+				for _, sp := range supp[declPos.Filename] {
+					if sp.line >= start && sp.line <= declPos.Line {
+						sp.endLine = s.Fset.Position(decl.End()).Line
+					}
+				}
+			}
+		}
+		match := func(an string, pos token.Position) *suppression {
+			for _, sp := range supp[pos.Filename] {
+				if sp.analyzer != an {
+					continue
+				}
+				if sp.line == pos.Line || sp.line == pos.Line-1 ||
+					(sp.endLine > 0 && pos.Line >= sp.line && pos.Line <= sp.endLine) {
+					return sp
+				}
+			}
+			return nil
+		}
+
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      s.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Facts:     s.Facts,
+				Report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			}
+			sortDiags(s.Fset, diags)
+			for _, d := range diags {
+				pos := s.Fset.Position(d.Pos)
+				if sp := match(a.Name, pos); sp != nil {
+					sp.used = true
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Position: pos, Message: d.Message})
+			}
+		}
+	}
+
+	// Suppression hygiene.
+	for _, sp := range allSupp {
+		pos := s.Fset.Position(sp.pos)
+		if sp.analyzer == "" || !names[sp.analyzer] {
+			if sp.analyzer == "" {
+				findings = append(findings, Finding{Analyzer: "nbrvet", Position: pos,
+					Message: "//nbr:allow needs an analyzer name: //nbr:allow <analyzer> — <justification>"})
+			}
+			continue // other-analyzer suppressions are out of this run's scope
+		}
+		if sp.justif == "" {
+			findings = append(findings, Finding{Analyzer: "nbrvet", Position: pos,
+				Message: fmt.Sprintf("//nbr:allow %s has no justification; say why the rule does not apply here", sp.analyzer)})
+		}
+		if !sp.used {
+			findings = append(findings, Finding{Analyzer: "nbrvet", Position: pos,
+				Message: fmt.Sprintf("unused //nbr:allow %s: no diagnostic here to suppress; delete it", sp.analyzer)})
+		}
+	}
+	return findings, nil
+}
+
+// Print writes findings in the conventional file:line:col format.
+func Print(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s: %s (%s)\n", f.Position, f.Message, f.Analyzer)
+	}
+}

@@ -1,0 +1,12 @@
+package guardderef_test
+
+import (
+	"testing"
+
+	"nbr/internal/analysis/atest"
+	"nbr/internal/analysis/guardderef"
+)
+
+func TestDerefsCorpus(t *testing.T) {
+	atest.Run(t, "testdata/src/derefs", guardderef.Analyzer)
+}

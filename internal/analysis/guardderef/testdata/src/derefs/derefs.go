@@ -1,0 +1,82 @@
+// Package derefs is the guardderef analyzer's corpus: arena accessor calls
+// on paths where no read phase is open and no reservation covers the handle,
+// lease use after Release, and the clean shapes — in-phase access, reserved
+// post-phase access, and a released variable rebound before reuse.
+package derefs
+
+import (
+	"nbr/internal/mem"
+	"nbr/internal/smr"
+)
+
+type node struct {
+	key uint64
+}
+
+type store struct {
+	pool *mem.Pool[node]
+	head mem.Ptr
+}
+
+// peekAfterClose reads the record after the phase that protected it closed:
+// Protect only covers the handle until EndRead.
+func (s *store) peekAfterClose(g smr.Guard) uint64 {
+	g.BeginRead()
+	p := s.head
+	g.Protect(0, p)
+	g.EndRead()
+	return s.pool.Raw(p).key // want "Raw outside any read phase"
+}
+
+// peekBetweenPhases pokes the arena on the gap between two brackets.
+func (s *store) peekBetweenPhases(g smr.Guard) uint64 {
+	g.BeginRead()
+	g.EndRead()
+	v, ok := s.pool.Get(s.head) // want "Get outside any read phase"
+	g.BeginRead()
+	g.EndRead()
+	if !ok {
+		return 0
+	}
+	return v.key
+}
+
+// useAfterRelease touches the lease after giving its guard slot back.
+func useAfterRelease(r *smr.Registry) int {
+	l, _ := r.Acquire()
+	l.Release()
+	return l.Tid() // want "use of lease l after Release"
+}
+
+// doubleRelease releases twice; the second call races the slot's next owner.
+func doubleRelease(r *smr.Registry) {
+	l, _ := r.Acquire()
+	l.Release()
+	l.Release() // want "use of lease l after Release"
+}
+
+// inPhasePeek is the ordinary clean shape: the accessor runs bracketed.
+func (s *store) inPhasePeek(g smr.Guard) uint64 {
+	g.BeginRead()
+	v := s.pool.Raw(s.head).key
+	g.EndRead()
+	return v
+}
+
+// reservedPeek is legal: the handle was Reserved inside the phase, so the
+// post-EndRead access is covered until EndOp.
+func (s *store) reservedPeek(g smr.Guard) uint64 {
+	g.BeginRead()
+	p := s.head
+	g.Reserve(0, p)
+	g.EndRead()
+	return s.pool.Raw(p).key
+}
+
+// rebound is clean: the released variable is reassigned before reuse.
+func rebound(r *smr.Registry) int {
+	l, _ := r.Acquire()
+	l.Release()
+	l, _ = r.Acquire()
+	return l.Tid()
+}

@@ -1,0 +1,159 @@
+// Package leaseescape enforces lease goroutine-affinity: an nbr.Lease (or
+// the underlying smr.Lease) binds a guard slot to the acquiring goroutine,
+// so letting the value escape — into a struct field, a global, a map, a
+// channel, or another goroutine — invites cross-thread guard use that the
+// runtime can only detect, at best, as corruption. The blessed sharing
+// pattern is the Runtime.With envelope, which scopes the lease to one
+// callback on one goroutine.
+package leaseescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nbr/internal/analysis/framework"
+	"nbr/internal/analysis/protocol"
+)
+
+// Analyzer is the lease-affinity analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "leaseescape",
+	Doc: `check that leases do not escape their acquiring goroutine
+
+Flags a Lease value stored to a struct field, package-level variable, map or
+slice element, composite literal, or pointer target; sent on a channel; or
+handed to another goroutine (as an argument or by closure capture). Passing
+a lease down the call stack and returning it up are fine — the goroutine is
+the boundary, not the function. The lease-implementing packages themselves
+(nbr, nbr/internal/smr) are exempt: storing leases in registries is their
+job.`,
+	Run: run,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	switch pass.Pkg.Path() {
+	case protocol.NBRPath, protocol.SMRPath:
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok != token.ASSIGN {
+					return true // := declares fresh locals
+				}
+				for _, lhs := range n.Lhs {
+					if !isLease(pass.TypesInfo.TypeOf(lhs)) {
+						continue
+					}
+					if kind := escapeDest(pass, lhs); kind != "" {
+						pass.Reportf(lhs.Pos(), "lease stored to a %s escapes its acquiring goroutine; use the Runtime.With envelope or keep the lease in locals", kind)
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					v := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if isLease(pass.TypesInfo.TypeOf(v)) {
+						pass.Reportf(v.Pos(), "lease stored in a composite literal escapes its acquiring goroutine")
+					}
+				}
+			case *ast.SendStmt:
+				if isLease(pass.TypesInfo.TypeOf(n.Value)) {
+					pass.Reportf(n.Pos(), "lease sent on a channel escapes its acquiring goroutine")
+				}
+			case *ast.GoStmt:
+				for _, arg := range n.Call.Args {
+					if isLease(pass.TypesInfo.TypeOf(arg)) {
+						pass.Reportf(arg.Pos(), "lease passed to a new goroutine: a lease is goroutine-affine; acquire inside the goroutine instead")
+					}
+				}
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					reportCaptures(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// reportCaptures flags lease-typed variables a go'd closure captures from
+// its enclosing function.
+func reportCaptures(pass *framework.Pass, lit *ast.FuncLit) {
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || seen[v] || !isLease(v.Type()) {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			seen[v] = true
+			pass.Reportf(id.Pos(), "lease captured by a new goroutine: a lease is goroutine-affine; acquire inside the goroutine instead")
+		}
+		return true
+	})
+}
+
+// escapeDest classifies an assignment destination that makes a lease
+// outlive or leave its acquiring goroutine; "" means the store is benign.
+func escapeDest(pass *framework.Pass, lhs ast.Expr) string {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.ObjectOf(e).(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+			return "package-level variable"
+		}
+	case *ast.SelectorExpr:
+		if sel := pass.TypesInfo.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+			return "struct field"
+		}
+		if v, ok := pass.TypesInfo.ObjectOf(e.Sel).(*types.Var); ok && !v.IsField() && v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return "package-level variable" // pkg.Global
+		}
+	case *ast.IndexExpr:
+		if t := pass.TypesInfo.TypeOf(e.X); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Map:
+				return "map element"
+			case *types.Slice:
+				return "slice element"
+			}
+		}
+		return "container element"
+	case *ast.StarExpr:
+		return "pointer target"
+	}
+	return ""
+}
+
+// isLease reports whether t is nbr.Lease or smr.Lease (or a pointer to
+// one).
+func isLease(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Name() != "Lease" {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case protocol.NBRPath, protocol.SMRPath:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package leaseescape_test
+
+import (
+	"testing"
+
+	"nbr/internal/analysis/atest"
+	"nbr/internal/analysis/leaseescape"
+)
+
+func TestLeasesCorpus(t *testing.T) {
+	atest.Run(t, "testdata/src/leases", leaseescape.Analyzer)
+}

@@ -1,0 +1,80 @@
+// Package leases is the leaseescape analyzer's corpus: every way a lease
+// can leave its acquiring goroutine — struct field, package variable, map,
+// channel, goroutine argument, closure capture, composite literal — plus
+// the clean acquire/use/release pattern that stays in locals.
+package leases
+
+import "nbr/internal/smr"
+
+type session struct {
+	l *smr.Lease
+}
+
+type table struct {
+	m map[int]*smr.Lease
+}
+
+var global *smr.Lease
+
+func use(l *smr.Lease) { _ = l.Tid() }
+
+// stash parks the lease in a struct field: whoever loads it later is on a
+// different goroutine with no claim to the guard slot.
+func stash(s *session, r *smr.Registry) error {
+	l, err := r.Acquire()
+	if err != nil {
+		return err
+	}
+	s.l = l // want "lease stored to a struct field escapes its acquiring goroutine"
+	return nil
+}
+
+// publish stores the lease in a package-level variable.
+func publish(r *smr.Registry) {
+	l, _ := r.Acquire()
+	global = l // want "lease stored to a package-level variable"
+}
+
+// index stores the lease in a map.
+func index(t *table, r *smr.Registry) {
+	l, _ := r.Acquire()
+	t.m[0] = l // want "lease stored to a map element"
+}
+
+// ship sends the lease to another goroutine over a channel.
+func ship(r *smr.Registry, ch chan *smr.Lease) {
+	l, _ := r.Acquire()
+	ch <- l // want "lease sent on a channel"
+}
+
+// handoff passes the lease to a new goroutine as an argument.
+func handoff(r *smr.Registry) {
+	l, _ := r.Acquire()
+	go use(l) // want "lease passed to a new goroutine"
+}
+
+// capture lets a go'd closure capture the lease from the enclosing scope.
+func capture(r *smr.Registry) {
+	l, _ := r.Acquire()
+	go func() {
+		use(l) // want "lease captured by a new goroutine"
+	}()
+}
+
+// boxed smuggles the lease out inside a composite literal.
+func boxed(r *smr.Registry) *session {
+	l, _ := r.Acquire()
+	return &session{l: l} // want "lease stored in a composite literal"
+}
+
+// scoped is the clean pattern: acquire, pass down the stack, release — the
+// lease never leaves this goroutine, so nothing here is flagged.
+func scoped(r *smr.Registry) error {
+	l, err := r.Acquire()
+	if err != nil {
+		return err
+	}
+	use(l)
+	l.Release()
+	return nil
+}

@@ -1,0 +1,420 @@
+// Package nbrcfg builds a control-flow graph over one function body, the
+// substrate for nbrvet's read-phase bracket dataflow. It is a compact
+// stand-in for golang.org/x/tools/go/cfg (unavailable offline — see
+// internal/analysis/framework), covering the statement forms the protocol
+// analyzers must track precisely: loops, conditionals, switches, selects,
+// labeled break/continue and goto (the restart idiom every structure's
+// search uses), return, and panic.
+//
+// Granularity: a Block holds the nodes that execute unconditionally once the
+// block is entered, in order. Control statements contribute only their
+// header parts (init statement, condition, tag) to a block; their bodies get
+// blocks of their own. A panic call terminates its path without reaching the
+// function exit — deliberately: under NBR a neutralization is delivered as a
+// panic, so "read phase still open at a panic" is the normal signal-unwind
+// path, not a protocol leak.
+package nbrcfg
+
+import "go/ast"
+
+// CFG is one function body's control-flow graph.
+type CFG struct {
+	// Blocks[0] is the entry. Exit is the synthetic normal-exit block:
+	// return statements and falling off the end lead there; panics do not.
+	Blocks []*Block
+	Exit   *Block
+}
+
+// Block is a maximal straight-line node sequence.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+type builder struct {
+	cfg    *CFG
+	cur    *Block
+	labels map[string]*labelInfo
+	// innermost enclosing targets for unlabeled break/continue
+	breakTo    []*Block
+	continueTo []*Block
+}
+
+type labelInfo struct {
+	target     *Block // goto/continue re-entry point (loop head for loops)
+	breakTo    *Block // filled when the labeled statement is a loop/switch
+	continueTo *Block
+}
+
+// New builds the CFG for a function body.
+func New(body *ast.BlockStmt) *CFG {
+	b := &builder{cfg: &CFG{}, labels: make(map[string]*labelInfo)}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	b.cfg.Exit = exit
+	b.cur = entry
+	b.stmts(body.List)
+	// Falling off the end reaches the normal exit.
+	b.jump(exit)
+	return b.cfg
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump links the current block to target and leaves the current path dead
+// (a fresh unreachable block) unless a new block is started by the caller.
+func (b *builder) jump(target *Block) {
+	if b.cur != nil && target != nil {
+		b.cur.Succs = append(b.cur.Succs, target)
+	}
+	b.cur = nil
+}
+
+// start makes blk the current block, linking from the previous current one.
+func (b *builder) start(blk *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, blk)
+	}
+	b.cur = blk
+}
+
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock() // unreachable code still gets a (pred-less) block
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// isPanic reports whether s is a direct call to the predeclared panic.
+// Syntax-only: shadowing `panic` would fool it, which no reasonable code
+// does; the cost of a miss is one conservative extra path to consider.
+func isPanic(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) label(name string) *labelInfo {
+	li, ok := b.labels[name]
+	if !ok {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		li := b.label(s.Label.Name)
+		if li.target == nil {
+			li.target = b.newBlock()
+		}
+		b.start(li.target)
+		// Loops and switches consume the label for break/continue targets.
+		b.labeledStmt(s.Stmt, li)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		after := b.newBlock()
+		thenBlk := b.newBlock()
+		b.cur = condBlk
+		b.start(thenBlk)
+		b.stmts(s.Body.List)
+		b.jump(after)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			condBlk.Succs = append(condBlk.Succs, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.jump(after)
+		} else {
+			condBlk.Succs = append(condBlk.Succs, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		b.forStmt(s, nil)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, nil)
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s, nil)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	default:
+		b.add(s)
+		if isPanic(s) {
+			b.cur = nil // path terminates without reaching the normal exit
+		}
+	}
+}
+
+// labeledStmt handles the statement under a label, wiring the label's
+// break/continue targets when it is a loop or switch.
+func (b *builder) labeledStmt(s ast.Stmt, li *labelInfo) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		b.forStmt(s, li)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, li)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s, li)
+	default:
+		b.stmt(s)
+	}
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, li *labelInfo) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock()
+	// A labeled loop's label block falls through to the head; continue and
+	// goto on the label both re-test the loop, matching Go semantics closely
+	// enough for a bracket dataflow (goto to a loop label is illegal Go
+	// anyway unless the loop is the labeled statement).
+	b.start(head)
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	after := b.newBlock()
+	post := head
+	if s.Post != nil {
+		post = b.newBlock()
+	}
+	if li != nil {
+		li.breakTo, li.continueTo = after, post
+	}
+	if s.Cond != nil {
+		b.cur.Succs = append(b.cur.Succs, after)
+	}
+	body := b.newBlock()
+	b.start(body)
+	b.breakTo = append(b.breakTo, after)
+	b.continueTo = append(b.continueTo, post)
+	b.stmts(s.Body.List)
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+	b.jump(post)
+	if s.Post != nil {
+		b.cur = post
+		b.add(s.Post)
+		b.jump(head)
+	}
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, li *labelInfo) {
+	head := b.newBlock()
+	b.start(head)
+	// The range header: X is evaluated, Key/Value are assigned each
+	// iteration. The whole RangeStmt is exposed as a node so checkers can
+	// flag channel ranges and key/value stores without seeing the body here.
+	b.add(s)
+	after := b.newBlock()
+	if li != nil {
+		li.breakTo, li.continueTo = after, head
+	}
+	b.cur.Succs = append(b.cur.Succs, after) // range may be empty
+	body := b.newBlock()
+	b.start(body)
+	b.breakTo = append(b.breakTo, after)
+	b.continueTo = append(b.continueTo, head)
+	b.stmts(s.Body.List)
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+	b.jump(head)
+	b.cur = after
+}
+
+func (b *builder) switchStmt(s ast.Stmt, li *labelInfo) {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		body = s.Body
+	}
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	after := b.newBlock()
+	if li != nil {
+		li.breakTo = after
+	}
+	b.breakTo = append(b.breakTo, after)
+	var caseBlocks []*Block
+	hasDefault := false
+	for _, cc := range body.List {
+		clause := cc.(*ast.CaseClause)
+		if clause.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		head.Succs = append(head.Succs, blk)
+		b.cur = blk
+		for _, e := range clause.List {
+			b.add(e)
+		}
+		caseBlocks = append(caseBlocks, blk)
+		b.stmts(clause.Body)
+		// Fallthrough is handled below by linking to the next case block.
+		if b.cur != nil && endsInFallthrough(clause.Body) {
+			// linked after all case blocks exist
+		} else {
+			b.jump(after)
+		}
+	}
+	// Wire fallthroughs.
+	for i, cc := range body.List {
+		clause := cc.(*ast.CaseClause)
+		if endsInFallthrough(clause.Body) && i+1 < len(caseBlocks) {
+			last := lastReachable(caseBlocks[i])
+			if last != nil {
+				last.Succs = append(last.Succs, caseBlocks[i+1])
+			}
+		}
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, after)
+	}
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.cur = after
+}
+
+// lastReachable follows the builder's linear chain to find the block a
+// fallthrough leaves from. Case bodies ending in fallthrough are straight
+// line by the spec (fallthrough must be the final statement), so the case's
+// entry block is where the fallthrough edge originates unless the body
+// introduced inner control flow; walking the single-successor chain covers
+// that.
+func lastReachable(blk *Block) *Block {
+	seen := map[*Block]bool{}
+	for blk != nil && !seen[blk] {
+		seen[blk] = true
+		if len(blk.Succs) == 0 {
+			return blk
+		}
+		if len(blk.Succs) == 1 {
+			blk = blk.Succs[0]
+			continue
+		}
+		return blk
+	}
+	return blk
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	// The SelectStmt itself is exposed so checkers can flag the blocking
+	// channel operation; each comm clause then gets its own path.
+	b.add(s)
+	head := b.cur
+	after := b.newBlock()
+	b.breakTo = append(b.breakTo, after)
+	for _, cc := range s.Body.List {
+		clause := cc.(*ast.CommClause)
+		blk := b.newBlock()
+		head.Succs = append(head.Succs, blk)
+		b.cur = blk
+		if clause.Comm != nil {
+			b.add(clause.Comm)
+		}
+		b.stmts(clause.Body)
+		b.jump(after)
+	}
+	if len(s.Body.List) == 0 {
+		// select{} blocks forever: no successor.
+		b.cur = nil
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		return
+	}
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.cur = after
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	switch s.Tok.String() {
+	case "break":
+		if s.Label != nil {
+			b.jump(b.label(s.Label.Name).breakTo)
+		} else if len(b.breakTo) > 0 {
+			b.jump(b.breakTo[len(b.breakTo)-1])
+		} else {
+			b.cur = nil
+		}
+	case "continue":
+		if s.Label != nil {
+			b.jump(b.label(s.Label.Name).continueTo)
+		} else if len(b.continueTo) > 0 {
+			b.jump(b.continueTo[len(b.continueTo)-1])
+		} else {
+			b.cur = nil
+		}
+	case "goto":
+		li := b.label(s.Label.Name)
+		if li.target == nil {
+			li.target = b.newBlock()
+		}
+		b.jump(li.target)
+	case "fallthrough":
+		// handled by switchStmt
+		b.cur = nil
+	}
+}

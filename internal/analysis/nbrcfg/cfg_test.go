@@ -1,0 +1,176 @@
+package nbrcfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses src as a function body and returns its CFG.
+func build(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return New(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// reaches reports whether the exit block is reachable from the entry.
+func reachesExit(c *CFG) bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		if b == c.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(c.Blocks[0])
+}
+
+func TestStraightLine(t *testing.T) {
+	c := build(t, "x := 1\n_ = x\nreturn")
+	if !reachesExit(c) {
+		t.Fatal("exit unreachable")
+	}
+	if len(c.Blocks[0].Nodes) != 3 {
+		t.Fatalf("entry nodes = %d, want 3", len(c.Blocks[0].Nodes))
+	}
+}
+
+func TestLabeledContinueLoop(t *testing.T) {
+	// The harrislist restart idiom: labeled infinite loop, continue to label.
+	c := build(t, `
+again:
+	for {
+		if true {
+			continue again
+		}
+		return
+	}`)
+	if !reachesExit(c) {
+		t.Fatal("exit unreachable through return")
+	}
+	// The continue must form a cycle: some block reachable from entry has a
+	// back edge to an already-seen block.
+	if !hasCycle(c) {
+		t.Fatal("labeled continue formed no cycle")
+	}
+}
+
+func TestGotoRetry(t *testing.T) {
+	// The lazylist restart idiom: goto back to a label above.
+	c := build(t, `
+	x := 0
+retry:
+	x++
+	if x < 3 {
+		goto retry
+	}
+	return`)
+	if !reachesExit(c) {
+		t.Fatal("exit unreachable")
+	}
+	if !hasCycle(c) {
+		t.Fatal("goto retry formed no cycle")
+	}
+}
+
+func TestPanicTerminatesPath(t *testing.T) {
+	c := build(t, `panic("boom")`)
+	if reachesExit(c) {
+		t.Fatal("panic-only body must not reach the normal exit")
+	}
+}
+
+func TestIfElseMerges(t *testing.T) {
+	c := build(t, `
+	x := 0
+	if x > 0 {
+		x = 1
+	} else {
+		x = 2
+	}
+	_ = x`)
+	if !reachesExit(c) {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	c := build(t, `
+	x := 0
+	switch x {
+	case 0:
+		x = 1
+		fallthrough
+	case 1:
+		x = 2
+	default:
+		x = 3
+	}
+	_ = x`)
+	if !reachesExit(c) {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestSelectPaths(t *testing.T) {
+	c := build(t, `
+	ch := make(chan int)
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}`)
+	if !reachesExit(c) {
+		t.Fatal("exit unreachable")
+	}
+	c = build(t, `select {}`)
+	if reachesExit(c) {
+		t.Fatal("empty select blocks forever; exit must be unreachable")
+	}
+}
+
+func TestRangeMayBeEmpty(t *testing.T) {
+	c := build(t, `
+	var xs []int
+	for range xs {
+	}
+	return`)
+	if !reachesExit(c) {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func hasCycle(c *CFG) bool {
+	state := make(map[*Block]int) // 0 unvisited, 1 on stack, 2 done
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		state[b] = 1
+		for _, s := range b.Succs {
+			if state[s] == 1 {
+				return true
+			}
+			if state[s] == 0 && walk(s) {
+				return true
+			}
+		}
+		state[b] = 2
+		return false
+	}
+	return walk(c.Blocks[0])
+}

@@ -1,0 +1,164 @@
+package protocol
+
+import (
+	"go/ast"
+	"go/types"
+
+	"nbr/internal/analysis/framework"
+	"nbr/internal/analysis/nbrcfg"
+)
+
+// Flow is the bracket-state dataflow over one function body: a forward
+// may-analysis whose per-block input is the union of states over all paths
+// reaching the block. BeginRead forces Open, EndRead forces Closed, and a
+// call to a function with a known summary applies that summary; everything
+// else is the identity.
+type Flow struct {
+	CFG *nbrcfg.CFG
+	// In[i] is the may-set of states entering block i; 0 means unreachable.
+	In []State
+
+	info  *types.Info
+	facts *framework.FactStore
+}
+
+// RunFlow builds the CFG for body and runs the bracket dataflow to fixpoint
+// from the given entry state.
+func RunFlow(info *types.Info, facts *framework.FactStore, body *ast.BlockStmt, entry State) *Flow {
+	cfg := nbrcfg.New(body)
+	f := &Flow{CFG: cfg, In: make([]State, len(cfg.Blocks)), info: info, facts: facts}
+	f.In[0] = entry
+	work := []*nbrcfg.Block{cfg.Blocks[0]}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := f.In[b.Index]
+		for _, n := range b.Nodes {
+			out = StepNode(info, facts, n, out, nil)
+		}
+		for _, succ := range b.Succs {
+			if f.In[succ.Index]|out != f.In[succ.Index] {
+				f.In[succ.Index] |= out
+				work = append(work, succ)
+			}
+		}
+	}
+	return f
+}
+
+// ExitState returns the may-set of states at the normal function exit.
+// Paths ending in panic do not contribute: under NBR a neutralization
+// unwinds as a panic, and an open phase at that point is the expected
+// signal-delivery path, not a leak.
+func (f *Flow) ExitState() State { return f.In[f.CFG.Exit.Index] }
+
+// Walk replays the dataflow over every reachable block, invoking visit on
+// each AST node (pre-order, not descending into nested function literals)
+// with the bracket state in force when that node executes.
+func (f *Flow) Walk(visit func(n ast.Node, st State)) {
+	for _, b := range f.CFG.Blocks {
+		st := f.In[b.Index]
+		if st == 0 {
+			continue // unreachable
+		}
+		for _, n := range b.Nodes {
+			st = StepNode(f.info, f.facts, n, st, visit)
+		}
+	}
+}
+
+// StepNode applies one CFG node's bracket transitions to st, optionally
+// invoking visit on each subnode with the state in force at that subnode.
+//
+// Node boundaries follow the CFG builder's granularity: range and select
+// statements appear as header nodes whose bodies live in other blocks, so
+// only their header expressions are stepped here; defer and go statements
+// contribute no transitions (their calls run outside the current path).
+// Function literal bodies are never descended into — a literal is a value
+// here, and is analyzed as its own unit.
+func StepNode(info *types.Info, facts *framework.FactStore, n ast.Node, st State, visit func(ast.Node, State)) State {
+	switch n := n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		if visit != nil {
+			visit(n, st)
+		}
+		return st
+	case *ast.RangeStmt:
+		if visit != nil {
+			visit(n, st)
+		}
+		return stepExpr(info, facts, n.X, st, visit)
+	case *ast.SelectStmt:
+		if visit != nil {
+			visit(n, st)
+		}
+		return st
+	}
+	return stepExpr(info, facts, n, st, visit)
+}
+
+// stepExpr walks a node's subtree in pre-order, applying call transitions.
+func stepExpr(info *types.Info, facts *framework.FactStore, n ast.Node, st State, visit func(ast.Node, State)) State {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			return false
+		}
+		if lit, ok := x.(*ast.FuncLit); ok {
+			if visit != nil {
+				visit(lit, st)
+			}
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok && IsPanicCall(info, call) {
+			// A panic's arguments only run on the crash path, which is never
+			// restarted — allocating the message there is fine.
+			if visit != nil {
+				visit(call, st)
+			}
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+				// Immediately-invoked literal: its body runs right here — the
+				// absorb-neutralization envelope idiom — so flow through it
+				// inline instead of treating it as an opaque value.
+				for _, arg := range call.Args {
+					st = stepExpr(info, facts, arg, st, visit)
+				}
+				inner := RunFlow(info, facts, lit.Body, st)
+				if visit != nil {
+					inner.Walk(visit)
+				}
+				st = inner.ExitState()
+				return false
+			}
+		}
+		if visit != nil {
+			visit(x, st)
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			st = applyCall(info, facts, call, st)
+		}
+		return true
+	})
+	return st
+}
+
+// applyCall returns the bracket state after the call.
+func applyCall(info *types.Info, facts *framework.FactStore, call *ast.CallExpr, st State) State {
+	if m := GuardMethod(info, call); m != "" {
+		switch m {
+		case "BeginRead":
+			return Open
+		case "EndRead":
+			return Closed
+		}
+		return st
+	}
+	if fn := StaticCallee(info, call); fn != nil {
+		if fi := GetFuncInfo(facts, fn); fi != nil {
+			return fi.Summary.Apply(st)
+		}
+	}
+	return st // unknown callee: identity
+}

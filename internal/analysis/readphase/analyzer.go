@@ -1,0 +1,67 @@
+// Package readphase enforces the Φread restartability rules: between
+// BeginRead and EndRead a neutralization signal can longjmp out at any
+// instruction, so the bracketed code must be safe to abandon and re-run —
+// no allocation, no writes to shared memory, no locks or channel ops, no
+// defers or goroutine launches, and no calls to functions the fact pass
+// cannot prove restartable (//nbr:restartable is the audited escape hatch).
+package readphase
+
+import (
+	"go/ast"
+	"go/types"
+
+	"nbr/internal/analysis/framework"
+	"nbr/internal/analysis/protocol"
+)
+
+// Analyzer is the read-phase restartability analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "readphase",
+	Doc: `check that read phases contain only restartable operations
+
+Tracks BeginRead/EndRead brackets over the CFG (interprocedurally, via
+per-function bracket summaries) and flags, inside any open read phase:
+allocation (new, make, append growth, escaping composite literals, closure
+creation), stores through non-local pointers, sync package lock operations,
+atomic writes, channel operations, defer, goroutine launches, and calls to
+functions not proven restartable. A function whose whole body passes these
+rules is proven restartable automatically; //nbr:restartable on a
+declaration asserts it for functions the proof cannot see through, and is
+itself diagnosed when redundant.`,
+	Run: run,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	for _, unit := range protocol.Units(pass.TypesInfo, pass.Files) {
+		chk := &protocol.Checker{Info: pass.TypesInfo, Facts: pass.Facts, Unit: unit.Node}
+		flow := protocol.RunFlow(pass.TypesInfo, pass.Facts, unit.Body, protocol.Closed)
+		flow.Walk(func(n ast.Node, st protocol.State) {
+			if st&protocol.Open == 0 {
+				return
+			}
+			chk.Check(n, func(v protocol.Violation) {
+				pass.Reportf(v.Pos, "%s", v.Msg)
+			})
+		})
+	}
+
+	// Annotation hygiene: an //nbr:restartable on a function the checker can
+	// prove restartable anyway is stale weight — the assertion would silently
+	// keep excusing the body if it later grew a real violation.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if fi := protocol.GetFuncInfo(pass.Facts, fn); fi != nil && fi.Annotated && fi.Proven {
+				pass.Reportf(decl.Name.Pos(), "redundant //nbr:restartable: %s is provably restartable; delete the annotation", decl.Name.Name)
+			}
+		}
+	}
+	return nil, nil
+}

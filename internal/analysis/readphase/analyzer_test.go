@@ -1,0 +1,12 @@
+package readphase_test
+
+import (
+	"testing"
+
+	"nbr/internal/analysis/atest"
+	"nbr/internal/analysis/readphase"
+)
+
+func TestPhasesCorpus(t *testing.T) {
+	atest.Run(t, "testdata/src/phases", readphase.Analyzer)
+}

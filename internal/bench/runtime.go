@@ -259,6 +259,7 @@ func RunRuntime(w RuntimeWorkload) (RuntimeResult, error) {
 				}
 				nsess++
 				if w.Stall && nsess%stallEvery == 0 {
+					//nbr:allow leaseescape — deliberate wedge: the workload ships the lease to the reaper to exercise revocation under load
 					reapCh <- l // wedged: never releases; the reaper revokes
 				} else {
 					l.Release()

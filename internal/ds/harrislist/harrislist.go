@@ -110,6 +110,16 @@ func (l *List) casNext(p mem.Ptr, old, new mem.Ptr) bool {
 	return atomic.CompareAndSwapUint64(&n.next, uint64(old), uint64(new))
 }
 
+// scratchReset empties the per-thread marked-chain buffer.
+//
+//nbr:restartable — the buffer is private to this Tid and a neutralization restart's first action is another reset, so a torn write is unobservable
+func scratchReset(s *[]mem.Ptr) { *s = (*s)[:0] }
+
+// scratchPush records one marked node for the post-phase RetireBatch.
+//
+//nbr:restartable — appends to Tid-private storage that the restart path resets; growth allocates, which is safe under the panic-based neutralization this repo simulates (no signal handler to longjmp over the allocator)
+func scratchPush(s *[]mem.Ptr, p mem.Ptr) { *s = append(*s, p) }
+
 // search implements Algorithm 3's search: find the unmarked node pair
 // (left, right) bracketing key, splicing out any marked chain in between.
 // On return the read phase is closed with left and right reserved (slots 0
@@ -122,7 +132,7 @@ func (l *List) search(g smr.Guard, key uint64) (left, right mem.Ptr, rightV view
 searchAgain:
 	for {
 		g.BeginRead()
-		*scratch = (*scratch)[:0]
+		scratchReset(scratch)
 
 		t := l.head
 		tV, _ := l.read(g, 0, t) // head sentinel, never freed
@@ -136,9 +146,9 @@ searchAgain:
 				left = t
 				leftNext = tV.next
 				g.Protect(0, left) // left already covered; renew slot 0
-				*scratch = (*scratch)[:0]
+				scratchReset(scratch)
 			} else {
-				*scratch = append(*scratch, t)
+				scratchPush(scratch, t)
 			}
 			next := tV.next.Unmarked()
 			if next == l.tail {

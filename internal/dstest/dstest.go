@@ -368,6 +368,8 @@ func BoundChain(t *testing.T, f Factory, scheme string) {
 // Stall reproduces E2's stalled-thread scenario at test scale: the last
 // thread begins an operation (announces/checkpoints) and goes to sleep while
 // the others churn deletions.
+//
+//nbr:allow readphase — the stalled reader IS the fixture: the test goroutine deliberately parks inside an open read phase and orchestrates workers, assertions, and the wake-up around it; the harness itself is never neutralized, only the guard it holds is
 func Stall(t *testing.T, f Factory, scheme string) {
 	const workers = 4
 	threads := workers + 1

@@ -25,6 +25,9 @@ import (
 // Retired == Freed with an empty orphan list, zero fallback reuses, the
 // declared GarbageBound held throughout, and every zombie's late Release a
 // counted no-op.
+//
+//nbr:allow readphase — this harness manufactures protocol violations on purpose: holders freeze inside read phases so the watchdog/revocation machinery has something to kill; the orchestrating goroutine is never neutralized itself
+//nbr:allow leaseescape — wedged holders hand their lease to the reaper over a channel precisely to exercise cross-goroutine revocation recovery
 func Kill(t *testing.T, f Factory, scheme string) {
 	const (
 		maxThreads = 6

@@ -25,6 +25,10 @@
 // Allocation is only permitted in write phases (never between BeginRead and
 // EndRead), matching the paper's Φread rules and guaranteeing neutralization
 // cannot leak a private record.
+//
+// These rules are machine-checked: cmd/nbrvet (blocking in CI) verifies
+// bracket ordering, read-phase restartability, lease affinity, and guarded
+// arena access across the repo — see DESIGN.md §13.
 package smr
 
 import (
@@ -35,7 +39,9 @@ import (
 )
 
 // Guard is a per-thread handle onto an SMR scheme. A Guard must only be used
-// by the thread (goroutine) it was issued to.
+// by the thread (goroutine) it was issued to. The bracket discipline below
+// (BeginRead/Reserve/EndRead ordering, restartable read phases, write-phase
+// retires) is enforced statically by cmd/nbrvet (DESIGN.md §13).
 type Guard interface {
 	// Tid returns the dense thread id this guard was issued for.
 	Tid() int
