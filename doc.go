@@ -25,10 +25,12 @@
 // (manual-memory pool with use-after-free detection) and internal/sigsim
 // (simulated POSIX neutralization signals). internal/smr defines the
 // scheme/data-structure interface, internal/smr/* the baseline reclamation
-// algorithms, internal/ds/* the five evaluated data structures, and
-// internal/bench the harness that regenerates every figure of the paper's
-// evaluation (driven by cmd/nbrbench or the top-level testing.B benchmarks
-// in bench_test.go).
+// algorithms, internal/ds/* the evaluated data structures (the paper's five
+// plus a resizable split-ordered hash map whose doubling retires each old
+// bucket array as one segment — K records behind a single scheme-side stamp;
+// DESIGN.md §14), and internal/bench the harness that regenerates every
+// figure of the paper's evaluation (driven by cmd/nbrbench or the top-level
+// testing.B benchmarks in bench_test.go).
 //
 // The usage rules this API implies — leases never leave their acquiring
 // goroutine, read phases contain only restartable operations, arena handles

@@ -1,64 +1,87 @@
-// Kvstore builds a realistic service on the public API: an ordered index
-// (the (a,b)-tree) ingesting a stream of session records while concurrent
-// readers run point lookups — the "data structures as database indexes"
-// workload the paper's introduction motivates. Ingest deletes expired
-// sessions continuously, so reclamation runs the whole time; the example
-// reports service-level metrics plus the reclamation counters that would
-// let an operator confirm memory stays bounded.
+// Kvstore builds a realistic service on the public API: a session cache on
+// the resizable hash map, growing from a handful of buckets to thousands
+// while concurrent readers run point lookups — the "data structures as
+// database indexes" workload the paper's introduction motivates. The cache
+// starts cold and fills under load, so the map's doubling cascade runs the
+// whole time; every superseded bucket array is retired as ONE segment
+// handle, and the reclamation counters printed at the end show the
+// amortization (thousands of cells retired behind a few dozen scheme-side
+// stamps).
+//
+// Every worker runs inside Runtime.With, the lease session that guarantees
+// the thread slot is returned through the shared recovery path even if the
+// handler panics or overruns its deadline.
 //
 // Run with: go run ./examples/kvstore
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"nbr/internal/core"
-	"nbr/internal/ds/abtree"
+	"nbr"
 )
 
 const (
 	ingestWorkers = 2
 	queryWorkers  = 2
-	sessionSpace  = 50_000 // live session ids cycle through this range
+	sessionSpace  = 60_000 // live session ids cycle through this range
 	runFor        = 800 * time.Millisecond
 )
 
 func main() {
-	threads := ingestWorkers + queryWorkers
-	index := abtree.New(threads)
-	scheme := core.New(index.Arena(), threads, core.Config{Plus: true, BagSize: 1024})
+	rt, err := nbr.NewRuntime(nbr.RuntimeOptions{
+		Scheme:       "nbr+",
+		MaxThreads:   ingestWorkers + queryWorkers,
+		LeaseTimeout: 5 * time.Second, // reap a wedged worker instead of stranding its slot
+	})
+	if err != nil {
+		panic(err)
+	}
+	sessions, err := rt.NewSet("hashmap")
+	if err != nil {
+		panic(err)
+	}
 
 	var (
 		stop            atomic.Bool
-		ingested, hits  atomic.Uint64
+		created, hits   atomic.Uint64
 		expired, misses atomic.Uint64
 		wg              sync.WaitGroup
 	)
+	ctx := context.Background()
 
 	// Ingest workers: create a session, expire an old one (a sliding
-	// window), keeping the index near steady state under heavy retirement.
+	// window). The net growth toward sessionSpace live keys drives the hash
+	// map's doubling cascade; each doubling retires the old bucket array as
+	// a single segment.
 	for w := 0; w < ingestWorkers; w++ {
 		wg.Add(1)
-		go func(tid int) {
+		go func(worker int) {
 			defer wg.Done()
-			g := scheme.Guard(tid)
-			var seq uint64
-			for !stop.Load() {
-				seq++
-				id := (seq*uint64(ingestWorkers)+uint64(tid))%sessionSpace + 1
-				if index.Insert(g, id) {
-					ingested.Add(1)
+			err := rt.With(ctx, func(l *nbr.Lease) error {
+				var seq uint64
+				for !stop.Load() {
+					seq++
+					id := (seq*uint64(ingestWorkers)+uint64(worker))%sessionSpace + 1
+					if sessions.Insert(l, id) {
+						created.Add(1)
+					}
+					old := (id + sessionSpace/2) % sessionSpace
+					if old == 0 {
+						old = 1
+					}
+					if sessions.Delete(l, old) {
+						expired.Add(1)
+					}
 				}
-				old := (id + sessionSpace/2) % sessionSpace
-				if old == 0 {
-					old = 1
-				}
-				if index.Delete(g, old) {
-					expired.Add(1)
-				}
+				return nil
+			})
+			if err != nil {
+				panic(err)
 			}
 		}(w)
 	}
@@ -66,41 +89,52 @@ func main() {
 	// Query workers: point lookups across the id space.
 	for w := 0; w < queryWorkers; w++ {
 		wg.Add(1)
-		go func(tid int) {
+		go func(worker int) {
 			defer wg.Done()
-			g := scheme.Guard(tid)
-			rng := uint64(tid + 1)
-			for !stop.Load() {
-				rng += 0x9e3779b97f4a7c15
-				z := rng
-				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-				id := z%sessionSpace + 1
-				if index.Contains(g, id) {
-					hits.Add(1)
-				} else {
-					misses.Add(1)
+			err := rt.With(ctx, func(l *nbr.Lease) error {
+				rng := uint64(worker + 1)
+				for !stop.Load() {
+					rng += 0x9e3779b97f4a7c15
+					z := rng
+					z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+					id := z%sessionSpace + 1
+					if sessions.Contains(l, id) {
+						hits.Add(1)
+					} else {
+						misses.Add(1)
+					}
 				}
+				return nil
+			})
+			if err != nil {
+				panic(err)
 			}
-		}(ingestWorkers + w)
+		}(w)
 	}
 
 	time.Sleep(runFor)
 	stop.Store(true)
 	wg.Wait()
+	if err := rt.Drain(); err != nil {
+		panic(err)
+	}
 
-	st := scheme.Stats()
-	ms := index.MemStats()
-	fmt.Println("kvstore: ordered session index on abtree + NBR+")
-	fmt.Printf("  live sessions      %d\n", index.Len())
-	fmt.Printf("  ingested/expired   %d / %d\n", ingested.Load(), expired.Load())
+	st := rt.Stats()
+	ms := rt.MemStats()
+	fmt.Println("kvstore: session cache on resizable hashmap + NBR+")
+	fmt.Printf("  live sessions      %d\n", sessions.Len())
+	fmt.Printf("  created/expired    %d / %d\n", created.Load(), expired.Load())
 	fmt.Printf("  lookups hit/miss   %d / %d\n", hits.Load(), misses.Load())
 	fmt.Printf("  records retired    %d, freed %d, resident garbage %d\n",
 		st.Retired, st.Freed, st.Garbage())
+	fmt.Printf("  bucket arrays      %d retired as segments covering %d cells (%d scheme-side stamps)\n",
+		st.Segments, st.SegRecords, st.Stamps())
 	fmt.Printf("  neutralizations    %d (signals sent %d)\n", st.Neutralized, st.Signals)
-	fmt.Printf("  index memory       %.1f KiB live, %.1f KiB reserved slabs\n",
+	fmt.Printf("  declared bound     %d records\n", rt.GarbageBound())
+	fmt.Printf("  cache memory       %.1f KiB live, %.1f KiB reserved slabs\n",
 		float64(ms.LiveBytes)/1024, float64(ms.SlabBytes)/1024)
-	if err := index.Validate(); err != nil {
+	if err := sessions.Validate(); err != nil {
 		panic(err)
 	}
-	fmt.Println("  index validated    ok")
+	fmt.Println("  cache validated    ok")
 }

@@ -19,7 +19,7 @@ var Analyzer = &framework.Analyzer{
 
 Reports EndRead calls no open read phase can reach, Reserve calls outside a
 read phase (a reservation must be taken between BeginRead and EndRead to
-survive it), Retire/RetireBatch reachable inside a read phase, and
+survive it), Retire/RetireBatch/RetireSegment reachable inside a read phase, and
 smr.Execute operation bodies that can return with a read phase still open.
 The analysis is a may-dataflow over the CFG with interprocedural bracket
 summaries, so a helper that opens a phase for its caller (the search/validate
@@ -60,7 +60,7 @@ func run(pass *framework.Pass) (interface{}, error) {
 					if st&protocol.Open == 0 {
 						pass.Reportf(n.Pos(), "Reserve outside a read phase: reservations must be taken between BeginRead and EndRead to survive it")
 					}
-				case "Retire", "RetireBatch":
+				case "Retire", "RetireBatch", "RetireSegment":
 					if st&protocol.Open != 0 {
 						pass.Reportf(n.Pos(), "%s reachable inside a read phase: retires belong in the write phase, after EndRead", m)
 					}

@@ -125,7 +125,7 @@ func (c *Checker) checkCall(call *ast.CallExpr, report func(Violation)) {
 		switch m {
 		case "BeginRead", "EndRead", "Reserve", "Protect", "NeedsValidation", "Tid", "OnStale":
 			// The protocol's own vocabulary inside a read phase.
-		case "Retire", "RetireBatch":
+		case "Retire", "RetireBatch", "RetireSegment":
 			// The bracket analyzer owns misplaced retires; stay silent here
 			// so one mistake yields one diagnostic.
 		case "OnAlloc":

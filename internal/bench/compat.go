@@ -11,7 +11,7 @@ package bench
 //     the documented cost of the structures' progress guarantees).
 
 // DSNames lists the data structures in the harness.
-var DSNames = []string{"lazylist", "harris", "hmlist", "hmlist-norestart", "dgt", "abtree"}
+var DSNames = []string{"lazylist", "harris", "hashmap", "hmlist", "hmlist-norestart", "dgt", "abtree"}
 
 // Verdict is one Table 1 cell.
 type Verdict struct {
@@ -33,6 +33,11 @@ var table1 = map[string]map[string]Verdict{
 		"NBR": {true, "multiple read/write phases, every Φread restarts from the root (§5.2, Alg. 3); ≤3 reservations"},
 		"EBR": {true, ""},
 		"HP":  {true, "validate via link re-read (HM04-style)"},
+	},
+	"hashmap": {
+		"NBR": {true, "split-ordered list; every Φread restarts from the root (table pointer and dummies are roots); ≤3 reservations, one of them the cell array's segment handle"},
+		"EBR": {true, ""},
+		"HP":  {true, "validate via table re-read + link re-read (HM04-style); cells pinned through the array's segment handle"},
 	},
 	"hmlist": {
 		"NBR": {true, "E4 modification: every Φread restarts from the root"},

@@ -7,6 +7,7 @@ import (
 	"nbr/internal/ds/abtree"
 	"nbr/internal/ds/dgtbst"
 	"nbr/internal/ds/harrislist"
+	"nbr/internal/ds/hashmap"
 	"nbr/internal/ds/hmlist"
 	"nbr/internal/ds/lazylist"
 	"nbr/internal/mem"
@@ -39,6 +40,9 @@ func NewDSArena(name string, cfg mem.Config) (Instance, error) {
 	case "harris":
 		l := harrislist.NewWith(cfg)
 		inst = Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}
+	case "hashmap":
+		h := hashmap.NewWith(cfg)
+		inst = Instance{Set: h, Arena: h.Arena(), MemStats: h.MemStats}
 	case "hmlist":
 		l := hmlist.NewWith(cfg, hmlist.Restart)
 		inst = Instance{Set: l, Arena: l.Arena(), MemStats: l.MemStats}
@@ -67,6 +71,7 @@ func NewDSArena(name string, cfg mem.Config) (Instance, error) {
 var dsRequirements = map[string]ds.Requirements{
 	"lazylist":         {Slots: 2, Reservations: 2, Threshold: ds.DefaultThreshold},
 	"harris":           {Slots: 3, Reservations: 2, Threshold: ds.DefaultThreshold},
+	"hashmap":          {Slots: 4, Reservations: 3, Threshold: ds.DefaultThreshold},
 	"hmlist":           {Slots: 2, Reservations: 2, Threshold: ds.DefaultThreshold},
 	"hmlist-norestart": {Slots: 2, Reservations: 2, Threshold: ds.DefaultThreshold},
 	"dgt":              {Slots: 3, Reservations: 3, Threshold: ds.DefaultThreshold},

@@ -28,11 +28,12 @@ type Snapshot struct {
 	GOARCH     string    `json:"goarch"`
 	GOMAXPROCS int       `json:"gomaxprocs"`
 
-	Workloads []WorkloadPoint  `json:"workloads"`
-	Runtime   []RuntimePoint   `json:"runtime,omitempty"`
-	Widths    []WidthPoint     `json:"widths,omitempty"`
-	ScanCost  []ScanCostPoint  `json:"reservation_scan"`
-	FreeBurst []FreeBurstPoint `json:"free_burst"`
+	Workloads   []WorkloadPoint    `json:"workloads"`
+	Runtime     []RuntimePoint     `json:"runtime,omitempty"`
+	ResizeBurst []ResizeBurstPoint `json:"resize_burst,omitempty"`
+	Widths      []WidthPoint       `json:"widths,omitempty"`
+	ScanCost    []ScanCostPoint    `json:"reservation_scan"`
+	FreeBurst   []FreeBurstPoint   `json:"free_burst"`
 }
 
 // SnapshotSchema names the current snapshot layout. v2 added the retire
@@ -43,9 +44,12 @@ type Snapshot struct {
 // amortization columns, and the Domain-vs-Runtime width-comparison cells;
 // v6 adds the stall-injection runtime cell (wedged holders reaped by
 // revocation mid-run) and the recovery columns — reaped, revoked_releases,
-// orphans_adopted — on every runtime cell. Older files lack the newer
-// fields; consumers treat them as absent.
-const SnapshotSchema = "nbr-perf-snapshot/v6"
+// orphans_adopted — on every runtime cell; v7 adds the resize-burst cells
+// with the segment-retirement counter ratios (segments_retired,
+// stamps_per_record, scans_per_record), recorded for both the segment fast
+// path and the dissolve-per-node baseline on the same burst. Older files
+// lack the newer fields; consumers treat them as absent.
+const SnapshotSchema = "nbr-perf-snapshot/v7"
 
 // WorkloadPoint is one end-to-end cell.
 type WorkloadPoint struct {
@@ -118,6 +122,36 @@ type RuntimePoint struct {
 	Reaped          uint64 `json:"reaped"`
 	RevokedReleases uint64 `json:"revoked_releases"`
 	OrphansAdopted  uint64 `json:"orphans_adopted"`
+}
+
+// ResizeBurstPoint is one resize-burst cell (schema v7): an insert-only
+// storm on the resizable hash map whose retire stream is purely whole bucket
+// arrays, run in `segment` mode (one RetireSegment handle per array) or in
+// `per-node` mode (the array dissolved and every cell retired individually).
+// The ratio columns are pure counters — stamps_per_record is scheme-side
+// bookkeeping events per retired record (1.0 means no amortization, the
+// per-node floor; Segments/SegRecords is the segment-mode floor) and
+// scans_per_record is reclamation scans per retired record — so the A/B
+// comparison holds on any host. `nbrbench -assert-bound` requires the
+// segment cell's stamps+scans per record to undercut the per-node cell's by
+// at least 8×, the bound to have held live through the storm, and the drain
+// to reach Retired == Freed.
+type ResizeBurstPoint struct {
+	Scheme          string  `json:"scheme"`
+	Mode            string  `json:"mode"` // "segment" or "per-node"
+	Threads         int     `json:"threads"`
+	Keys            uint64  `json:"keys"`
+	Mops            float64 `json:"mops"`
+	Resizes         uint64  `json:"resizes"`
+	Retired         uint64  `json:"retired"`
+	SegmentsRetired uint64  `json:"segments_retired"`
+	SegRecords      uint64  `json:"seg_records"`
+	Scans           uint64  `json:"scans"`
+	StampsPerRecord float64 `json:"stamps_per_record"`
+	ScansPerRecord  float64 `json:"scans_per_record"`
+	Bound           int     `json:"bound"`
+	GarbagePeak     uint64  `json:"garbage_peak"`
+	Drained         bool    `json:"drained"`
 }
 
 // WidthPoint is one Domain-vs-Runtime width-comparison cell (schema v5): the
@@ -300,6 +334,71 @@ func WriteSnapshot(path string, duration time.Duration, cfg SchemeConfig, assert
 				fmt.Sprintf("runtime %s/%s: %d holders reaped in a cell with no stall injection",
 					cell, rc.scheme, r.Reaped))
 		}
+	}
+
+	// The resize-burst cells (schema v7): the segment-retirement A/B. The
+	// same insert-only storm runs under the flagship NBR+ integration
+	// (segment mode only — the per-node baseline skips per-record protection,
+	// which NBR cannot tolerate) and under IBR in both modes; the IBR pair is
+	// the asserted comparison, since only a grace-period scheme can run the
+	// dissolve baseline safely.
+	resizeCells := []struct {
+		scheme  string
+		perNode bool
+	}{
+		{"nbr+", false},
+		{"ibr", false},
+		{"ibr", true},
+	}
+	// The cells run at a fixed 512-record threshold regardless of the sweep
+	// config: the bag needs headroom for whole arrays, or RetireChunk
+	// degrades to single-record carves and the A/B measures nothing.
+	rcfg := cfg
+	rcfg.Threshold = 512
+	perRecord := map[bool]float64{} // mode → stamps+scans per retired record (ibr pair)
+	for _, rc := range resizeCells {
+		r, err := RunResizeBurst(ResizeBurstWorkload{
+			Scheme: rc.scheme, Threads: snapshotThreads, KeysPerThread: 1500,
+			PerNode: rc.perNode, Cfg: rcfg,
+		})
+		if err != nil {
+			return fmt.Errorf("snapshot resize-burst cell %s: %w", rc.scheme, err)
+		}
+		mode := "segment"
+		if rc.perNode {
+			mode = "per-node"
+		}
+		snap.ResizeBurst = append(snap.ResizeBurst, ResizeBurstPoint{
+			Scheme: rc.scheme, Mode: mode, Threads: snapshotThreads,
+			Keys: r.Keys, Mops: r.Mops, Resizes: r.Resizes,
+			Retired: r.Stats.Retired, SegmentsRetired: r.Stats.Segments,
+			SegRecords: r.Stats.SegRecords, Scans: r.Stats.Scans,
+			StampsPerRecord: r.Stats.StampsPerRecord(),
+			ScansPerRecord:  r.Stats.ScansPerRecord(),
+			Bound:           r.Bound, GarbagePeak: r.GarbagePeak,
+			Drained: r.Drained,
+		})
+		if rc.scheme == "ibr" {
+			perRecord[rc.perNode] = r.Stats.StampsPerRecord() + r.Stats.ScansPerRecord()
+		}
+		if r.BoundExceeded() {
+			violations = append(violations,
+				fmt.Sprintf("resize-burst %s/%s: garbage peak %d > declared bound %d",
+					rc.scheme, mode, r.GarbagePeak, r.Bound))
+		}
+		if !r.Drained {
+			violations = append(violations,
+				fmt.Sprintf("resize-burst %s/%s: drain left retired %d != freed %d",
+					rc.scheme, mode, r.Stats.Retired, r.Stats.Freed))
+		}
+	}
+	// The fast-path claim itself, as a counter ratio: segment retirement must
+	// cut the scheme-side stamps+scans per retired record by at least 8× on
+	// the same burst under the same scheme.
+	if seg, pn := perRecord[false], perRecord[true]; seg > 0 && pn/seg < 8 {
+		violations = append(violations,
+			fmt.Sprintf("resize-burst ibr: segment mode reduced stamps+scans per record only %.1fx (per-node %.4f, segment %.4f); want >= 8x",
+				pn/seg, pn, seg))
 	}
 
 	// The width-comparison cells (schema v5): for structures at both ends of

@@ -196,6 +196,43 @@ func CompareSnapshots(prev, next Snapshot, threshold float64) []TrendDelta {
 		})
 	}
 
+	// Resize-burst cells (schema v7): the ratio columns are pure counters, so
+	// like dispatch-per-burst they are flagged even across host shapes. A
+	// segment-mode stamps_per_record regressing toward 1.0 means retired
+	// arrays stopped riding their segment handles — the fast path quietly
+	// degrading to per-record retirement — and scans_per_record growing means
+	// the scan cadence lost its amortization with it.
+	prevRB := map[string]ResizeBurstPoint{}
+	for _, rb := range prev.ResizeBurst {
+		prevRB[fmt.Sprintf("resize %s/%s t=%d", rb.Scheme, rb.Mode, rb.Threads)] = rb
+	}
+	for _, rb := range next.ResizeBurst {
+		key := fmt.Sprintf("resize %s/%s t=%d", rb.Scheme, rb.Mode, rb.Threads)
+		p, ok := prevRB[key]
+		if !ok {
+			continue
+		}
+		add(key, "mops", p.Mops, rb.Mops, false, true)
+		for _, ratio := range []struct {
+			metric     string
+			prev, next float64
+		}{
+			{"stamps_rec", p.StampsPerRecord, rb.StampsPerRecord},
+			{"scans_rec", p.ScansPerRecord, rb.ScansPerRecord},
+		} {
+			pct := worsePct(ratio.prev, ratio.next, true)
+			out = append(out, TrendDelta{
+				Cell: key, Metric: ratio.metric,
+				Prev: ratio.prev, Next: ratio.next, Pct: pct,
+				// Only the segment mode's ratios are guarantees; the per-node
+				// baseline sits at the 1.0 floor by construction and is
+				// reported for the A/B context only.
+				Regression: rb.Mode == "segment" && ratio.prev > 0 && pct > threshold,
+				Untrusted:  untrusted,
+			})
+		}
+	}
+
 	// Width-comparison cells (schema v5): the entries gap is a pure width
 	// count — host-independent and exact — so a Domain-vs-Runtime gap that
 	// reopens (runtime scanning wider announcement rows than a Domain would

@@ -99,6 +99,10 @@ type Scheme struct {
 	forceMu   sync.Mutex
 	forceScan smr.ScanSet
 
+	// seg is the segment-retirement state: the arena's segment interface and
+	// the largest retired segment weight, which scales the declared bounds.
+	seg smr.SegState
+
 	gs []*guard
 }
 
@@ -118,6 +122,7 @@ func New(arena mem.Arena, threads int, cfg Config) *Scheme {
 		announceTS:   make([]smr.Pad64, threads),
 		forceScan:    smr.NewScanSet(threads * cfg.Slots),
 	}
+	s.seg.Init(arena)
 	s.InitFixed(threads)
 	s.group.SetActive(s.ActiveMask)
 	s.gs = make([]*guard, threads)
@@ -153,6 +158,8 @@ func (s *Scheme) Stats() smr.Stats {
 		g.batches.AddTo(&st.BatchHist)
 		st.Freed += g.freed.Load()
 		st.Scans += g.scans.Load()
+		st.Segments += g.segments.Load()
+		st.SegRecords += g.segRecords.Load()
 	}
 	gs := s.group.Stats()
 	st.Signals = gs.Sent
@@ -161,25 +168,40 @@ func (s *Scheme) Stats() smr.Stats {
 	return st
 }
 
+// segW is the per-survivor weight multiplier: every bag entry or orphan a
+// peer can pin is at worst one segment handle standing for MaxWeight records.
+// 1 until the first RetireSegment lands, so the pre-segment formulas are
+// recovered exactly; monotone afterwards, preserving the bound's contract.
+func (s *Scheme) segW() int {
+	if w := s.seg.MaxWeight(); w > 1 {
+		return w
+	}
+	return 1
+}
+
 // ThreadBound returns the worst-case number of unreclaimed records one
 // thread can hold: Lemma 10's HiWatermark + R·(N−1), with the batch-split
-// overshoot folded in. RetireBatch appends at most one bag-sized chunk
-// between watermark checks, so a splice of any length stretches the bag by
-// at most BagSize beyond the watermark — 2·BagSize + N·R total, instead of
-// the unbounded +len(batch) the unsplit seam allowed.
+// overshoot folded in. RetireBatch and RetireSegment append at most one
+// bag-weight's worth of records between watermark checks (the weighted chunk
+// cap in beforeRetire), so a splice or segment of any length stretches the
+// bag by at most BagSize beyond the watermark — 2·BagSize total for the
+// watermark terms. The survivor term scales by segW: each of the N·R records
+// a scan can find reserved may be a segment handle pinning MaxWeight member
+// records.
 func (s *Scheme) ThreadBound() int {
-	return 2*s.cfg.BagSize + len(s.gs)*s.cfg.Slots
+	return 2*s.cfg.BagSize + len(s.gs)*s.cfg.Slots*s.segW()
 }
 
 // GarbageBound implements smr.Scheme: the enforced system-wide bound is
 // every thread at its Lemma 10 worst case simultaneously, plus the orphan
 // allowance — under dynamic membership, up to N concurrently departing
 // threads can each strand one survivor set (records peers still reserve,
-// ≤ N·R each) on the orphan list before the next reclaimer adopts it. The
-// declaration is against MaxThreads and holds across membership churn.
+// ≤ N·R each, each worth up to segW records) on the orphan list before the
+// next reclaimer adopts it. The declaration is against MaxThreads and holds
+// across membership churn.
 func (s *Scheme) GarbageBound() int {
 	n := len(s.gs)
-	return n*s.ThreadBound() + n*n*s.cfg.Slots
+	return n*s.ThreadBound() + n*n*s.cfg.Slots*s.segW()
 }
 
 // ReclaimBurst implements smr.Scheme: a reclamation frees at most one full
@@ -238,6 +260,7 @@ func (s *Scheme) OrphanSurvivors(tid int) {
 	if len(g.limbo) > 0 {
 		s.Reg.AddOrphans(g.limbo)
 		g.limbo = g.limbo[:0]
+		g.limboW = 0
 	}
 }
 
@@ -305,7 +328,12 @@ type guard struct {
 	// once at construction so Reserve/BeginRead never multiply tid·R.
 	row []smr.Pad64
 
-	limbo     []mem.Ptr
+	limbo []mem.Ptr
+	// limboW is the bag's record weight: len(limbo) until a segment handle
+	// lands, after which each handle counts its member run. All watermark
+	// comparisons run against limboW so the enforced bound keeps counting
+	// every member record behind a single bag entry.
+	limboW    int
 	scan      smr.ScanSet // reclaim scratch, reused across scans
 	freeables []mem.Ptr   // reclaim scratch: the batch handed to FreeBatch
 
@@ -316,11 +344,13 @@ type guard struct {
 	scanTS    []uint64
 	sinceScan int
 
-	retired smr.Counter
-	batches smr.BatchHist
-	freed   smr.Counter
-	scans   smr.Counter
-	tsScans smr.Counter // NBR+ announceTS scans (cadence observability)
+	retired    smr.Counter
+	batches    smr.BatchHist
+	freed      smr.Counter
+	scans      smr.Counter
+	tsScans    smr.Counter // NBR+ announceTS scans (cadence observability)
+	segments   smr.Counter // segment handles bagged (RetireSegment pieces)
+	segRecords smr.Counter // member records those handles stood for
 }
 
 func (g *guard) Tid() int { return g.tid }
@@ -384,6 +414,7 @@ func (g *guard) OnStale(p mem.Ptr) {
 func (g *guard) Retire(p mem.Ptr) {
 	g.beforeRetire(1)
 	g.limbo = append(g.limbo, p.Unmarked())
+	g.limboW++
 	g.retired.Inc()
 	g.batches.Record(1)
 }
@@ -407,6 +438,7 @@ func (g *guard) RetireBatch(ps []mem.Ptr) {
 		for _, p := range ps[:take] {
 			g.limbo = append(g.limbo, p.Unmarked())
 		}
+		g.limboW += take
 		// Counted per chunk, not per handoff: a concurrent Stats sampler
 		// must never see a whole splice as garbage before the split has had
 		// a chance to reclaim between its chunks.
@@ -415,10 +447,51 @@ func (g *guard) RetireBatch(ps []mem.Ptr) {
 	}
 }
 
+// RetireSegment implements smr.Guard: the handle lands in the bag as a
+// single entry standing for its whole member run — one bag append and one
+// scan participation for K unlinked records — while the watermark
+// bookkeeping runs against the bag's record *weight*, so the enforced bound
+// keeps counting every member. An oversized segment is split at the
+// watermark by carving chunk-sized prefixes off the handle (CarveSegment),
+// the same contract RetireBatch honours per record; a handle that is not a
+// live segment degrades to Retire.
+func (g *guard) RetireSegment(p mem.Ptr) {
+	sa := g.s.seg.Arena()
+	if mem.SegWeight(sa, p) <= 1 {
+		g.Retire(p)
+		return
+	}
+	p = p.Unmarked()
+	g.batches.Record(sa.SegmentWeight(p))
+	for p != mem.Null {
+		w := sa.SegmentWeight(p)
+		take := g.beforeRetire(w)
+		q := p
+		if take < w {
+			q, p = sa.CarveSegment(g.tid, p, take)
+			if p == mem.Null { // carve covered the whole run after all
+				take = w
+			}
+		} else {
+			take, p = w, mem.Null
+		}
+		// Note before bagging: a concurrent GarbageBound reader must never
+		// see segment garbage under a pre-segment (or lighter) bound.
+		g.s.seg.Note(take)
+		g.limbo = append(g.limbo, q)
+		g.limboW += take
+		g.retired.Add(uint64(take))
+		g.segments.Inc()
+		g.segRecords.Add(uint64(take))
+	}
+}
+
 // beforeRetire runs the watermark bookkeeping for the next chunk of records
-// about to land in the bag (avail are ready) and returns how many of them
-// may be appended before the next check. Chunks are capped so that every
-// trigger the per-record loop would hit lands exactly on a chunk boundary:
+// about to land in the bag (avail record-weight is ready) and returns how
+// much weight may be appended before the next check. All comparisons run on
+// limboW, the bag's record weight, so a segment handle counts its whole
+// member run. Chunks are capped so that every trigger the per-record loop
+// would hit lands exactly on a chunk boundary:
 // the HiWatermark (reclamation), and under NBR+ also the LoWatermark (the
 // bookmark must be taken at lo, not skipped by a chunk that jumps straight
 // to hi — otherwise batch-heavy traffic never enters the passive RGP path
@@ -428,17 +501,17 @@ func (g *guard) RetireBatch(ps []mem.Ptr) {
 func (g *guard) beforeRetire(avail int) int {
 	if g.s.cfg.Plus {
 		g.checkPlus()
-	} else if len(g.limbo) >= g.s.cfg.BagSize {
+	} else if g.limboW >= g.s.cfg.BagSize {
 		// A reclamation is due anyway: adopt up to one bag's worth of
 		// orphaned records so departed threads' garbage rides this scan.
 		g.adopt(g.s.cfg.BagSize)
 		g.s.group.SignalAll(g.tid)
 		g.reclaimFreeable(len(g.limbo))
 	}
-	take := g.s.cfg.BagSize - len(g.limbo)
+	take := g.s.cfg.BagSize - g.limboW
 	if g.s.cfg.Plus {
 		if !g.atLoWm {
-			if room := g.s.loWm - len(g.limbo); room > 0 && room < take {
+			if room := g.s.loWm - g.limboW; room > 0 && room < take {
 				take = room
 			}
 		} else if room := g.s.cfg.ScanFreq - g.sinceScan; room > 0 && room < take {
@@ -467,7 +540,7 @@ func (g *guard) beforeRetire(avail int) int {
 func (g *guard) checkPlus() {
 	hi, lo := g.s.cfg.BagSize, g.s.loWm
 	switch {
-	case len(g.limbo) >= hi:
+	case g.limboW >= hi:
 		// RGP begin (odd) … signalAll … RGP end (even). Orphans adopted
 		// first so departed threads' garbage rides the same scan.
 		g.adopt(hi)
@@ -476,7 +549,7 @@ func (g *guard) checkPlus() {
 		g.s.announceTS[g.tid].Add(1)
 		g.reclaimFreeable(len(g.limbo))
 		g.cleanUp()
-	case len(g.limbo) >= lo:
+	case g.limboW >= lo:
 		if !g.atLoWm {
 			g.atLoWm = true
 			g.bookmark = len(g.limbo)
@@ -546,9 +619,10 @@ func (g *guard) reclaimFreeable(upto int) {
 		defer r.EndScan()
 	}
 	g.scan.CollectRows(g.s.reservations, g.s.cfg.Slots, g.s.ActiveMask)
-	var freed int
-	g.limbo, g.freeables, freed = g.scan.SweepBag(g.s.arena, g.tid, g.limbo, upto, g.freeables)
-	g.freed.Add(uint64(freed))
+	var freedW int
+	g.limbo, g.freeables, freedW, g.limboW = g.scan.SweepBagSeg(
+		g.s.arena, g.s.seg.Active(), g.tid, g.limbo, upto, g.freeables)
+	g.freed.Add(uint64(freedW))
 }
 
 // adopt pulls up to max (all when max <= 0) orphaned records from the
@@ -556,5 +630,7 @@ func (g *guard) reclaimFreeable(upto int) {
 // departed threads' garbage too. Adopted records were counted as retired by
 // their original thread; only freeing is accounted here.
 func (g *guard) adopt(max int) {
+	n := len(g.limbo)
 	g.limbo = g.s.Adopt(g.limbo, max)
+	g.limboW += g.s.seg.WeighAll(g.limbo[n:])
 }

@@ -1,0 +1,128 @@
+package hashmap
+
+import (
+	"testing"
+
+	"nbr/internal/mem"
+	"nbr/internal/smr/hp"
+)
+
+// TestMidResizeReader is the deterministic segment-safety regression: a
+// reader pins a bucket array with ONE announcement on its segment handle,
+// the array is retired out from under it by a resize, a delete storm then
+// forces scan after scan — and every member cell must stay valid until the
+// reader leaves, at which point the drain must reclaim the array in full.
+// Hazard pointers make the schedule deterministic: hazards pin exactly what
+// is announced, so the one handle hazard is the only thing keeping the K
+// cells alive.
+//
+//nbr:allow readphase — the stalled reader IS the fixture: the test parks inside an open read phase on purpose, drives the writer and the assertions around it from the same goroutine, and only then closes the phase; nothing here is a library traversal the protocol could restart
+func TestMidResizeReader(t *testing.T) {
+	m := NewWith(mem.Config{MaxThreads: 2})
+	sch := hp.New(m.pool, 2, hp.Config{Slots: 4, Threshold: 16})
+	w, r := sch.Guard(0), sch.Guard(1)
+
+	old := m.tab.Load()
+
+	// The reader opens a read phase and pins the current array through its
+	// segment handle — the map's own traversal protocol (slot 3), with the
+	// protect-then-validate step that makes the hazard sound: the table
+	// pointer still naming tab proves the handle was not yet retired when
+	// the hazard was published.
+	r.BeginOp()
+	r.BeginRead()
+	r.Protect(3, old.seg)
+	if m.tab.Load() != old {
+		t.Fatal("table swapped before any insert; fixture broken")
+	}
+
+	// The writer inserts until a resize retires old.seg under the reader.
+	k := uint64(0)
+	for m.Resizes() == 0 {
+		k++
+		if k > 1000 {
+			t.Fatal("1000 inserts without a resize")
+		}
+		if !m.Insert(w, k) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+	}
+	if m.tab.Load() == old {
+		t.Fatal("resize recorded but the old table is still installed")
+	}
+	st := sch.Stats()
+	if st.Segments == 0 || st.SegRecords < uint64(old.run.Len()) {
+		t.Fatalf("resize did not retire the old array as a segment: Segments=%d SegRecords=%d",
+			st.Segments, st.SegRecords)
+	}
+
+	// Count-neutral churn: every pair retires nodes and, at threshold 16,
+	// forces scan upon scan that all see the reader's handle hazard.
+	for i := 0; i < 200; i++ {
+		key := 10_000 + uint64(i)
+		if !m.Insert(w, key) || !m.Delete(w, key) {
+			t.Fatalf("churn pair %d failed", i)
+		}
+	}
+
+	// One hazard, K survivors: the retired array's handle and every member
+	// cell must still be valid — freeing any of them while the reader can
+	// still dereference the old table would be the use-after-free the
+	// segment protocol exists to prevent.
+	if !m.pool.Valid(old.seg) {
+		t.Fatal("segment handle freed while a reader hazard names it")
+	}
+	for i := 0; i < old.run.Len(); i++ {
+		if !m.pool.Valid(old.run.At(i)) {
+			t.Fatalf("cell %d freed under the reader (handle hazard must pin all members)", i)
+		}
+	}
+
+	// The reader now traverses the stale array exactly as a mid-resize
+	// traversal would: every cell must read cleanly, and every initialized
+	// cell must still point at a live dummy (dummies are never retired).
+	for b := uint64(0); b <= old.mask; b++ {
+		dp, ok := m.loadCell(r, 0, old, b)
+		if !ok {
+			t.Fatalf("cell %d of the pinned array failed validation", b)
+		}
+		if dp == mem.Null {
+			continue
+		}
+		n, live := m.pool.Get(dp)
+		if !live {
+			t.Fatalf("cell %d points at a freed dummy", b)
+		}
+		if sk := n.skey; sk&1 != 0 {
+			t.Fatalf("cell %d points at a data node (skey %#x)", b, sk)
+		}
+	}
+	if dp, _ := m.loadCell(r, 0, old, 0); dp != m.head {
+		t.Fatal("old cell 0 must still be the list head")
+	}
+
+	// The reader leaves; its hazards clear, and the drain must now fan the
+	// whole array out: Retired == Freed exactly, no stranded members, no
+	// early frees to compensate for.
+	r.EndRead()
+	r.EndOp()
+	for round := 0; round < 200; round++ {
+		if st := sch.Stats(); st.Retired == st.Freed {
+			break
+		}
+		sch.Drain(0)
+		sch.Drain(1)
+	}
+	st = sch.Stats()
+	if st.Retired != st.Freed {
+		t.Fatalf("drain after reader exit stalled: retired %d, freed %d", st.Retired, st.Freed)
+	}
+	for i := 0; i < old.run.Len(); i++ {
+		if m.pool.Valid(old.run.At(i)) {
+			t.Fatalf("cell %d of the retired array survived the drain", i)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

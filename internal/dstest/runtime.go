@@ -13,9 +13,11 @@ import (
 
 // RuntimeChurn is the multi-structure lease-churn stress for the shared
 // reclamation runtime (the public nbr.Runtime): one registry, one arena
-// hub, one scheme instance, three structures. More worker goroutines than
+// hub, one scheme instance, four structures (the resizable hash map among
+// them, so segment retirement runs through the shared hub). More worker
+// goroutines than
 // slots acquire a single lease each through AcquireCtx (blocking admission,
-// not spin-retry), churn all three sets under it — so each per-thread bag
+// not spin-retry), churn all the sets under it — so each per-thread bag
 // holds a mix of every structure's retired records — and release, recycling
 // slots mid-traffic. Meanwhile a sampler holds the aggregated live
 // GarbageBound contract (declared once per runtime, covering all attached
@@ -33,7 +35,7 @@ func RuntimeChurn(t *testing.T, scheme string) {
 	if testing.Short() {
 		sessions = 8
 	}
-	structures := []string{"lazylist", "harris", "dgt"}
+	structures := []string{"lazylist", "harris", "dgt", "hashmap"}
 
 	rt, err := nbr.NewRuntime(nbr.RuntimeOptions{
 		Scheme:     scheme,

@@ -229,6 +229,25 @@ func (h *Hub) flushTag(tid int, ht *hubThread, t int) {
 // Hdr implements Arena by routing to the owning pool.
 func (h *Hub) Hdr(p Ptr) *Hdr { return h.route(p).Hdr(p) }
 
+// SegmentWeight implements SegmentArena by routing to the owning pool. A
+// pool without segment support weighs every handle 0 (not a segment), which
+// is exact: only a SegmentArena can have created one.
+func (h *Hub) SegmentWeight(p Ptr) int {
+	if sa, ok := h.route(p).(SegmentArena); ok {
+		return sa.SegmentWeight(p)
+	}
+	return 0
+}
+
+// CarveSegment implements SegmentArena by routing to the owning pool.
+func (h *Hub) CarveSegment(tid int, p Ptr, take int) (Ptr, Ptr) {
+	sa, ok := h.route(p).(SegmentArena)
+	if !ok {
+		panic(fmt.Sprintf("mem: CarveSegment of %v routed to arena without segment support", p))
+	}
+	return sa.CarveSegment(tid, p, take)
+}
+
 // Valid implements Arena by routing to the owning pool. A staged record
 // reads as valid until its flush flips the slot generation: it is retired
 // and unreachable either way, so the delayed flip postpones use-after-free

@@ -141,6 +141,13 @@ type Pool[T any] struct {
 
 	global  globalFree
 	threads []tcache
+
+	// Segment directory (see segment.go): handle slot index → member run.
+	// nsegs gates the free path so pools without segments pay one atomic
+	// load and nothing else.
+	segMu sync.RWMutex
+	segs  map[uint32]Run
+	nsegs atomic.Int32
 }
 
 type slot[T any] struct {
@@ -334,8 +341,14 @@ func (p *Pool[T]) release(q Ptr) uint32 {
 }
 
 // Free implements Arena. It detects double frees and frees of corrupt
-// handles by CASing the slot generation.
+// handles by CASing the slot generation. A segment handle's members are
+// fanned out first (segment.go); the handle slot then frees as usual.
 func (p *Pool[T]) Free(tid int, q Ptr) {
+	if p.nsegs.Load() != 0 {
+		if r, ok := p.takeSeg(q); ok {
+			p.freeRun(tid, r)
+		}
+	}
 	tc := &p.threads[tid]
 	tc.free = append(tc.free, p.release(q))
 	tc.frees.Add(1)
@@ -351,6 +364,9 @@ func (p *Pool[T]) Free(tid int, q Ptr) {
 func (p *Pool[T]) FreeBatch(tid int, qs []Ptr) {
 	if len(qs) == 0 {
 		return
+	}
+	if p.nsegs.Load() != 0 {
+		p.freeSegments(tid, qs)
 	}
 	tc := &p.threads[tid]
 	for _, q := range qs {

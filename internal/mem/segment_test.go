@@ -1,0 +1,212 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestAllocBatchStatsExact is the AllocBatch property test: for any batch
+// size, carving once must leave the pool in a state statistically identical
+// to n individual Allocs — same alloc/free counters, same liveness — and the
+// run's members must be live, contiguous, valid handles.
+func TestAllocBatchStatsExact(t *testing.T) {
+	prop := func(sz uint8) bool {
+		n := int(sz)%128 + 1
+		batch := newTestPool(1)
+		loop := newTestPool(1)
+
+		run := batch.AllocBatch(0, n)
+		for i := 0; i < n; i++ {
+			loop.Alloc(0)
+		}
+
+		if run.Len() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			p := run.At(i)
+			if !batch.Valid(p) {
+				return false
+			}
+			// Contiguity: member handles are index arithmetic off First.
+			if p != run.First()+Ptr(i) {
+				return false
+			}
+			if r := batch.Raw(p); r.key != 0 || r.next != 0 {
+				return false // batch slots are guaranteed zero
+			}
+		}
+		bs, ls := batch.Stats(), loop.Stats()
+		return bs.Allocs == ls.Allocs && bs.Frees == ls.Frees && bs.Live == ls.Live
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 64}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocBatchInvalidSizePanics(t *testing.T) {
+	p := newTestPool(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AllocBatch(0) must panic")
+		}
+	}()
+	p.AllocBatch(0, 0)
+}
+
+// TestSegmentFreeFansOut checks the whole lifecycle: wrap a run, weigh it,
+// free the handle, and observe every member slot released with exact
+// statistics (n members + 1 handle).
+func TestSegmentFreeFansOut(t *testing.T) {
+	p := newTestPool(1)
+	const n = 10
+	run := p.AllocBatch(0, n)
+	seg := p.NewSegment(0, run)
+
+	if w := p.SegmentWeight(seg); w != n {
+		t.Fatalf("SegmentWeight = %d, want %d", w, n)
+	}
+	if w := p.SegmentWeight(run.At(0)); w != 0 {
+		t.Fatalf("member slot reported as segment (weight %d)", w)
+	}
+	if w := SegWeight(p, seg.WithMark()); w != n {
+		t.Fatalf("SegWeight must ignore the mark bit, got %d", w)
+	}
+
+	p.Free(0, seg)
+	for i := 0; i < n; i++ {
+		if p.Valid(run.At(i)) {
+			t.Fatalf("member %d still live after the handle was freed", i)
+		}
+	}
+	if p.Valid(seg) {
+		t.Fatal("handle slot still live after Free")
+	}
+	st := p.Stats()
+	if st.Frees != n+1 || st.Live != int64(st.Allocs)-int64(st.Frees) {
+		t.Fatalf("stats after fan-out: %+v", st)
+	}
+	if w := p.SegmentWeight(seg); w != 0 {
+		t.Fatalf("freed segment still in directory (weight %d)", w)
+	}
+}
+
+// TestFreeBatchFansOutSegments mixes a segment handle with ordinary slots in
+// one FreeBatch, the shape a scheme's sweep produces.
+func TestFreeBatchFansOutSegments(t *testing.T) {
+	p := newTestPool(1)
+	const n = 6
+	run := p.AllocBatch(0, n)
+	seg := p.NewSegment(0, run)
+	a, _ := p.Alloc(0)
+	b, _ := p.Alloc(0)
+
+	p.FreeBatch(0, []Ptr{a, seg, b})
+	for i := 0; i < n; i++ {
+		if p.Valid(run.At(i)) {
+			t.Fatalf("member %d survived FreeBatch fan-out", i)
+		}
+	}
+	for _, q := range []Ptr{a, seg, b} {
+		if p.Valid(q) {
+			t.Fatalf("%v survived FreeBatch", q)
+		}
+	}
+	if st := p.Stats(); st.Frees != n+3 {
+		t.Fatalf("Frees = %d, want %d", st.Frees, n+3)
+	}
+}
+
+// TestCarveSegment splits watermark-sized prefixes off a segment and checks
+// both pieces stay live, correctly sized, and independently freeable.
+func TestCarveSegment(t *testing.T) {
+	p := newTestPool(1)
+	const n = 16
+	run := p.AllocBatch(0, n)
+	seg := p.NewSegment(0, run)
+
+	head, rest := p.CarveSegment(0, seg, 5)
+	if rest != seg {
+		t.Fatalf("rest must keep the original handle identity, got %v want %v", rest, seg)
+	}
+	if w := p.SegmentWeight(head); w != 5 {
+		t.Fatalf("head weight = %d, want 5", w)
+	}
+	if w := p.SegmentWeight(rest); w != n-5 {
+		t.Fatalf("rest weight = %d, want %d", w, n-5)
+	}
+
+	// take >= weight returns the segment unsplit and allocates nothing.
+	allocs := p.Stats().Allocs
+	same, none := p.CarveSegment(0, rest, n-5)
+	if same != rest || none != Null {
+		t.Fatalf("full-width carve = (%v, %v), want (%v, Null)", same, none, rest)
+	}
+	if p.Stats().Allocs != allocs {
+		t.Fatal("full-width carve must not allocate")
+	}
+
+	p.Free(0, head)
+	for i := 0; i < 5; i++ {
+		if p.Valid(run.At(i)) {
+			t.Fatalf("carved member %d survived its piece's free", i)
+		}
+	}
+	for i := 5; i < n; i++ {
+		if !p.Valid(run.At(i)) {
+			t.Fatalf("member %d of the remainder freed early", i)
+		}
+	}
+	p.Free(0, rest)
+	for i := 5; i < n; i++ {
+		if p.Valid(run.At(i)) {
+			t.Fatalf("remainder member %d survived the final free", i)
+		}
+	}
+}
+
+// TestDissolveSegment checks the per-record baseline seam: after dissolving,
+// the handle is an ordinary slot, the members are individually owned, and
+// the directory entry is gone.
+func TestDissolveSegment(t *testing.T) {
+	p := newTestPool(1)
+	const n = 8
+	run := p.AllocBatch(0, n)
+	seg := p.NewSegment(0, run)
+
+	got, ok := p.DissolveSegment(seg)
+	if !ok || got.Len() != n || got.First() != run.First() {
+		t.Fatalf("DissolveSegment = (%v, %v)", got, ok)
+	}
+	if w := p.SegmentWeight(seg); w != 0 {
+		t.Fatalf("dissolved handle still weighs %d", w)
+	}
+	if _, ok := p.DissolveSegment(seg); ok {
+		t.Fatal("second dissolve must fail")
+	}
+
+	// Freeing the handle now releases only the handle slot.
+	p.Free(0, seg)
+	for i := 0; i < n; i++ {
+		if !p.Valid(run.At(i)) {
+			t.Fatalf("member %d freed by a dissolved handle", i)
+		}
+		p.Free(0, run.At(i))
+	}
+	if st := p.Stats(); st.Live != 0 {
+		t.Fatalf("Live = %d after freeing everything", st.Live)
+	}
+}
+
+// TestNewSegmentWrongTagPanics pins the tag ownership check.
+func TestNewSegmentWrongTagPanics(t *testing.T) {
+	p := NewPool[rec](Config{MaxThreads: 1, Tag: 1})
+	q := NewPool[rec](Config{MaxThreads: 1, Tag: 2})
+	run := p.AllocBatch(0, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSegment of a foreign run must panic")
+		}
+	}()
+	q.NewSegment(0, run)
+}

@@ -28,11 +28,17 @@ type Scheme struct {
 	announce []smr.Pad64 // epoch<<1 | active bit
 	gs       []*guard
 	smr.Membership
+
+	// seg is the segment-retirement state: the arena's segment interface and
+	// the largest retired segment weight (weighted accounting only — DEBRA's
+	// garbage stays unbounded either way).
+	seg smr.SegState
 }
 
 // New creates a DEBRA scheme for the given arena and thread count.
 func New(arena mem.Arena, threads int) *Scheme {
 	s := &Scheme{arena: arena, announce: make([]smr.Pad64, threads)}
+	s.seg.Init(arena)
 	s.InitFixed(threads)
 	s.epoch.Store(2)
 	for i := range s.announce {
@@ -59,6 +65,8 @@ func (s *Scheme) Stats() smr.Stats {
 		g.batches.AddTo(&st.BatchHist)
 		st.Freed += g.freed.Load()
 		st.Advances += g.advances.Load()
+		st.Segments += g.segments.Load()
+		st.SegRecords += g.segRecords.Load()
 	}
 	return st
 }
@@ -174,10 +182,12 @@ type guard struct {
 	bags   [3][]mem.Ptr
 	scanAt int // next peer to check in the amortized scan
 
-	retired  smr.Counter
-	batches  smr.BatchHist
-	freed    smr.Counter
-	advances smr.Counter
+	retired    smr.Counter
+	batches    smr.BatchHist
+	freed      smr.Counter
+	advances   smr.Counter
+	segments   smr.Counter // segment handles filed (RetireSegment calls)
+	segRecords smr.Counter // member records those handles stood for
 }
 
 func (g *guard) Tid() int { return g.tid }
@@ -262,6 +272,31 @@ func (g *guard) RetireBatch(ps []mem.Ptr) {
 	g.batches.Record(len(ps))
 }
 
+// RetireSegment implements smr.Guard: the handle is filed in the current
+// epoch's bag as a single entry standing for its whole member run — one
+// epoch check covers all K members instead of K bag entries. DEBRA's
+// garbage is unbounded regardless (like RetireBatch, no splitting is
+// needed); the rotation burst frees the members through the arena's
+// segment fan-out. A handle that is not a live segment degrades to Retire.
+func (g *guard) RetireSegment(p mem.Ptr) {
+	w := mem.SegWeight(g.s.seg.Arena(), p)
+	if w <= 1 {
+		g.Retire(p)
+		return
+	}
+	if e := g.s.epoch.Load(); e != g.localE {
+		g.rotate(e)
+	}
+	g.adopt()
+	// Note before filing so the rotation burst weighs the handle's run.
+	g.s.seg.Note(w)
+	g.bags[g.localE%3] = append(g.bags[g.localE%3], p.Unmarked())
+	g.retired.Add(uint64(w))
+	g.batches.Record(w)
+	g.segments.Inc()
+	g.segRecords.Add(uint64(w))
+}
+
 // rotate adopts epoch e. Records in the bag for epoch e-2 (and older, if the
 // epoch jumped by ≥2) are past two grace periods and freed in one burst.
 func (g *guard) rotate(e uint64) {
@@ -278,8 +313,11 @@ func (g *guard) rotate(e uint64) {
 
 func (g *guard) freeBag(i int) {
 	for _, p := range g.bags[i] {
+		// Weigh before Free: freeing a segment handle removes it from the
+		// arena's directory.
+		w := g.s.seg.Weigh(p)
 		g.s.arena.Free(g.tid, p)
-		g.freed.Inc()
+		g.freed.Add(uint64(w))
 	}
 	g.bags[i] = g.bags[i][:0]
 }

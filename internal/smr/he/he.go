@@ -55,6 +55,10 @@ type Scheme struct {
 	gs         []*guard
 	smr.Membership
 
+	// seg is the segment-retirement state: the arena's segment interface and
+	// the largest retired segment weight, which scales the declared bound.
+	seg smr.SegState
+
 	// forceEras is the ForceRound collection scratch, serialized by forceMu.
 	forceMu   sync.Mutex
 	forceEras []uint64
@@ -63,6 +67,7 @@ type Scheme struct {
 // New creates a hazard-eras scheme for the given arena and thread count.
 func New(arena mem.Arena, threads int, cfg Config) *Scheme {
 	s := &Scheme{arena: arena, cfg: cfg.withDefaults(threads)}
+	s.seg.Init(arena)
 	s.InitFixed(threads)
 	s.era.Store(1)
 	s.slots = make([]smr.Pad64, threads*s.cfg.Slots)
@@ -88,6 +93,8 @@ func (s *Scheme) Stats() smr.Stats {
 		st.Freed += g.freed.Load()
 		st.Scans += g.scans.Load()
 		st.Advances += g.advances.Load()
+		st.Segments += g.segments.Load()
+		st.SegRecords += g.segRecords.Load()
 	}
 	return st
 }
@@ -112,7 +119,18 @@ func (s *Scheme) Stats() smr.Stats {
 // smr.Scheme requires.
 func (s *Scheme) GarbageBound() int {
 	n := len(s.gs)
-	bound := n * (2*s.cfg.Threshold + 2)
+	// The threshold term is measured in record weight (a segment handle
+	// counts its member run), so it needs no scaling; the transient
+	// adopted-orphan batch is counted in entries, each worth up to segW
+	// records. segW is 1 until the first RetireSegment lands and monotone
+	// afterwards, so the formula collapses to the pre-segment bound exactly
+	// and keeps the monotonicity contract (pinned and orphan terms are
+	// weighted watermarks).
+	segW := s.seg.MaxWeight()
+	if segW < 1 {
+		segW = 1
+	}
+	bound := n * (s.cfg.Threshold + (s.cfg.Threshold+2)*segW)
 	for _, g := range s.gs {
 		bound += int(g.pinnedPeak.Load())
 	}
@@ -153,8 +171,17 @@ func (s *Scheme) OrphanSurvivors(tid int) {
 	g := s.gs[tid]
 	if len(g.bag) > 0 {
 		s.Reg.AddOrphans(g.bag)
-		s.orphanPeak.Raise(uint64(s.Reg.OrphanCount()))
+		// Each orphan entry can be a segment handle worth up to segW member
+		// records; the peak is raised at every add, so between adds the list
+		// only shrinks (adoption) and the watermark stays a sound weight
+		// ceiling.
+		w := s.Reg.OrphanCount()
+		if segW := s.seg.MaxWeight(); segW > 1 {
+			w *= segW
+		}
+		s.orphanPeak.Raise(uint64(w))
 		g.bag = g.bag[:0]
+		g.bagW = 0
 	}
 }
 
@@ -198,15 +225,22 @@ type guard struct {
 	events int
 	eras   []uint64 // sweep scratch
 
-	// pinnedPeak is the largest survivor set any sweep of this guard kept:
-	// the measured pinned-set term of GarbageBound.
+	// bagW is the bag's record weight: len(bag) until a segment handle
+	// lands, after which each handle counts its member run. The sweep
+	// threshold compares against bagW so the bound counts every member.
+	bagW int
+
+	// pinnedPeak is the largest survivor weight any sweep of this guard
+	// kept: the measured pinned-set term of GarbageBound.
 	pinnedPeak smr.Watermark
 
-	retired  smr.Counter
-	batches  smr.BatchHist
-	freed    smr.Counter
-	scans    smr.Counter
-	advances smr.Counter
+	retired    smr.Counter
+	batches    smr.BatchHist
+	freed      smr.Counter
+	scans      smr.Counter
+	advances   smr.Counter
+	segments   smr.Counter // segment handles bagged (RetireSegment pieces)
+	segRecords smr.Counter // member records those handles stood for
 }
 
 func (g *guard) Tid() int { return g.tid }
@@ -258,10 +292,11 @@ func (g *guard) Retire(p mem.Ptr) {
 	p = p.Unmarked()
 	g.s.arena.Hdr(p).SetRetire(g.s.era.Load())
 	g.bag = append(g.bag, p)
+	g.bagW++
 	g.retired.Inc()
 	g.batches.Record(1)
 	g.tick()
-	if len(g.bag) >= g.s.cfg.Threshold {
+	if g.bagW >= g.s.cfg.Threshold {
 		g.sweep()
 	}
 }
@@ -279,17 +314,68 @@ func (g *guard) RetireBatch(ps []mem.Ptr) {
 	}
 	g.batches.Record(len(ps))
 	for len(ps) > 0 {
-		take := smr.RetireChunk(g.s.cfg.Threshold, len(g.bag), len(ps))
+		take := smr.RetireChunk(g.s.cfg.Threshold, g.bagW, len(ps))
 		e := g.s.era.Load()
 		for _, p := range ps[:take] {
 			p = p.Unmarked()
 			g.s.arena.Hdr(p).SetRetire(e)
 			g.bag = append(g.bag, p)
 		}
+		g.bagW += take
 		g.retired.Add(uint64(take))
 		g.tickN(take)
 		ps = ps[take:]
-		if len(g.bag) >= g.s.cfg.Threshold {
+		if g.bagW >= g.s.cfg.Threshold {
+			g.sweep()
+		}
+	}
+}
+
+// RetireSegment implements smr.Guard: the handle lands in the bag as a
+// single entry standing for its whole member run, and — the era schemes'
+// whole win — exactly one birth/retire stamp covers all K members, instead
+// of the per-record header writes RetireBatch pays. The lifetime interval of
+// the handle is the run's: readers protecting any member hold an era inside
+// it, so the sweep's intersection check pins the whole segment or frees the
+// whole segment. The sweep threshold runs against the bag's record weight;
+// an oversized segment is split at the threshold via CarveSegment, each
+// carved piece inheriting the original birth era (the piece stands for
+// members allocated then). A handle that is not a live segment degrades to
+// Retire.
+func (g *guard) RetireSegment(p mem.Ptr) {
+	sa := g.s.seg.Arena()
+	if mem.SegWeight(sa, p) <= 1 {
+		g.Retire(p)
+		return
+	}
+	p = p.Unmarked()
+	g.batches.Record(sa.SegmentWeight(p))
+	birth := g.s.arena.Hdr(p).Birth()
+	for p != mem.Null {
+		w := sa.SegmentWeight(p)
+		take := smr.SegChunk(g.s.cfg.Threshold, w)
+		q := p
+		if take < w {
+			q, p = sa.CarveSegment(g.tid, p, take)
+			if p == mem.Null { // carve covered the whole run after all
+				take = w
+			}
+		} else {
+			take, p = w, mem.Null
+		}
+		hdr := g.s.arena.Hdr(q)
+		hdr.SetBirth(birth)
+		hdr.SetRetire(g.s.era.Load())
+		// Note before bagging: a concurrent GarbageBound reader must never
+		// see segment garbage under a pre-segment (or lighter) bound.
+		g.s.seg.Note(take)
+		g.bag = append(g.bag, q)
+		g.bagW += take
+		g.retired.Add(uint64(take))
+		g.segments.Inc()
+		g.segRecords.Add(uint64(take))
+		g.tickN(take)
+		if g.bagW >= g.s.cfg.Threshold {
 			g.sweep()
 		}
 	}
@@ -328,7 +414,7 @@ func (g *guard) sweep() {
 			}
 		}
 	})
-	kept := g.bag[:0]
+	kept, keptW := g.bag[:0], 0
 	for _, p := range g.bag {
 		hdr := g.s.arena.Hdr(p)
 		birth, retire := hdr.Birth(), hdr.Retire()
@@ -339,23 +425,30 @@ func (g *guard) sweep() {
 				break
 			}
 		}
+		// Weigh before a potential Free: freeing a segment handle removes it
+		// from the arena's directory.
+		w := g.s.seg.Weigh(p)
 		if conflict {
 			kept = append(kept, p)
+			keptW += w
 		} else {
 			g.s.arena.Free(g.tid, p)
-			g.freed.Inc()
+			g.freed.Add(uint64(w))
 		}
 	}
 	g.bag = kept
+	g.bagW = keptW
 	// Recorded after the frees so a concurrent sampler can never read the
 	// lowered garbage before the raised bound (GarbageBound is monotone, so
 	// the reverse interleaving is harmless).
-	g.pinnedPeak.Raise(uint64(len(kept)))
+	g.pinnedPeak.Raise(uint64(keptW))
 }
 
 // adopt pulls up to max (all when max <= 0) orphaned records into the bag.
 // Their birth/retire stamps were written when they were first retired, so
 // the usual lifetime check applies unchanged.
 func (g *guard) adopt(max int) {
+	n := len(g.bag)
 	g.bag = g.s.Adopt(g.bag, max)
+	g.bagW += g.s.seg.WeighAll(g.bag[n:])
 }

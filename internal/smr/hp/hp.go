@@ -50,11 +50,16 @@ type Scheme struct {
 	// forceScan is the ForceRound collection scratch, serialized by forceMu.
 	forceMu   sync.Mutex
 	forceScan smr.ScanSet
+
+	// seg is the segment-retirement state: the arena's segment interface and
+	// the largest retired segment weight, which scales the declared bound.
+	seg smr.SegState
 }
 
 // New creates a hazard-pointer scheme for the given arena and thread count.
 func New(arena mem.Arena, threads int, cfg Config) *Scheme {
 	s := &Scheme{arena: arena, cfg: cfg.withDefaults(threads)}
+	s.seg.Init(arena)
 	s.InitFixed(threads)
 	s.slots = make([]smr.Pad64, threads*s.cfg.Slots)
 	s.forceScan = smr.NewScanSet(threads * s.cfg.Slots)
@@ -83,19 +88,28 @@ func (s *Scheme) Stats() smr.Stats {
 		g.batches.AddTo(&st.BatchHist)
 		st.Freed += g.freed.Load()
 		st.Scans += g.scans.Load()
+		st.Segments += g.segments.Load()
+		st.SegRecords += g.segRecords.Load()
 	}
 	return st
 }
 
 // GarbageBound implements smr.Scheme: each thread's retire buffer scans at
-// the threshold and a scan leaves at most N·K protected survivors, so the
-// system-wide garbage never exceeds N·(Threshold + N·K) — the Θ(N²K) bound
-// property P2 charges hazard pointers for — plus the orphan allowance: up to
-// N concurrently departing threads can each strand one protected survivor
-// set (≤ N·K) on the orphan list before the next scan adopts it.
+// the threshold (measured in record weight — a segment handle counts its
+// whole member run) and a scan leaves at most N·K protected survivors, so
+// the system-wide garbage never exceeds N·(Threshold + N·K·segW) — the
+// Θ(N²K) bound property P2 charges hazard pointers for — plus the orphan
+// allowance: up to N concurrently departing threads can each strand one
+// protected survivor set (≤ N·K entries, each worth up to segW records) on
+// the orphan list before the next scan adopts it. segW is 1 until the first
+// RetireSegment lands and monotone afterwards, preserving the contract.
 func (s *Scheme) GarbageBound() int {
 	n := len(s.gs)
-	return n*(s.cfg.Threshold+n*s.cfg.Slots) + n*n*s.cfg.Slots
+	segW := s.seg.MaxWeight()
+	if segW < 1 {
+		segW = 1
+	}
+	return n*(s.cfg.Threshold+n*s.cfg.Slots*segW) + n*n*s.cfg.Slots*segW
 }
 
 // ReclaimBurst implements smr.Scheme: a scan frees at most one full retire
@@ -134,6 +148,7 @@ func (s *Scheme) OrphanSurvivors(tid int) {
 	if len(g.bag) > 0 {
 		s.Reg.AddOrphans(g.bag)
 		g.bag = g.bag[:0]
+		g.bagW = 0
 	}
 }
 
@@ -165,15 +180,21 @@ func (s *Scheme) slot(tid, i int) *smr.Pad64 { return &s.slots[tid*s.cfg.Slots+i
 type guard struct {
 	s         *Scheme
 	tid       int
-	hiSlot    int
-	bag       []mem.Ptr
+	hiSlot int
+	bag    []mem.Ptr
+	// bagW is the buffer's record weight: len(bag) until a segment handle
+	// lands, after which each handle counts its member run. The scan
+	// threshold compares against bagW so the bound counts every member.
+	bagW      int
 	scan      smr.ScanSet // scan scratch, reused
 	freeables []mem.Ptr   // scan scratch: the batch handed to FreeBatch
 
-	retired smr.Counter
-	batches smr.BatchHist
-	freed   smr.Counter
-	scans   smr.Counter
+	retired    smr.Counter
+	batches    smr.BatchHist
+	freed      smr.Counter
+	scans      smr.Counter
+	segments   smr.Counter // segment handles bagged (RetireSegment pieces)
+	segRecords smr.Counter // member records those handles stood for
 }
 
 func (g *guard) Tid() int { return g.tid }
@@ -216,9 +237,10 @@ func (g *guard) OnStale(p mem.Ptr) {
 
 func (g *guard) Retire(p mem.Ptr) {
 	g.bag = append(g.bag, p.Unmarked())
+	g.bagW++
 	g.retired.Inc()
 	g.batches.Record(1)
-	if len(g.bag) >= g.s.cfg.Threshold {
+	if g.bagW >= g.s.cfg.Threshold {
 		g.doScan()
 	}
 }
@@ -236,13 +258,55 @@ func (g *guard) RetireBatch(ps []mem.Ptr) {
 	}
 	g.batches.Record(len(ps))
 	for len(ps) > 0 {
-		take := smr.RetireChunk(g.s.cfg.Threshold, len(g.bag), len(ps))
+		take := smr.RetireChunk(g.s.cfg.Threshold, g.bagW, len(ps))
 		for _, p := range ps[:take] {
 			g.bag = append(g.bag, p.Unmarked())
 		}
+		g.bagW += take
 		g.retired.Add(uint64(take))
 		ps = ps[take:]
-		if len(g.bag) >= g.s.cfg.Threshold {
+		if g.bagW >= g.s.cfg.Threshold {
+			g.doScan()
+		}
+	}
+}
+
+// RetireSegment implements smr.Guard: the handle lands in the buffer as a
+// single entry standing for its whole member run — one bag append and one
+// hazard-scan participation for K unlinked records — while the threshold
+// check runs against the buffer's record weight. An oversized segment is
+// split at the threshold by carving chunk-sized prefixes off the handle
+// (CarveSegment), the same contract RetireBatch honours per record; a handle
+// that is not a live segment degrades to Retire.
+func (g *guard) RetireSegment(p mem.Ptr) {
+	sa := g.s.seg.Arena()
+	if mem.SegWeight(sa, p) <= 1 {
+		g.Retire(p)
+		return
+	}
+	p = p.Unmarked()
+	g.batches.Record(sa.SegmentWeight(p))
+	for p != mem.Null {
+		w := sa.SegmentWeight(p)
+		take := smr.SegChunk(g.s.cfg.Threshold, w)
+		q := p
+		if take < w {
+			q, p = sa.CarveSegment(g.tid, p, take)
+			if p == mem.Null { // carve covered the whole run after all
+				take = w
+			}
+		} else {
+			take, p = w, mem.Null
+		}
+		// Note before bagging: a concurrent GarbageBound reader must never
+		// see segment garbage under a pre-segment (or lighter) bound.
+		g.s.seg.Note(take)
+		g.bag = append(g.bag, q)
+		g.bagW += take
+		g.retired.Add(uint64(take))
+		g.segments.Inc()
+		g.segRecords.Add(uint64(take))
+		if g.bagW >= g.s.cfg.Threshold {
 			g.doScan()
 		}
 	}
@@ -261,12 +325,15 @@ func (g *guard) doScan() {
 		defer r.EndScan()
 	}
 	g.scan.CollectRows(g.s.slots, g.s.cfg.Slots, g.s.ActiveMask)
-	var freed int
-	g.bag, g.freeables, freed = g.scan.SweepBag(g.s.arena, g.tid, g.bag, len(g.bag), g.freeables)
-	g.freed.Add(uint64(freed))
+	var freedW int
+	g.bag, g.freeables, freedW, g.bagW = g.scan.SweepBagSeg(
+		g.s.arena, g.s.seg.Active(), g.tid, g.bag, len(g.bag), g.freeables)
+	g.freed.Add(uint64(freedW))
 }
 
 // adopt pulls up to max (all when max <= 0) orphaned records into the bag.
 func (g *guard) adopt(max int) {
+	n := len(g.bag)
 	g.bag = g.s.Adopt(g.bag, max)
+	g.bagW += g.s.seg.WeighAll(g.bag[n:])
 }

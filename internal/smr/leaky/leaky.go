@@ -12,14 +12,19 @@ import (
 // Scheme is the leaky (no reclamation) scheme.
 type Scheme struct {
 	gs []*guard
+
+	// seg resolves segment handles so RetireSegment can account the member
+	// records a leaked segment stands for; the records still leak.
+	seg smr.SegState
 }
 
 // New creates a leaky scheme for the given number of threads. The arena is
-// accepted for interface uniformity and never used.
-func New(_ mem.Arena, threads int) *Scheme {
+// only consulted to weigh retired segment handles; nothing is ever freed.
+func New(arena mem.Arena, threads int) *Scheme {
 	s := &Scheme{gs: make([]*guard, threads)}
+	s.seg.Init(arena)
 	for i := range s.gs {
-		s.gs[i] = &guard{tid: i}
+		s.gs[i] = &guard{s: s, tid: i}
 	}
 	return s
 }
@@ -36,6 +41,8 @@ func (s *Scheme) Stats() smr.Stats {
 	for _, g := range s.gs {
 		st.Retired += g.retired.Load()
 		g.batches.AddTo(&st.BatchHist)
+		st.Segments += g.segments.Load()
+		st.SegRecords += g.segRecords.Load()
 	}
 	return st
 }
@@ -57,9 +64,12 @@ func (s *Scheme) AttachRegistry(*smr.Registry) {}
 func (s *Scheme) Drain(int) {}
 
 type guard struct {
-	tid     int
-	retired smr.Counter
-	batches smr.BatchHist
+	s          *Scheme
+	tid        int
+	retired    smr.Counter
+	batches    smr.BatchHist
+	segments   smr.Counter // segment handles dropped (RetireSegment calls)
+	segRecords smr.Counter // member records those handles stood for
 }
 
 func (g *guard) Tid() int              { return g.tid }
@@ -79,6 +89,21 @@ func (g *guard) RetireBatch(ps []mem.Ptr) {
 	g.retired.Add(uint64(len(ps)))
 	g.batches.Record(len(ps))
 }
+// RetireSegment implements smr.Guard: count the member records the handle
+// stands for, then drop it on the floor like every other retire.
+func (g *guard) RetireSegment(p mem.Ptr) {
+	w := mem.SegWeight(g.s.seg.Arena(), p)
+	if w <= 1 {
+		g.Retire(p)
+		return
+	}
+	g.s.seg.Note(w)
+	g.retired.Add(uint64(w))
+	g.batches.Record(w)
+	g.segments.Inc()
+	g.segRecords.Add(uint64(w))
+}
+
 func (g *guard) OnStale(p mem.Ptr) {
 	panic("leaky: use-after-free detected (impossible: leaky never frees): " + p.String())
 }

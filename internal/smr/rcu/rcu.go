@@ -36,11 +36,17 @@ type Scheme struct {
 	announce []smr.Pad64
 	gs       []*guard
 	smr.Membership
+
+	// seg is the segment-retirement state: the arena's segment interface and
+	// the largest retired segment weight (weighted accounting only — the
+	// scheme's garbage stays unbounded either way).
+	seg smr.SegState
 }
 
 // New creates an RCU scheme for the given arena and thread count.
 func New(arena mem.Arena, threads int, cfg Config) *Scheme {
 	s := &Scheme{arena: arena, cfg: cfg.withDefaults(), announce: make([]smr.Pad64, threads)}
+	s.seg.Init(arena)
 	s.InitFixed(threads)
 	s.epoch.Store(2)
 	for i := range s.announce {
@@ -68,6 +74,8 @@ func (s *Scheme) Stats() smr.Stats {
 		st.Freed += g.freed.Load()
 		st.Scans += g.scans.Load()
 		st.Advances += g.advances.Load()
+		st.Segments += g.segments.Load()
+		st.SegRecords += g.segRecords.Load()
 	}
 	return st
 }
@@ -115,6 +123,7 @@ func (s *Scheme) OrphanSurvivors(tid int) {
 		}
 		s.Reg.AddOrphans(orphans)
 		g.bag = g.bag[:0]
+		g.bagW = 0
 	}
 }
 
@@ -155,15 +164,22 @@ type entry struct {
 type guard struct {
 	s          *Scheme
 	tid        int
-	bag        []entry
+	bag []entry
+	// bagW is the bag's record weight: len(bag) until a segment handle
+	// lands, after which each handle counts its member run. The sweep
+	// threshold compares against bagW so reclamation pressure tracks real
+	// garbage.
+	bagW       int
 	scratch    []mem.Ptr // orphan-adoption buffer, reused
 	sinceSweep int
 
-	retired  smr.Counter
-	batches  smr.BatchHist
-	freed    smr.Counter
-	scans    smr.Counter
-	advances smr.Counter
+	retired    smr.Counter
+	batches    smr.BatchHist
+	freed      smr.Counter
+	scans      smr.Counter
+	advances   smr.Counter
+	segments   smr.Counter // segment handles bagged (RetireSegment calls)
+	segRecords smr.Counter // member records those handles stood for
 }
 
 func (g *guard) Tid() int { return g.tid }
@@ -193,12 +209,13 @@ func (g *guard) OnStale(p mem.Ptr) {
 
 func (g *guard) Retire(p mem.Ptr) {
 	g.bag = append(g.bag, entry{p.Unmarked(), g.s.epoch.Load()})
+	g.bagW++
 	g.retired.Inc()
 	g.batches.Record(1)
 	g.sinceSweep++
 	// Amortized like QSBR: a reader-blocked epoch must not turn every
 	// retire into a full scan of the bag and announcement array.
-	if len(g.bag) >= g.s.cfg.Threshold && g.sinceSweep >= g.s.cfg.Threshold/4 {
+	if g.bagW >= g.s.cfg.Threshold && g.sinceSweep >= g.s.cfg.Threshold/4 {
 		g.sinceSweep = 0
 		g.adopt()
 		g.tryAdvance()
@@ -218,10 +235,41 @@ func (g *guard) RetireBatch(ps []mem.Ptr) {
 	for _, p := range ps {
 		g.bag = append(g.bag, entry{p.Unmarked(), tag})
 	}
+	g.bagW += len(ps)
 	g.retired.Add(uint64(len(ps)))
 	g.batches.Record(len(ps))
 	g.sinceSweep += len(ps)
-	if len(g.bag) >= g.s.cfg.Threshold && g.sinceSweep >= g.s.cfg.Threshold/4 {
+	if g.bagW >= g.s.cfg.Threshold && g.sinceSweep >= g.s.cfg.Threshold/4 {
+		g.sinceSweep = 0
+		g.adopt()
+		g.tryAdvance()
+		g.sweep()
+	}
+}
+
+// RetireSegment implements smr.Guard: the handle lands in the bag as a
+// single entry standing for its whole member run — one epoch tag covers all
+// K members instead of K per-record bag entries. The scheme's garbage is
+// unbounded regardless (like RetireBatch, no splitting is needed); the
+// weighted bag population keeps the sweep cadence tracking real garbage. A
+// handle that is not a live segment degrades to Retire.
+func (g *guard) RetireSegment(p mem.Ptr) {
+	sa := g.s.seg.Arena()
+	w := mem.SegWeight(sa, p)
+	if w <= 1 {
+		g.Retire(p)
+		return
+	}
+	// Note before bagging so weighted sweeps see the handle's run.
+	g.s.seg.Note(w)
+	g.bag = append(g.bag, entry{p.Unmarked(), g.s.epoch.Load()})
+	g.bagW += w
+	g.retired.Add(uint64(w))
+	g.batches.Record(w)
+	g.segments.Inc()
+	g.segRecords.Add(uint64(w))
+	g.sinceSweep += w
+	if g.bagW >= g.s.cfg.Threshold && g.sinceSweep >= g.s.cfg.Threshold/4 {
 		g.sinceSweep = 0
 		g.adopt()
 		g.tryAdvance()
@@ -265,16 +313,21 @@ func (g *guard) sweep() {
 			min = a
 		}
 	})
-	kept := g.bag[:0]
+	kept, keptW := g.bag[:0], 0
 	for _, e := range g.bag {
+		// Weigh before a potential Free: freeing a segment handle removes
+		// it from the arena's directory.
+		w := g.s.seg.Weigh(e.p)
 		if e.tag+2 <= min {
 			g.s.arena.Free(g.tid, e.p)
-			g.freed.Inc()
+			g.freed.Add(uint64(w))
 		} else {
 			kept = append(kept, e)
+			keptW += w
 		}
 	}
 	g.bag = kept
+	g.bagW = keptW
 }
 
 // adopt pulls every orphaned record into the bag, tagged with the current
@@ -292,5 +345,6 @@ func (g *guard) adopt() {
 	for _, p := range g.scratch {
 		g.bag = append(g.bag, entry{p, tag})
 	}
+	g.bagW += g.s.seg.WeighAll(g.scratch)
 	g.scratch = g.scratch[:0]
 }

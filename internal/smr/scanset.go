@@ -96,3 +96,38 @@ func (s *ScanSet) SweepBag(arena mem.Arena, tid int, bag []mem.Ptr, upto int, sc
 	}
 	return kept, batch[:0], len(batch)
 }
+
+// SweepBagSeg is SweepBag with segment-weighted accounting: each bag entry
+// counts its mem.SegWeight records (a segment handle stands for its whole
+// member run), and the sweep reports the freed and surviving weights so
+// weighted watermark checks stay exact. A nil segs means no segment can be
+// in the bag; every entry then weighs 1 and no directory probe is paid —
+// callers gate on their scheme-level "has segments" flag and pass nil on the
+// common path.
+func (s *ScanSet) SweepBagSeg(arena mem.Arena, segs mem.SegmentArena, tid int, bag []mem.Ptr, upto int, scratch []mem.Ptr) (keptBag, scr []mem.Ptr, freedW, keptW int) {
+	if segs == nil {
+		kept, scr, freed := s.SweepBag(arena, tid, bag, upto, scratch)
+		return kept, scr, freed, len(kept)
+	}
+	kept := bag[:0]
+	batch := scratch[:0]
+	for _, p := range bag[:upto] {
+		if s.Contains(uint64(p)) {
+			kept = append(kept, p)
+			keptW += mem.SegWeight(segs, p)
+		} else {
+			batch = append(batch, p)
+			freedW += mem.SegWeight(segs, p)
+		}
+	}
+	for _, p := range bag[upto:] {
+		kept = append(kept, p)
+		keptW += mem.SegWeight(segs, p)
+	}
+	// The weights must be read before FreeBatch: freeing a segment handle
+	// removes it from the arena's directory.
+	if len(batch) > 0 {
+		arena.FreeBatch(tid, batch)
+	}
+	return kept, batch[:0], freedW, keptW
+}

@@ -79,6 +79,16 @@ type Guard interface {
 	// amortized shared interactions regardless of its size. The slice is not
 	// retained.
 	RetireBatch(ps []mem.Ptr)
+	// RetireSegment hands one segment handle (mem.SegmentArena) standing for
+	// a whole contiguous run of K records to the scheme. The scheme stamps,
+	// bags and scans the handle once — its garbage accounting counts all K
+	// member records, and an oversized segment is split at the scheme's
+	// watermark (mem.SegmentArena.CarveSegment), the same contract
+	// RetireBatch honours — but the per-record fan-out happens inside the
+	// arena at free time, so the scheme-side cost of a bulk retirement is
+	// O(1) however large the run. Calling it with a non-segment handle
+	// degrades to Retire.
+	RetireSegment(p mem.Ptr)
 	// OnAlloc is invoked right after allocating a record (era schemes stamp
 	// the birth era).
 	OnAlloc(p mem.Ptr)
@@ -146,6 +156,8 @@ type Stats struct {
 	Ignored     uint64 // signals delivered to non-restartable threads
 	Scans       uint64 // reservation/hazard/era scans performed
 	Advances    uint64 // epoch or era advances
+	Segments    uint64 // segment handles retired (RetireSegment pieces)
+	SegRecords  uint64 // member records those segments stood for
 	// BatchHist is the retire handoff-size distribution: bucket i counts
 	// handoffs of size s with bitlen(s) == i, i.e. s in [2^(i-1), 2^i).
 	// A Retire call is one handoff of size 1; a RetireBatch call is one
@@ -221,6 +233,34 @@ func bucketUpper(i int) int64 {
 	return int64(1)<<i - 1
 }
 
+// Stamps returns the number of scheme-side per-retirement bookkeeping events
+// (era stamps, bag appends, watermark checks): one per individually retired
+// record plus one per segment handle, however many records the segment stood
+// for. Stamps/Retired is the amortization the segment seam buys — 1.0 for a
+// pure per-record retire stream, collapsing toward Segments/SegRecords when
+// bulk retirements ride segments.
+func (s Stats) Stamps() uint64 {
+	return s.Retired - s.SegRecords + s.Segments
+}
+
+// StampsPerRecord returns Stamps normalized by retired records (0 when
+// nothing was retired). Host-independent: a pure counter ratio.
+func (s Stats) StampsPerRecord() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return float64(s.Stamps()) / float64(s.Retired)
+}
+
+// ScansPerRecord returns reclamation scans per retired record (0 when
+// nothing was retired).
+func (s Stats) ScansPerRecord() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return float64(s.Scans) / float64(s.Retired)
+}
+
 // Garbage returns the number of retired-but-unfreed records. A snapshot
 // taken while threads are mid-retire can transiently read Freed ahead of
 // Retired (per-guard counters are summed without a barrier, and a record's
@@ -259,6 +299,28 @@ func RetireChunk(threshold, bagLen, avail int) int {
 		take = avail
 	}
 	return take
+}
+
+// SegChunk sizes the next carve of an oversized segment for the same
+// threshold-triggered schemes: whole threshold-weight pieces, independent of
+// the current bag fill. RetireChunk's fill-to-threshold policy is wrong here
+// — when a scan leaves the bag pinned at the threshold (era/hazard survivors,
+// which unlike NBR's reclamation can exceed any fixed residue), it degrades
+// to single-record carves, which is per-record retirement paying an extra
+// directory split per record. Whole pieces keep the carve count at
+// ceil(weight/threshold) — the amortization the segment seam exists for —
+// and cap every piece's weight at the threshold, so the segment-weight term
+// of GarbageBound never grows past it; the post-append sweep still fires at
+// bag weight ≥ threshold, and the one in-flight piece per thread is covered
+// by the bound's per-entry segment-weight slack.
+func SegChunk(threshold, avail int) int {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if threshold > avail {
+		return avail
+	}
+	return threshold
 }
 
 // Execute runs one data-structure operation body under g, restarting it when
