@@ -181,15 +181,17 @@ func (s *Scheme) segW() int {
 
 // ThreadBound returns the worst-case number of unreclaimed records one
 // thread can hold: Lemma 10's HiWatermark + R·(N−1), with the batch-split
-// overshoot folded in. RetireBatch and RetireSegment append at most one
-// bag-weight's worth of records between watermark checks (the weighted chunk
-// cap in beforeRetire), so a splice or segment of any length stretches the
-// bag by at most BagSize beyond the watermark — 2·BagSize total for the
-// watermark terms. The survivor term scales by segW: each of the N·R records
-// a scan can find reserved may be a segment handle pinning MaxWeight member
-// records.
+// overshoot folded in. RetireBatch appends at most one bag-weight's worth of
+// records between watermark checks (the chunk cap in beforeRetire), so a
+// splice of any length stretches the bag by at most BagSize beyond the
+// watermark — 2·BagSize total for the watermark terms. The segW terms cover
+// segment handles, each pinning up to MaxWeight member records: the N·R
+// survivors a scan can find reserved, plus the one in-flight RetireSegment
+// append — identity-based reservations forbid carving a reserved handle
+// (see RetireSegment), so a whole segment can land in one append after the
+// watermark check.
 func (s *Scheme) ThreadBound() int {
-	return 2*s.cfg.BagSize + len(s.gs)*s.cfg.Slots*s.segW()
+	return 2*s.cfg.BagSize + (len(s.gs)*s.cfg.Slots+1)*s.segW()
 }
 
 // GarbageBound implements smr.Scheme: the enforced system-wide bound is
@@ -451,39 +453,31 @@ func (g *guard) RetireBatch(ps []mem.Ptr) {
 // single entry standing for its whole member run — one bag append and one
 // scan participation for K unlinked records — while the watermark
 // bookkeeping runs against the bag's record *weight*, so the enforced bound
-// keeps counting every member. An oversized segment is split at the
-// watermark by carving chunk-sized prefixes off the handle (CarveSegment),
-// the same contract RetireBatch honours per record; a handle that is not a
-// live segment degrades to Retire.
+// keeps counting every member. The handle is never carved: NBR reservations
+// name the retired handle itself (a write-phase peer holds the segment
+// handle from its last endΦread Reserve), and reclaimFreeable matches bag
+// entries against reservations by handle identity — a carved prefix's fresh
+// head handle would appear in no reservation row and its member cells would
+// be freed under a peer the original handle's reservation still covers. An
+// oversized segment therefore lands whole, a one-append overshoot the
+// bound's segment-weight term absorbs (see ThreadBound); a handle that is
+// not a live segment degrades to Retire.
 func (g *guard) RetireSegment(p mem.Ptr) {
-	sa := g.s.seg.Arena()
-	if mem.SegWeight(sa, p) <= 1 {
+	w := mem.SegWeight(g.s.seg.Arena(), p)
+	if w <= 1 {
 		g.Retire(p)
 		return
 	}
-	p = p.Unmarked()
-	g.batches.Record(sa.SegmentWeight(p))
-	for p != mem.Null {
-		w := sa.SegmentWeight(p)
-		take := g.beforeRetire(w)
-		q := p
-		if take < w {
-			q, p = sa.CarveSegment(g.tid, p, take)
-			if p == mem.Null { // carve covered the whole run after all
-				take = w
-			}
-		} else {
-			take, p = w, mem.Null
-		}
-		// Note before bagging: a concurrent GarbageBound reader must never
-		// see segment garbage under a pre-segment (or lighter) bound.
-		g.s.seg.Note(take)
-		g.limbo = append(g.limbo, q)
-		g.limboW += take
-		g.retired.Add(uint64(take))
-		g.segments.Inc()
-		g.segRecords.Add(uint64(take))
-	}
+	g.beforeRetire(w)
+	// Note before bagging: a concurrent GarbageBound reader must never
+	// see segment garbage under a pre-segment (or lighter) bound.
+	g.s.seg.Note(w)
+	g.limbo = append(g.limbo, p.Unmarked())
+	g.limboW += w
+	g.retired.Add(uint64(w))
+	g.batches.Record(w)
+	g.segments.Inc()
+	g.segRecords.Add(uint64(w))
 }
 
 // beforeRetire runs the watermark bookkeeping for the next chunk of records
@@ -519,8 +513,12 @@ func (g *guard) beforeRetire(avail int) int {
 		}
 	}
 	if take < 1 {
-		// Unreachable when N·R < BagSize (reclamation leaves at most N·R
-		// survivors); degrade to per-record checks rather than stalling.
+		// Reached when weighted survivors pin the bag at or past the
+		// watermark: a reclamation leaves at most N·R bag entries, but each
+		// may be a segment handle worth up to MaxWeight records, so limboW
+		// can exceed BagSize even though N·R < BagSize. Degrade to
+		// per-record checks rather than stalling; the overshoot stays within
+		// ThreadBound's survivor terms.
 		take = 1
 	}
 	if take > avail {

@@ -3,6 +3,7 @@ package hashmap
 import (
 	"testing"
 
+	"nbr/internal/core"
 	"nbr/internal/mem"
 	"nbr/internal/smr/hp"
 )
@@ -124,5 +125,197 @@ func TestMidResizeReader(t *testing.T) {
 	}
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestOversizedSegmentReaderHP is the carve-safety regression for
+// identity-based hazards: the retired array's weight EXCEEDS the scan
+// threshold, the configuration where hp used to split the handle with
+// CarveSegment. A carved prefix rides a fresh head handle that no reader
+// ever announced, so its member cells were freed under the reader's single
+// handle hazard — use-after-free. The fix bags the handle whole, so every
+// cell must survive the scan storm until the reader leaves, and the
+// handle must land as exactly one bag entry (Segments +1, no pieces).
+//
+//nbr:allow readphase — the stalled reader IS the fixture: the test parks inside an open read phase on purpose and drives the writer around it from the same goroutine
+func TestOversizedSegmentReaderHP(t *testing.T) {
+	m := NewWith(mem.Config{MaxThreads: 2})
+	sch := hp.New(m.pool, 2, hp.Config{Slots: 4, Threshold: 16})
+	w, r := sch.Guard(0), sch.Guard(1)
+
+	// Grow the table past the threshold: after two resizes the installed
+	// array has 32 cells > Threshold 16, so retiring it is the oversized
+	// case the old code carved.
+	k := uint64(0)
+	for m.Resizes() < 2 {
+		k++
+		if k > 10_000 {
+			t.Fatal("10k inserts without two resizes")
+		}
+		m.Insert(w, k)
+	}
+	old := m.tab.Load()
+	if old.run.Len() <= 16 {
+		t.Fatalf("fixture: pinned array weighs %d, need > Threshold 16", old.run.Len())
+	}
+
+	r.BeginOp()
+	r.BeginRead()
+	r.Protect(3, old.seg)
+	if m.tab.Load() != old {
+		t.Fatal("table swapped between load and hazard; fixture broken")
+	}
+
+	seg0 := sch.Stats()
+	for m.Resizes() < 3 {
+		k++
+		if k > 100_000 {
+			t.Fatal("100k inserts without the third resize")
+		}
+		m.Insert(w, k)
+	}
+	st := sch.Stats()
+	if got := st.Segments - seg0.Segments; got != 1 {
+		t.Fatalf("oversized array must land as ONE uncarved handle, got %d pieces", got)
+	}
+	if got := st.SegRecords - seg0.SegRecords; got != uint64(old.run.Len()) {
+		t.Fatalf("segment records: got %d, want %d", got, old.run.Len())
+	}
+
+	// Scan storm: the bag is pinned over threshold by the 32-weight
+	// survivor, so every churn pair forces scans that all see the reader's
+	// handle hazard and must skip the whole run.
+	for i := 0; i < 200; i++ {
+		key := uint64(1)<<40 + uint64(i) // well away from the fixture keys
+		if !m.Insert(w, key) || !m.Delete(w, key) {
+			t.Fatalf("churn pair %d failed", i)
+		}
+	}
+	if !m.pool.Valid(old.seg) {
+		t.Fatal("segment handle freed while a reader hazard names it")
+	}
+	for i := 0; i < old.run.Len(); i++ {
+		if !m.pool.Valid(old.run.At(i)) {
+			t.Fatalf("cell %d freed under the reader (carving an announced handle?)", i)
+		}
+	}
+
+	r.EndRead()
+	r.EndOp()
+	for round := 0; round < 200; round++ {
+		if st := sch.Stats(); st.Retired == st.Freed {
+			break
+		}
+		sch.Drain(0)
+		sch.Drain(1)
+	}
+	st = sch.Stats()
+	if st.Retired != st.Freed {
+		t.Fatalf("drain after reader exit stalled: retired %d, freed %d", st.Retired, st.Freed)
+	}
+	for i := 0; i < old.run.Len(); i++ {
+		if m.pool.Valid(old.run.At(i)) {
+			t.Fatalf("cell %d of the retired array survived the drain", i)
+		}
+	}
+}
+
+// TestOversizedSegmentReaderNBR is the same carve-safety regression for
+// reservation identity: a write-phase peer holds the array's segment handle
+// reserved from its last endΦread (the map's real protocol), the array —
+// heavier than the whole limbo bag — is retired under it, and reclamation
+// after reclamation must skip every member cell because the reservation
+// names the original handle. The old carve path freed the carved prefix's
+// cells out from under exactly this reservation.
+func TestOversizedSegmentReaderNBR(t *testing.T) {
+	m := NewWith(mem.Config{MaxThreads: 2})
+	sch := core.New(m.pool, 2, core.Config{BagSize: 16, Slots: 4})
+	w, r := sch.Guard(0), sch.Guard(1)
+
+	k := uint64(0)
+	for m.Resizes() < 2 {
+		k++
+		if k > 10_000 {
+			t.Fatal("10k inserts without two resizes")
+		}
+		m.Insert(w, k)
+	}
+	old := m.tab.Load()
+	if old.run.Len() <= 16 {
+		t.Fatalf("fixture: pinned array weighs %d, need > BagSize 16", old.run.Len())
+	}
+
+	// The reader pins the array the way the map's write phases do: reserve
+	// the handle at endΦread and keep the reservation open (no BeginRead
+	// clears the row until the reader moves on). Having closed its read
+	// phase, the reader is not restartable, so the writer's neutralization
+	// signals are ignored and the schedule is deterministic.
+	r.BeginOp()
+	r.BeginRead()
+	r.Protect(3, old.seg)
+	if m.tab.Load() != old {
+		t.Fatal("table swapped between load and reserve; fixture broken")
+	}
+	r.Reserve(2, old.seg)
+	r.EndRead()
+
+	seg0 := sch.Stats()
+	for m.Resizes() < 3 {
+		k++
+		if k > 100_000 {
+			t.Fatal("100k inserts without the third resize")
+		}
+		m.Insert(w, k)
+	}
+	st := sch.Stats()
+	if got := st.Segments - seg0.Segments; got != 1 {
+		t.Fatalf("oversized array must land as ONE uncarved handle, got %d pieces", got)
+	}
+	if got := st.SegRecords - seg0.SegRecords; got != uint64(old.run.Len()) {
+		t.Fatalf("segment records: got %d, want %d", got, old.run.Len())
+	}
+
+	// Reclamation storm: the 32-weight survivor pins the bag over the
+	// HiWatermark, so every retire runs a full signal-and-scan pass that
+	// must skip the reserved handle and all its members.
+	for i := 0; i < 200; i++ {
+		key := uint64(1)<<40 + uint64(i)
+		if !m.Insert(w, key) || !m.Delete(w, key) {
+			t.Fatalf("churn pair %d failed", i)
+		}
+	}
+	if !m.pool.Valid(old.seg) {
+		t.Fatal("segment handle freed while a peer reservation names it")
+	}
+	for i := 0; i < old.run.Len(); i++ {
+		if !m.pool.Valid(old.run.At(i)) {
+			t.Fatalf("cell %d freed under the reservation (carving a reserved handle?)", i)
+		}
+	}
+
+	// Both threads move on: the next read phase wipes each reservation row
+	// (unlike hp hazards, NBR reservations persist past EndOp — the writer's
+	// last endΦread still pins its final churn pair), and the drain must
+	// then reclaim the array in full.
+	r.BeginRead()
+	r.EndRead()
+	r.EndOp()
+	w.BeginRead()
+	w.EndRead()
+	for round := 0; round < 200; round++ {
+		if st := sch.Stats(); st.Retired == st.Freed {
+			break
+		}
+		sch.Drain(0)
+		sch.Drain(1)
+	}
+	st = sch.Stats()
+	if st.Retired != st.Freed {
+		t.Fatalf("drain after reader exit stalled: retired %d, freed %d", st.Retired, st.Freed)
+	}
+	for i := 0; i < old.run.Len(); i++ {
+		if m.pool.Valid(old.run.At(i)) {
+			t.Fatalf("cell %d of the retired array survived the drain", i)
+		}
 	}
 }

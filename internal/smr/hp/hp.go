@@ -97,19 +97,23 @@ func (s *Scheme) Stats() smr.Stats {
 // GarbageBound implements smr.Scheme: each thread's retire buffer scans at
 // the threshold (measured in record weight — a segment handle counts its
 // whole member run) and a scan leaves at most N·K protected survivors, so
-// the system-wide garbage never exceeds N·(Threshold + N·K·segW) — the
-// Θ(N²K) bound property P2 charges hazard pointers for — plus the orphan
-// allowance: up to N concurrently departing threads can each strand one
-// protected survivor set (≤ N·K entries, each worth up to segW records) on
-// the orphan list before the next scan adopts it. segW is 1 until the first
-// RetireSegment lands and monotone afterwards, preserving the contract.
+// the system-wide garbage never exceeds N·(Threshold + (N·K+1)·segW) — the
+// Θ(N²K) bound property P2 charges hazard pointers for. The +1 is the one
+// in-flight RetireSegment append per thread: identity-based hazards forbid
+// carving an announced handle (see RetireSegment), so a whole segment of up
+// to segW records can land in one append before the post-append scan fires.
+// Added on top is the orphan allowance: up to N concurrently departing
+// threads can each strand one protected survivor set (≤ N·K entries, each
+// worth up to segW records) on the orphan list before the next scan adopts
+// it. segW is 1 until the first RetireSegment lands and monotone afterwards,
+// preserving the contract.
 func (s *Scheme) GarbageBound() int {
 	n := len(s.gs)
 	segW := s.seg.MaxWeight()
 	if segW < 1 {
 		segW = 1
 	}
-	return n*(s.cfg.Threshold+n*s.cfg.Slots*segW) + n*n*s.cfg.Slots*segW
+	return n*(s.cfg.Threshold+(n*s.cfg.Slots+1)*segW) + n*n*s.cfg.Slots*segW
 }
 
 // ReclaimBurst implements smr.Scheme: a scan frees at most one full retire
@@ -274,41 +278,32 @@ func (g *guard) RetireBatch(ps []mem.Ptr) {
 // RetireSegment implements smr.Guard: the handle lands in the buffer as a
 // single entry standing for its whole member run — one bag append and one
 // hazard-scan participation for K unlinked records — while the threshold
-// check runs against the buffer's record weight. An oversized segment is
-// split at the threshold by carving chunk-sized prefixes off the handle
-// (CarveSegment), the same contract RetireBatch honours per record; a handle
-// that is not a live segment degrades to Retire.
+// check runs against the buffer's record weight. The handle is never carved:
+// hazard protection is by handle identity (readers announce *this* handle,
+// and doScan matches bag entries against announcements by that identity), so
+// a carved prefix's fresh head handle would appear in no announcement and
+// its member cells would be freed under a reader the original handle's
+// hazard still covers. An oversized segment therefore lands whole — a
+// one-append overshoot the bound's segment-weight term absorbs (see
+// GarbageBound) — and the post-append scan drains it. A handle that is not a
+// live segment degrades to Retire.
 func (g *guard) RetireSegment(p mem.Ptr) {
-	sa := g.s.seg.Arena()
-	if mem.SegWeight(sa, p) <= 1 {
+	w := mem.SegWeight(g.s.seg.Arena(), p)
+	if w <= 1 {
 		g.Retire(p)
 		return
 	}
-	p = p.Unmarked()
-	g.batches.Record(sa.SegmentWeight(p))
-	for p != mem.Null {
-		w := sa.SegmentWeight(p)
-		take := smr.SegChunk(g.s.cfg.Threshold, w)
-		q := p
-		if take < w {
-			q, p = sa.CarveSegment(g.tid, p, take)
-			if p == mem.Null { // carve covered the whole run after all
-				take = w
-			}
-		} else {
-			take, p = w, mem.Null
-		}
-		// Note before bagging: a concurrent GarbageBound reader must never
-		// see segment garbage under a pre-segment (or lighter) bound.
-		g.s.seg.Note(take)
-		g.bag = append(g.bag, q)
-		g.bagW += take
-		g.retired.Add(uint64(take))
-		g.segments.Inc()
-		g.segRecords.Add(uint64(take))
-		if g.bagW >= g.s.cfg.Threshold {
-			g.doScan()
-		}
+	// Note before bagging: a concurrent GarbageBound reader must never
+	// see segment garbage under a pre-segment (or lighter) bound.
+	g.s.seg.Note(w)
+	g.bag = append(g.bag, p.Unmarked())
+	g.bagW += w
+	g.retired.Add(uint64(w))
+	g.batches.Record(w)
+	g.segments.Inc()
+	g.segRecords.Add(uint64(w))
+	if g.bagW >= g.s.cfg.Threshold {
+		g.doScan()
 	}
 }
 

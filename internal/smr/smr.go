@@ -82,12 +82,16 @@ type Guard interface {
 	// RetireSegment hands one segment handle (mem.SegmentArena) standing for
 	// a whole contiguous run of K records to the scheme. The scheme stamps,
 	// bags and scans the handle once — its garbage accounting counts all K
-	// member records, and an oversized segment is split at the scheme's
-	// watermark (mem.SegmentArena.CarveSegment), the same contract
-	// RetireBatch honours — but the per-record fan-out happens inside the
-	// arena at free time, so the scheme-side cost of a bulk retirement is
-	// O(1) however large the run. Calling it with a non-segment handle
-	// degrades to Retire.
+	// member records — but the per-record fan-out happens inside the arena
+	// at free time, so the scheme-side cost of a bulk retirement is O(1)
+	// however large the run. Era-interval schemes (he, ibr) split an
+	// oversized segment at their watermark (mem.SegmentArena.CarveSegment,
+	// pieces inheriting the run's birth era), the same contract RetireBatch
+	// honours; identity-based schemes (hp, nbr) must NOT carve — readers
+	// protect the run by announcing/reserving the original handle, which a
+	// carved piece's fresh head handle never appears as — so they bag the
+	// handle whole at full weight, an overshoot their declared bounds
+	// account for. Calling it with a non-segment handle degrades to Retire.
 	RetireSegment(p mem.Ptr)
 	// OnAlloc is invoked right after allocating a record (era schemes stamp
 	// the birth era).
@@ -301,18 +305,21 @@ func RetireChunk(threshold, bagLen, avail int) int {
 	return take
 }
 
-// SegChunk sizes the next carve of an oversized segment for the same
-// threshold-triggered schemes: whole threshold-weight pieces, independent of
-// the current bag fill. RetireChunk's fill-to-threshold policy is wrong here
-// — when a scan leaves the bag pinned at the threshold (era/hazard survivors,
-// which unlike NBR's reclamation can exceed any fixed residue), it degrades
-// to single-record carves, which is per-record retirement paying an extra
+// SegChunk sizes the next carve of an oversized segment for the carving
+// (era-interval) schemes: whole threshold-weight pieces, independent of the
+// current bag fill. RetireChunk's fill-to-threshold policy is wrong here —
+// when a sweep leaves the bag pinned at the threshold (era survivors, which
+// unlike NBR's reclamation can exceed any fixed residue), it degrades to
+// single-record carves, which is per-record retirement paying an extra
 // directory split per record. Whole pieces keep the carve count at
 // ceil(weight/threshold) — the amortization the segment seam exists for —
 // and cap every piece's weight at the threshold, so the segment-weight term
 // of GarbageBound never grows past it; the post-append sweep still fires at
 // bag weight ≥ threshold, and the one in-flight piece per thread is covered
-// by the bound's per-entry segment-weight slack.
+// by the bound's per-entry segment-weight slack. Only he and ibr may carve:
+// their pieces inherit the run's birth era, so interval protection covers
+// them. Identity-based schemes (hp, nbr) bag handles whole — see
+// Guard.RetireSegment.
 func SegChunk(threshold, avail int) int {
 	if threshold < 1 {
 		threshold = 1
