@@ -32,6 +32,21 @@
 // figure of the paper's evaluation (driven by cmd/nbrbench or the top-level
 // testing.B benchmarks in bench_test.go).
 //
+// The runtime is observable in time, not just in count: every Runtime
+// carries a per-thread flight recorder (internal/obs) — fixed rings of
+// packed events plus power-of-two latency histograms for admission wait,
+// lease hold, read-phase duration, signal→neutralization latency, garbage
+// residence age and reap latency — disabled by default at a cost of one
+// predictable branch per instrumented path, switched on with
+// Runtime.Observe(true). Runtime.Debug returns an http.Handler serving the
+// JSON snapshot (stats, bounds, waiters, quantiles, the last-K merged
+// events; examples/server mounts it at /debug/nbr behind -debug, alongside
+// /debug/pprof with scheme/structure-labelled samples), PublishExpvar
+// republishes the same document through expvar's /debug/vars, and on any
+// bound or drain violation the test harnesses dump the merged event
+// timeline, which names the stalled thread and its open read phase. See
+// DESIGN.md §15.
+//
 // The usage rules this API implies — leases never leave their acquiring
 // goroutine, read phases contain only restartable operations, arena handles
 // are dereferenced only under a guard bracket or reservation — are enforced

@@ -33,15 +33,33 @@
 // versions, and DESIGN.md §13 the full rule set.
 //
 // Run with: go run ./examples/server            (or -mode pool, -requests 50000)
+//
+// Profiling the admission knee: -debug mounts the runtime's observability
+// surface on the serving mux — /debug/nbr (JSON: stats, bounds, waiters,
+// latency-histogram quantiles, last-K flight-recorder events), /debug/pprof
+// and /debug/vars — and every request's CPU samples carry pprof labels
+// (scheme, structure), so a profile splits reclamation cost per structure.
+// Two commands find where admission starts to queue:
+//
+//	go run ./examples/server -debug -addr 127.0.0.1:8080 -requests 1000000 &
+//	go tool pprof 'http://127.0.0.1:8080/debug/pprof/profile?seconds=10'
+//
+// and while that profile collects, `curl -s 127.0.0.1:8080/debug/nbr | jq
+// '.recorder.hists'` reads the admission-wait p99 climbing in real time —
+// the knee is where admit_wait p99 leaves the microsecond buckets while
+// req/s stops rising.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"sort"
@@ -162,6 +180,8 @@ func main() {
 		keyRange   = flag.Uint64("keys", 4096, "key range")
 		maxThreads = flag.Int("max-threads", 12, "lease-registry capacity shared by both structures")
 		mode       = flag.String("mode", "lease", "lease management: 'lease' (acquire per request) or 'pool' (sync.Pool baseline)")
+		debug      = flag.Bool("debug", false, "enable the flight recorder and mount /debug/nbr, /debug/pprof and /debug/vars on the serving mux")
+		addr       = flag.String("addr", "127.0.0.1:0", "listen address (an explicit port makes -debug endpoints curl-able from outside)")
 	)
 	flag.Parse()
 	if *mode != "lease" && *mode != "pool" {
@@ -186,13 +206,34 @@ func main() {
 
 	// A real HTTP server on loopback TCP — requests cross the network stack,
 	// handlers run on per-connection goroutines.
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := net.Listen("tcp", *addr)
 	check(err)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/op", svc.handle)
+	if *debug {
+		// The observability surface rides the serving mux, not a side
+		// listener: what you profile is exactly what serves traffic. The
+		// flight recorder goes on for the whole run (one predictable branch
+		// per instrumented hot path), /debug/nbr serves the JSON snapshot,
+		// expvar republishes the same document for /debug/vars scrapers, and
+		// the pprof handlers are mounted explicitly because this mux is not
+		// the DefaultServeMux the net/http/pprof import registers on.
+		rt.Observe(true)
+		rt.PublishExpvar("nbr")
+		mux.Handle("/debug/nbr", rt.Debug())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	base := "http://" + ln.Addr().String()
+	if *debug {
+		fmt.Printf("debug: %s/debug/nbr %s/debug/pprof/ %s/debug/vars\n", base, base, base)
+	}
 
 	// The live contract monitor: the aggregated bound must hold while
 	// handlers come and go.
@@ -259,6 +300,30 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(begin)
+
+	// With -debug, self-check the observability endpoint over real HTTP
+	// before shutdown: the snapshot must come back 200 and parseable, with
+	// the recorder reporting itself enabled — the same check CI's smoke step
+	// makes externally with curl.
+	if *debug {
+		resp, err := client.Get(base + "/debug/nbr")
+		check(err)
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		check(err)
+		var snap struct {
+			Recorder struct {
+				Enabled bool `json:"enabled"`
+			} `json:"recorder"`
+		}
+		if resp.StatusCode != http.StatusOK || !json.Valid(body) {
+			fail("/debug/nbr self-check: status %d, %d bytes", resp.StatusCode, len(body))
+		}
+		if json.Unmarshal(body, &snap); !snap.Recorder.Enabled {
+			fail("/debug/nbr self-check: recorder not reported enabled")
+		}
+		fmt.Printf("debug: /debug/nbr self-check ok (%d bytes)\n", len(body))
+	}
 	srv.Shutdown(context.Background())
 	stopMon.Store(true)
 	<-monDone

@@ -11,6 +11,7 @@ import (
 
 	"nbr/internal/ds"
 	"nbr/internal/mem"
+	"nbr/internal/obs"
 	"nbr/internal/smr"
 )
 
@@ -91,6 +92,20 @@ type RuntimeResult struct {
 	Reaped          uint64
 	RevokedReleases uint64
 	OrphansAdopted  uint64
+	// Time-domain telemetry (schema v8): the cell runs with the flight
+	// recorder enabled, so alongside the counters it reports how long workers
+	// waited for admission (first ErrRegistryFull → successful Acquire,
+	// spanning the whole Gosched retry loop) and how long sampled retired
+	// records sat as garbage before the allocator freed them. Quantiles are
+	// power-of-two bucket edges in nanoseconds — host-dependent context, not
+	// invariants; nbrtrend reports them unflagged. EventTail is the merged
+	// flight-recorder timeline at the end of the run, embedded in violation
+	// reports so a failed bound names the stalled thread.
+	AdmitWaitP50  int64
+	AdmitWaitP99  int64
+	GarbageAgeP50 int64
+	GarbageAgeP99 int64
+	EventTail     string
 }
 
 // BoundExceeded reports whether the sampled garbage peak violated the
@@ -146,7 +161,18 @@ func RunRuntime(w RuntimeWorkload) (RuntimeResult, error) {
 	if err != nil {
 		return RuntimeResult{}, err
 	}
+	// The cell measures the reclamation pipeline in time as well as in
+	// count: the recorder is wired before Bind (so the scheme adopts it via
+	// AttachRegistry) and enabled for the whole run. The fixed-N workload
+	// cells in workload.go deliberately stay recorder-free — their measured
+	// trajectories predate the recorder and must not absorb even its
+	// one-branch cost — but this cell's whole point is the pipeline's time
+	// domain, so it pays the branch and reports the quantiles.
+	rec := obs.NewRecorder(w.Slots)
+	rec.Enable()
 	reg := smr.NewRegistry(w.Slots)
+	reg.SetRecorder(rec)
+	hub.SetRecorder(rec)
 	reg.Bind(sch)
 	if burst := sch.ReclaimBurst(); burst > 0 {
 		reg.OnAcquire(func(tid int) { hub.SizeCache(tid, burst) })
@@ -222,14 +248,26 @@ func RunRuntime(w RuntimeWorkload) (RuntimeResult, error) {
 			started.Done()
 			var ops uint64
 			var nsess int
+			// Admission wait, measured where this cell actually waits: the
+			// workers oversubscribe the registry and spin on ErrRegistryFull,
+			// so the wait is first-refusal → successful Acquire, spanning
+			// every Gosched of the retry loop.
+			var waitFrom int64
 			for !stop.Load() {
 				l, err := reg.Acquire()
 				if errors.Is(err, smr.ErrRegistryFull) {
+					if waitFrom == 0 {
+						waitFrom = rec.Clock()
+					}
 					runtime.Gosched()
 					continue
 				}
 				if err != nil {
 					return
+				}
+				if waitFrom != 0 {
+					rec.ObserveSince(obs.HistAdmissionWait, waitFrom)
+					waitFrom = 0
 				}
 				g := sch.Guard(l.Tid())
 				for i := 0; i < w.SessionOps; i++ {
@@ -333,5 +371,18 @@ func RunRuntime(w RuntimeWorkload) (RuntimeResult, error) {
 		res.DispatchPerBurst = float64(hs.Dispatches) / float64(hs.Bursts)
 	}
 	res.ScanEntries = w.Slots * req.Reservations
+
+	// The time-domain quantiles (schema v8) and the timeline tail the
+	// violation reports embed. Captured after the drain so the tail shows
+	// the run's final state — in a healthy cell the last events are the
+	// drain's scan rounds, in a stuck one the open read phase that pinned
+	// the garbage.
+	aw := rec.Hist(obs.HistAdmissionWait)
+	res.AdmitWaitP50 = aw.Quantile(0.50)
+	res.AdmitWaitP99 = aw.Quantile(0.99)
+	ga := rec.Hist(obs.HistGarbageAge)
+	res.GarbageAgeP50 = ga.Quantile(0.50)
+	res.GarbageAgeP99 = ga.Quantile(0.99)
+	res.EventTail = rec.Tail(64)
 	return res, nil
 }

@@ -47,9 +47,12 @@ type Snapshot struct {
 // orphans_adopted — on every runtime cell; v7 adds the resize-burst cells
 // with the segment-retirement counter ratios (segments_retired,
 // stamps_per_record, scans_per_record), recorded for both the segment fast
-// path and the dissolve-per-node baseline on the same burst. Older files
-// lack the newer fields; consumers treat them as absent.
-const SnapshotSchema = "nbr-perf-snapshot/v7"
+// path and the dissolve-per-node baseline on the same burst; v8 adds the
+// flight-recorder time-domain columns on the runtime cells — admission-wait
+// and garbage-residence-age quantiles (power-of-two bucket edges, µs) — which
+// are host-dependent context: nbrtrend records their movement but never flags
+// them. Older files lack the newer fields; consumers treat them as absent.
+const SnapshotSchema = "nbr-perf-snapshot/v8"
 
 // WorkloadPoint is one end-to-end cell.
 type WorkloadPoint struct {
@@ -122,6 +125,16 @@ type RuntimePoint struct {
 	Reaped          uint64 `json:"reaped"`
 	RevokedReleases uint64 `json:"revoked_releases"`
 	OrphansAdopted  uint64 `json:"orphans_adopted"`
+	// Time-domain columns (schema v8), from the cell's flight recorder:
+	// admission wait (first refusal → admitted) and garbage residence age
+	// (sampled retire → free) quantiles in microseconds. These are
+	// power-of-two bucket edges, so two hosts disagree only by bucket; they
+	// are still wall-clock and therefore host-dependent — nbrtrend shows
+	// their movement as context and never flags it.
+	AdmitWaitP50us  float64 `json:"admit_wait_p50_us,omitempty"`
+	AdmitWaitP99us  float64 `json:"admit_wait_p99_us,omitempty"`
+	GarbageAgeP50us float64 `json:"garbage_age_p50_us,omitempty"`
+	GarbageAgeP99us float64 `json:"garbage_age_p99_us,omitempty"`
 }
 
 // ResizeBurstPoint is one resize-burst cell (schema v7): an insert-only
@@ -306,6 +319,10 @@ func WriteSnapshot(path string, duration time.Duration, cfg SchemeConfig, assert
 			ScanEntries: r.ScanEntries,
 			Stall:       rc.stall, Reaped: r.Reaped,
 			RevokedReleases: r.RevokedReleases, OrphansAdopted: r.OrphansAdopted,
+			AdmitWaitP50us:  float64(r.AdmitWaitP50) / 1e3,
+			AdmitWaitP99us:  float64(r.AdmitWaitP99) / 1e3,
+			GarbageAgeP50us: float64(r.GarbageAgeP50) / 1e3,
+			GarbageAgeP99us: float64(r.GarbageAgeP99) / 1e3,
 		})
 		cell := r.StructuresKey()
 		if rc.interleave {
@@ -314,6 +331,7 @@ func WriteSnapshot(path string, duration time.Duration, cfg SchemeConfig, assert
 		if rc.stall {
 			cell += "/stall"
 		}
+		nviol := len(violations)
 		if r.BoundExceeded() {
 			violations = append(violations,
 				fmt.Sprintf("runtime %s/%s: garbage peak %d > declared bound %d",
@@ -333,6 +351,15 @@ func WriteSnapshot(path string, duration time.Duration, cfg SchemeConfig, assert
 			violations = append(violations,
 				fmt.Sprintf("runtime %s/%s: %d holders reaped in a cell with no stall injection",
 					cell, rc.scheme, r.Reaped))
+		}
+		// Dump-on-violation: a runtime cell that broke its contract embeds
+		// its flight-recorder tail in the report, so `nbrbench -assert-bound`
+		// fails with a timeline that names the stalled thread and its open
+		// read phase rather than a bare counter mismatch.
+		if len(violations) > nviol && r.EventTail != "" {
+			violations = append(violations,
+				fmt.Sprintf("flight recorder tail for runtime %s/%s:\n%s",
+					cell, rc.scheme, indentLines(r.EventTail, "    ")))
 		}
 	}
 
@@ -435,6 +462,18 @@ func WriteSnapshot(path string, duration time.Duration, cfg SchemeConfig, assert
 			len(violations), strings.Join(violations, "\n  "))
 	}
 	return nil
+}
+
+// indentLines prefixes every non-empty line of s, for embedding a
+// flight-recorder tail inside a violation report.
+func indentLines(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = prefix + l
+		}
+	}
+	return strings.Join(lines, "\n")
 }
 
 // measureScanCost times the reclaim-path scan primitive: snapshot N·R

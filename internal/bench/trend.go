@@ -183,6 +183,19 @@ func CompareSnapshots(prev, next Snapshot, threshold float64) []TrendDelta {
 			Regression: p.Fallbacks == 0 && r.Fallbacks > 0,
 			Untrusted:  untrusted,
 		})
+		// Time-domain quantiles (schema v8) are wall-clock, so they are
+		// host-dependent context: recorded with flag=false, never regressions,
+		// exactly like tail latency on the workload cells. The counter-ratio
+		// invariants this file already trusts (fallbacks, dispatch-per-burst,
+		// reaps) remain the flagged surface.
+		if p.AdmitWaitP99us > 0 && r.AdmitWaitP99us > 0 {
+			add(key, "admit_p50", p.AdmitWaitP50us, r.AdmitWaitP50us, true, false)
+			add(key, "admit_p99", p.AdmitWaitP99us, r.AdmitWaitP99us, true, false)
+		}
+		if p.GarbageAgeP99us > 0 && r.GarbageAgeP99us > 0 {
+			add(key, "gage_p50", p.GarbageAgeP50us, r.GarbageAgeP50us, true, false)
+			add(key, "gage_p99", p.GarbageAgeP99us, r.GarbageAgeP99us, true, false)
+		}
 		// Reap counts (schema v6) are counters, not timings. In a stall cell
 		// they are the injection working (informational); in any other cell
 		// nothing injects holder deaths, so reaps that go 0 → non-zero mean

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"nbr/internal/mem"
+	"nbr/internal/obs"
 	"nbr/internal/sigsim"
 	"nbr/internal/smr"
 )
@@ -102,6 +103,10 @@ type Scheme struct {
 	// seg is the segment-retirement state: the arena's segment interface and
 	// the largest retired segment weight, which scales the declared bounds.
 	seg smr.SegState
+
+	// rec is the flight recorder shared with the registry and signal group;
+	// nil or disabled costs the read/retire hot paths one predictable branch.
+	rec *obs.Recorder
 
 	gs []*guard
 }
@@ -216,6 +221,17 @@ func (s *Scheme) ReclaimBurst() int { return s.cfg.BagSize }
 func (s *Scheme) AttachRegistry(r *smr.Registry) {
 	s.Join(r, len(s.gs), "core", s.attachThread)
 	s.group.SetActive(s.ActiveMask)
+	if rec := r.Recorder(); rec != nil {
+		s.SetRecorder(rec)
+	}
+}
+
+// SetRecorder implements smr.Recordable: the scheme and its signal group
+// join the recorder's timeline. Bind wires it from the registry; fixed-N
+// harnesses (dstest) call it directly. Construction-time wiring only.
+func (s *Scheme) SetRecorder(rec *obs.Recorder) {
+	s.rec = rec
+	s.group.SetRecorder(rec)
 }
 
 // attachThread readies slot tid for a new leaseholder: stale signal posts
@@ -346,6 +362,10 @@ type guard struct {
 	scanTS    []uint64
 	sinceScan int
 
+	// readFrom is the recorder clock at BeginRead (0 when not measured);
+	// owner-only, closed into the read-phase histogram at EndRead.
+	readFrom int64
+
 	retired    smr.Counter
 	batches    smr.BatchHist
 	freed      smr.Counter
@@ -372,6 +392,10 @@ func (g *guard) BeginRead() {
 	for i := range g.row {
 		g.row[i].Store(0)
 	}
+	if g.s.rec.Enabled() {
+		g.readFrom = g.s.rec.Clock()
+		g.s.rec.Rec(g.tid, obs.EvReadBegin, 0)
+	}
 	g.s.group.SetRestartable(g.tid)
 }
 
@@ -392,6 +416,14 @@ func (g *guard) Reserve(i int, p mem.Ptr) {
 // neutralizes instead (see sigsim.ClearRestartable).
 func (g *guard) EndRead() {
 	g.s.group.ClearRestartable(g.tid)
+	if from := g.readFrom; from != 0 {
+		// Only a successful transition lands here: a neutralized EndRead
+		// panics above, leaving the phase open on the timeline (exactly what
+		// a stall dump should show) until the restart's BeginRead reopens it.
+		g.readFrom = 0
+		g.s.rec.ObserveSince(obs.HistReadPhase, from)
+		g.s.rec.Rec(g.tid, obs.EvReadEnd, 0)
+	}
 }
 
 // Protect is NBR's record-access barrier: deliver any pending neutralization
@@ -415,10 +447,14 @@ func (g *guard) OnStale(p mem.Ptr) {
 // (NBR+).
 func (g *guard) Retire(p mem.Ptr) {
 	g.beforeRetire(1)
-	g.limbo = append(g.limbo, p.Unmarked())
+	p = p.Unmarked()
+	g.limbo = append(g.limbo, p)
 	g.limboW++
 	g.retired.Inc()
 	g.batches.Record(1)
+	// Garbage-age sampling: stamp the handle so the hub's free seam can
+	// measure its retire→free residence. One branch when the recorder is off.
+	g.s.rec.SampleRetire(uint64(p))
 }
 
 // RetireBatch implements smr.Guard: the batch lands in the bag in chunks of
@@ -435,6 +471,7 @@ func (g *guard) RetireBatch(ps []mem.Ptr) {
 		return
 	}
 	g.batches.Record(len(ps))
+	g.s.rec.SampleRetire(uint64(ps[0].Unmarked())) // age-sample one record per splice
 	for len(ps) > 0 {
 		take := g.beforeRetire(len(ps))
 		for _, p := range ps[:take] {
@@ -472,12 +509,17 @@ func (g *guard) RetireSegment(p mem.Ptr) {
 	// Note before bagging: a concurrent GarbageBound reader must never
 	// see segment garbage under a pre-segment (or lighter) bound.
 	g.s.seg.Note(w)
-	g.limbo = append(g.limbo, p.Unmarked())
+	p = p.Unmarked()
+	g.limbo = append(g.limbo, p)
 	g.limboW += w
 	g.retired.Add(uint64(w))
 	g.batches.Record(w)
 	g.segments.Inc()
 	g.segRecords.Add(uint64(w))
+	if g.s.rec.Enabled() {
+		g.s.rec.Rec(g.tid, obs.EvSegRetire, uint64(w))
+		g.s.rec.SampleRetire(uint64(p))
+	}
 }
 
 // beforeRetire runs the watermark bookkeeping for the next chunk of records

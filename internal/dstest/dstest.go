@@ -31,6 +31,7 @@ package dstest
 
 import (
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,7 @@ import (
 	"nbr/internal/bench"
 	"nbr/internal/ds"
 	"nbr/internal/mem"
+	"nbr/internal/obs"
 	"nbr/internal/sigsim"
 	"nbr/internal/smr"
 )
@@ -88,6 +90,39 @@ func newScheme(t *testing.T, name string, inst Instance, threads int) smr.Scheme
 		t.Fatal(err)
 	}
 	return s
+}
+
+// observe wires an enabled flight recorder into a freshly built scheme when
+// the scheme supports one (the NBR family implements smr.Recordable); the
+// rest return a recorder that stays empty but is still nil-safe to dump. The
+// suites run with the recorder always on: the one-branch cost is irrelevant
+// at test scale, and every bound violation then fails with a timeline.
+func observe(sch smr.Scheme, threads int) *obs.Recorder {
+	rec := obs.NewRecorder(threads)
+	rec.Enable()
+	if r, ok := sch.(smr.Recordable); ok {
+		r.SetRecorder(rec)
+	}
+	return rec
+}
+
+// dumpFile is where a violating suite leaves the flight-recorder tail for
+// CI's artifact upload; the same tail also goes through t.Logf so the
+// failure is diagnosable straight from the test output.
+const dumpFile = "nbr-flight-recorder.dump"
+
+// dumpRecorder is the dump-on-violation hook: called just before a bound or
+// drain t.Fatalf, it prints the merged event tail — which names the stalled
+// thread and its open read phase — and writes it next to the test binary for
+// the CI artifact step.
+func dumpRecorder(t *testing.T, rec *obs.Recorder) {
+	t.Helper()
+	tail := rec.Tail(128)
+	if tail == "" {
+		return
+	}
+	t.Logf("%s", tail)
+	_ = os.WriteFile(dumpFile, []byte(tail), 0o644) // best-effort: the artifact step tolerates absence
 }
 
 // RunAll executes every suite × scheme combination for the factory.
@@ -252,6 +287,7 @@ func Bound(t *testing.T, f Factory, scheme string) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	rec := observe(sch, threads)
 	bound := sch.GarbageBound()
 	if boundedSchemes[scheme] {
 		if bound == smr.Unbounded || bound <= 0 {
@@ -313,6 +349,7 @@ func Bound(t *testing.T, f Factory, scheme string) {
 	// their measured pinned set grows), so the final reading dominates the
 	// bound at every moment a garbage sample was taken.
 	if bound = sch.GarbageBound(); bound != smr.Unbounded && peak.Load() > uint64(bound) {
+		dumpRecorder(t, rec)
 		t.Fatalf("garbage-bound contract violated: sampled peak %d > declared bound %d",
 			peak.Load(), bound)
 	}
@@ -337,6 +374,7 @@ func BoundChain(t *testing.T, f Factory, scheme string) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	rec := observe(sch, threads)
 	g := sch.Guard(0)
 
 	n := 256
@@ -358,6 +396,7 @@ func BoundChain(t *testing.T, f Factory, scheme string) {
 		t.Fatalf("splice retired %d records, want at least the %d-node chain", st.Retired, built)
 	}
 	if bound := sch.GarbageBound(); bound != smr.Unbounded && st.Garbage() > uint64(bound) {
+		dumpRecorder(t, rec)
 		t.Fatalf("oversized splice outran the garbage bound: %d > %d", st.Garbage(), bound)
 	}
 	if err := inst.Set.Validate(); err != nil {
@@ -375,6 +414,7 @@ func Stall(t *testing.T, f Factory, scheme string) {
 	threads := workers + 1
 	inst := f.New(threads)
 	sch := newScheme(t, scheme, inst, threads)
+	rec := observe(sch, threads)
 	cfg := config()
 
 	// The stalled thread enters an operation mid-read-phase and stops.
@@ -418,6 +458,9 @@ func Stall(t *testing.T, f Factory, scheme string) {
 			t.Fatalf("%s must declare a finite GarbageBound", scheme)
 		}
 		if garbage > uint64(bound) {
+			// The timeline names the stalled thread: its ring shows a
+			// read-begin with no read-end, listed in the open-phase footer.
+			dumpRecorder(t, rec)
 			t.Fatalf("bounded-garbage violation: %d > declared bound %d", garbage, bound)
 		}
 		// The stalled thread was signalled; it must be neutralized the
@@ -435,6 +478,7 @@ func Stall(t *testing.T, f Factory, scheme string) {
 			return false
 		}()
 		if st.Signals > 0 && !woke {
+			dumpRecorder(t, rec)
 			t.Fatal("stalled thread resumed its read phase without neutralization")
 		}
 	case "hp", "ibr", "he":
@@ -443,6 +487,7 @@ func Stall(t *testing.T, f Factory, scheme string) {
 			t.Fatalf("%s must declare a finite GarbageBound", scheme)
 		}
 		if garbage > uint64(bound) {
+			dumpRecorder(t, rec)
 			t.Fatalf("bounded-garbage violation: %d > declared bound %d", garbage, bound)
 		}
 		stalled.EndRead()

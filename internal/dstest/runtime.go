@@ -2,7 +2,9 @@ package dstest
 
 import (
 	"context"
+	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -10,6 +12,20 @@ import (
 
 	"nbr"
 )
+
+// dumpRuntime is the dump-on-violation hook for the public-runtime suite:
+// the same tail dstest's scheme-level dumpRecorder prints, read through the
+// runtime's Debug surface.
+func dumpRuntime(t *testing.T, rt *nbr.Runtime) {
+	t.Helper()
+	var sb strings.Builder
+	rt.DumpRecorder(&sb, 128)
+	if sb.Len() == 0 {
+		return
+	}
+	t.Logf("%s", sb.String())
+	_ = os.WriteFile(dumpFile, []byte(sb.String()), 0o644)
+}
 
 // RuntimeChurn is the multi-structure lease-churn stress for the shared
 // reclamation runtime (the public nbr.Runtime): one registry, one arena
@@ -50,6 +66,10 @@ func RuntimeChurn(t *testing.T, scheme string) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The suite runs observed: the one-branch recorder cost is irrelevant at
+	// test scale, and any bound or drain failure below dumps a timeline that
+	// names the thread that was holding garbage instead of a bare counter.
+	rt.Observe(true)
 	sets := make([]*nbr.Set, 0, len(structures))
 	for _, name := range structures {
 		s, err := rt.NewSet(name)
@@ -126,6 +146,7 @@ func RuntimeChurn(t *testing.T, scheme string) {
 	stop.Store(true)
 	<-samplerDone
 	if violation.Load() {
+		dumpRuntime(t, rt)
 		t.Fatalf("aggregated garbage-bound contract violated under multi-structure churn: sampled %d > declared bound %d",
 			peak.Load(), peakBound.Load())
 	}
@@ -143,9 +164,11 @@ func RuntimeChurn(t *testing.T, scheme string) {
 			st.Freed, st.Retired)
 	}
 	if err := rt.Drain(); err != nil {
+		dumpRuntime(t, rt)
 		t.Fatal(err)
 	}
 	if st = rt.Stats(); scheme != "none" && st.Retired != st.Freed {
+		dumpRuntime(t, rt)
 		t.Fatalf("drain left orphaned records across the shared bags: retired %d, freed %d (%d leaked)",
 			st.Retired, st.Freed, st.Retired-st.Freed)
 	}
@@ -154,6 +177,7 @@ func RuntimeChurn(t *testing.T, scheme string) {
 	// be empty: every lease release — and the drain's temporary lease — must
 	// have flushed its per-tag buffers before DrainCache ran.
 	if staged := rt.StagedFrees(); staged != 0 {
+		dumpRuntime(t, rt)
 		t.Fatalf("drain left %d records stranded in the hub's free staging", staged)
 	}
 	for _, s := range sets {

@@ -3,6 +3,8 @@ package mem
 import (
 	"fmt"
 	"sync/atomic"
+
+	"nbr/internal/obs"
 )
 
 // Hub is one Arena standing in front of several typed pools, so one
@@ -50,6 +52,10 @@ type Hub struct {
 	bursts     atomic.Uint64 // FreeBatch calls received
 	dispatches atomic.Uint64 // FreeBatch calls issued to pools
 	staged     atomic.Int64  // records currently sitting in staging buffers
+
+	// rec is the flight recorder; nil or disabled costs one branch per
+	// dispatch/flush (obs methods are nil-safe).
+	rec *obs.Recorder
 }
 
 // hubSub boxes an attached Arena so the routing slot is one atomic pointer.
@@ -97,6 +103,11 @@ func NewHub(maxThreads int) *Hub {
 	}
 	return &Hub{threads: make([]hubThread, maxThreads)}
 }
+
+// SetRecorder attaches a flight recorder to the free seam. Wire it before
+// the Hub is used concurrently; a nil recorder (the default) keeps the free
+// paths on their one-branch fast path.
+func (h *Hub) SetRecorder(r *obs.Recorder) { h.rec = r }
 
 // NextTag returns the tag the next Attach will occupy. The caller constructs
 // the pool with exactly this Config.Tag and then attaches it.
@@ -168,7 +179,12 @@ func (h *Hub) route(p Ptr) Arena {
 
 // Free implements Arena by routing to the owning pool. Single frees bypass
 // staging: the per-record path has no burst to amortize.
-func (h *Hub) Free(tid int, p Ptr) { h.route(p).Free(tid, p) }
+func (h *Hub) Free(tid int, p Ptr) {
+	if h.rec.Sampling() {
+		h.rec.NoteFree(uint64(p))
+	}
+	h.route(p).Free(tid, p)
+}
 
 // FreeBatch implements Arena. A uniform batch (one owner, nothing staged
 // for it) is dispatched directly — the single-structure fast path pays only
@@ -196,6 +212,7 @@ func (h *Hub) FreeBatch(tid int, ps []Ptr) {
 	}
 	if uniform && len(ht.tags[tag]) == 0 {
 		h.dispatches.Add(1)
+		h.noteFrees(tid, ps, obs.EvHubDispatch)
 		h.route(ps[0]).FreeBatch(tid, ps)
 		return
 	}
@@ -222,8 +239,25 @@ func (h *Hub) flushTag(tid int, ht *hubThread, t int) {
 	buf := ht.tags[t]
 	h.dispatches.Add(1)
 	h.staged.Add(-int64(len(buf)))
+	h.noteFrees(tid, buf, obs.EvStageFlush)
 	h.subs[t].Load().a.FreeBatch(tid, buf)
 	ht.tags[t] = buf[:0]
+}
+
+// noteFrees records the dispatch/flush event and, while garbage-age samples
+// are outstanding, matches the freed handles against the recorder's sample
+// table to close retire→free residence measurements. One branch when the
+// recorder is off.
+func (h *Hub) noteFrees(tid int, ps []Ptr, c obs.Code) {
+	if !h.rec.Enabled() {
+		return
+	}
+	h.rec.Rec(tid, c, uint64(len(ps)))
+	if h.rec.Sampling() {
+		for _, p := range ps {
+			h.rec.NoteFree(uint64(p))
+		}
+	}
 }
 
 // Hdr implements Arena by routing to the owning pool.
@@ -245,6 +279,7 @@ func (h *Hub) CarveSegment(tid int, p Ptr, take int) (Ptr, Ptr) {
 	if !ok {
 		panic(fmt.Sprintf("mem: CarveSegment of %v routed to arena without segment support", p))
 	}
+	h.rec.Rec(tid, obs.EvSegCarve, uint64(take))
 	return sa.CarveSegment(tid, p, take)
 }
 

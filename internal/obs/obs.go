@@ -1,0 +1,606 @@
+// Package obs is the reclamation pipeline's flight recorder: a per-thread,
+// allocation-free ring of packed 16-byte typed events plus power-of-two
+// latency histograms for the durations that define NBR's behavior (admission
+// wait, lease hold, read-phase length, signal→restart, garbage residence
+// age, reap latency).
+//
+// The recorder is wired into the hot paths permanently and gated behind a
+// single atomic enabled-check: every instrumented site does one predictable
+// load+branch when the recorder is disabled (or nil — all methods are
+// nil-safe), and nothing else. When enabled, an event write is one atomic
+// fetch-add on the ring cursor plus two atomic stores; no path allocates.
+//
+// Rings are indexed by registry slot (tid), plus two extra rings for
+// goroutines that have no slot: the admission ring (AcquireCtx waiters) and
+// the system ring (registry scans, the watchdog, revocations). Any goroutine
+// may write any ring — the cursor is a fetch-add — but in practice per-tid
+// rings are owner-written, so per-thread event order is program order.
+//
+// Timestamps are nanoseconds on the monotonic clock since the recorder's
+// creation, so merged timelines are globally ordered across rings. The
+// histograms use the same power-of-two bucket idiom as internal/hist and
+// smr.Stats.BatchHist, made atomic so cross-thread writers and concurrent
+// snapshot readers stay race-clean; bucket shape (which powers of two hold
+// the mass) is comparable across hosts even when absolute latencies are not.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Code is an event type tag. It occupies the top 8 bits of the packed event
+// word; the low 56 bits carry a per-code argument (a count, a tid, an age).
+type Code uint8
+
+// Event codes, grouped by the pipeline stage that emits them.
+const (
+	EvNone Code = iota
+
+	// smr.Registry — lease lifecycle and the scan seam.
+	EvAcquire     // slot leased                      arg: tid
+	EvRelease     // voluntary release                arg: tid
+	EvRevoke      // involuntary revocation           arg: tid
+	EvReap        // watchdog reaped past deadline    arg: tid
+	EvQuarRecycle // quarantined slot recycled        arg: age in scan rounds
+	EvFallback    // no-scanner fallback reuse        arg: tid
+	EvForcedRound // admission forced a scan round    arg: completed rounds
+	EvOrphanAdopt // orphaned garbage adopted         arg: record count
+	EvScanBegin   // reclamation scan begin           arg: scans in flight
+	EvScanEnd     // reclamation scan end             arg: completed rounds
+
+	// sigsim — the POSIX-signal simulation.
+	EvSigPost    // SignalAll posted to peers        arg: peers signalled
+	EvSigDeliver // delivery neutralized receiver    arg: pending posts
+	EvSigIgnore  // delivery outside a read phase    arg: pending posts
+	EvSigKill    // delivery killed a revoked zombie arg: pending posts
+	EvSigRestart // read phase restarted after a neutralization
+
+	// core — the read-phase bracket and the retire seam.
+	EvReadBegin  // BeginRead: row cleared, restartable set
+	EvReadEnd    // EndRead: restartable cleared
+	EvSegRetire  // segment handle bagged            arg: segment weight
+	EvSegCarve   // retired segment carved           arg: records carved
+
+	// mem.Hub — the multi-structure free seam.
+	EvHubDispatch // uniform batch dispatched        arg: record count
+	EvStageFlush  // staged mixed batch flushed      arg: record count
+
+	// Root runtime — FIFO admission.
+	EvAdmitEnqueue // AcquireCtx enqueued            arg: queue depth
+	EvAdmitBaton   // baton received, slot acquired
+	EvAdmitCancel  // waiter cancelled by its context
+
+	numCodes
+)
+
+var codeNames = [numCodes]string{
+	EvNone:         "none",
+	EvAcquire:      "acquire",
+	EvRelease:      "release",
+	EvRevoke:       "revoke",
+	EvReap:         "reap",
+	EvQuarRecycle:  "quarantine-recycle",
+	EvFallback:     "fallback-reuse",
+	EvForcedRound:  "forced-round",
+	EvOrphanAdopt:  "orphan-adopt",
+	EvScanBegin:    "scan-begin",
+	EvScanEnd:      "scan-end",
+	EvSigPost:      "signal-post",
+	EvSigDeliver:   "signal-deliver",
+	EvSigIgnore:    "signal-ignore",
+	EvSigKill:      "signal-kill",
+	EvSigRestart:   "read-restart",
+	EvReadBegin:    "read-begin",
+	EvReadEnd:      "read-end",
+	EvSegRetire:    "segment-retire",
+	EvSegCarve:     "segment-carve",
+	EvHubDispatch:  "hub-dispatch",
+	EvStageFlush:   "stage-flush",
+	EvAdmitEnqueue: "admit-enqueue",
+	EvAdmitBaton:   "admit-baton",
+	EvAdmitCancel:  "admit-cancel",
+}
+
+func (c Code) String() string {
+	if int(c) < len(codeNames) && codeNames[c] != "" {
+		return codeNames[c]
+	}
+	return fmt.Sprintf("code(%d)", uint8(c))
+}
+
+// Histogram identifiers. Each is a duration distribution in nanoseconds.
+const (
+	HistAdmissionWait = iota // AcquireCtx first enqueue → admitted
+	HistLeaseHold            // registry Acquire → Release/Revoke
+	HistReadPhase            // BeginRead → EndRead
+	HistSignalLatency        // SignalAll post → victim's restarted read phase
+	HistGarbageAge           // retire → free residence time (sampled)
+	HistReapLatency          // lease deadline → revocation delivered
+	NumHists
+)
+
+var histNames = [NumHists]string{
+	"admission_wait",
+	"lease_hold",
+	"read_phase",
+	"signal_latency",
+	"garbage_age",
+	"reap_latency",
+}
+
+// HistName returns the snapshot key for histogram h.
+func HistName(h int) string { return histNames[h] }
+
+// RingSize is the per-ring event capacity. Power of two; overwrite wraps.
+const RingSize = 256
+
+const (
+	ringMask = RingSize - 1
+	argMask  = (uint64(1) << 56) - 1
+)
+
+type eslot struct {
+	ts   atomic.Int64
+	word atomic.Uint64 // Code in the top 8 bits, arg in the low 56
+}
+
+type ring struct {
+	pos atomic.Uint64
+	_   [56]byte // keep hot cursors off each other's cache line
+	ev  [RingSize]eslot
+}
+
+// gaSamples is the garbage-age sample table size: retire stamps at most this
+// many in-flight handles at a time; the free seam matches them back.
+const gaSamples = 16
+
+type gaSample struct {
+	ptr atomic.Uint64 // raw handle; 0 = free, claimSentinel = mid-claim
+	ts  atomic.Int64  // retire timestamp, written before ptr publishes
+}
+
+const claimSentinel = ^uint64(0)
+
+// Recorder is the flight recorder. The zero of *Recorder (nil) is a valid,
+// permanently disabled recorder: every method is nil-safe, so instrumented
+// code holds a plain *Recorder field and never checks for wiring.
+type Recorder struct {
+	on      atomic.Bool
+	base    time.Time // monotonic origin for all timestamps
+	rings   []ring    // one per registry slot, then admission, then system
+	hists   [NumHists]Hist
+	sampled atomic.Int32 // outstanding garbage-age samples (fast NoteFree gate)
+	samples [gaSamples]gaSample
+}
+
+// NewRecorder builds a disabled recorder with one ring per registry slot
+// plus the admission and system rings. Call Enable to start recording.
+func NewRecorder(slots int) *Recorder {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Recorder{base: time.Now(), rings: make([]ring, slots+2)}
+}
+
+// Enable turns recording on. Safe to call concurrently with writers.
+func (r *Recorder) Enable() {
+	if r != nil {
+		r.on.Store(true)
+	}
+}
+
+// Disable turns recording off. In-flight writes may still land.
+func (r *Recorder) Disable() {
+	if r != nil {
+		r.on.Store(false)
+	}
+}
+
+// Enabled reports whether the recorder is wired and on. This is the single
+// check every instrumented hot path pays when the recorder is off.
+func (r *Recorder) Enabled() bool { return r != nil && r.on.Load() }
+
+// AdmissionRing is the ring index for slotless admission waiters.
+func (r *Recorder) AdmissionRing() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.rings) - 2
+}
+
+// SystemRing is the ring index for slotless system work (scans, watchdog).
+func (r *Recorder) SystemRing() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.rings) - 1
+}
+
+// RingName names ring i for dumps: "t3" for slot rings, "adm", "sys".
+func (r *Recorder) RingName(i int) string {
+	switch {
+	case r == nil || i < 0 || i >= len(r.rings):
+		return fmt.Sprintf("r%d", i)
+	case i == len(r.rings)-2:
+		return "adm"
+	case i == len(r.rings)-1:
+		return "sys"
+	default:
+		return fmt.Sprintf("t%d", i)
+	}
+}
+
+// Clock returns nanoseconds since the recorder's creation on the monotonic
+// clock, or 0 when disabled. 0 is the "not measured" sentinel accepted by
+// ObserveSince, so `t0 := rec.Clock()` needs no enabled-check of its own.
+func (r *Recorder) Clock() int64 {
+	if r == nil || !r.on.Load() {
+		return 0
+	}
+	return r.clock()
+}
+
+func (r *Recorder) clock() int64 {
+	d := time.Since(r.base).Nanoseconds()
+	if d <= 0 {
+		d = 1
+	}
+	return d
+}
+
+// Rec records event c with argument arg on ring i. Out-of-range rings land
+// on the system ring rather than dropping the event.
+func (r *Recorder) Rec(i int, c Code, arg uint64) {
+	if r == nil || !r.on.Load() {
+		return
+	}
+	if i < 0 || i >= len(r.rings) {
+		i = len(r.rings) - 1
+	}
+	rg := &r.rings[i]
+	s := &rg.ev[(rg.pos.Add(1)-1)&ringMask]
+	s.ts.Store(r.clock())
+	s.word.Store(uint64(c)<<56 | arg&argMask)
+}
+
+// Sys records on the system ring; Adm on the admission ring.
+func (r *Recorder) Sys(c Code, arg uint64) { r.Rec(r.SystemRing(), c, arg) }
+func (r *Recorder) Adm(c Code, arg uint64) { r.Rec(r.AdmissionRing(), c, arg) }
+
+// Observe records duration v (nanoseconds) into histogram h.
+func (r *Recorder) Observe(h int, v int64) {
+	if r == nil || !r.on.Load() {
+		return
+	}
+	r.hists[h].Record(v)
+}
+
+// ObserveSince records now−t0 into histogram h. t0 <= 0 means the start was
+// never measured (the recorder was off then) and is ignored.
+func (r *Recorder) ObserveSince(h int, t0 int64) {
+	if t0 <= 0 || r == nil || !r.on.Load() {
+		return
+	}
+	r.hists[h].Record(r.clock() - t0)
+}
+
+// Hist exposes histogram h for snapshots and tests.
+func (r *Recorder) Hist(h int) *Hist {
+	if r == nil {
+		return nil
+	}
+	return &r.hists[h]
+}
+
+// SampleRetire stamps raw (a retired handle) with the current time so the
+// free seam can measure its residence age. At most gaSamples handles are in
+// flight; when the table is full the retire is simply not sampled. The claim
+// publishes ptr last, so a matching NoteFree always sees the timestamp.
+func (r *Recorder) SampleRetire(raw uint64) {
+	if r == nil || !r.on.Load() || raw == 0 || raw == claimSentinel {
+		return
+	}
+	if r.sampled.Load() >= gaSamples {
+		return
+	}
+	for i := range r.samples {
+		s := &r.samples[i]
+		if s.ptr.Load() == 0 && s.ptr.CompareAndSwap(0, claimSentinel) {
+			r.sampled.Add(1)
+			s.ts.Store(r.clock())
+			s.ptr.Store(raw)
+			return
+		}
+	}
+}
+
+// Sampling reports whether any garbage-age samples are outstanding; the free
+// seam checks this once per batch before paying the per-record NoteFree scan.
+func (r *Recorder) Sampling() bool {
+	return r != nil && r.on.Load() && r.sampled.Load() > 0
+}
+
+// NoteFree matches a freed handle against the sample table and records its
+// retire→free residence age.
+func (r *Recorder) NoteFree(raw uint64) {
+	if r == nil || raw == 0 || r.sampled.Load() == 0 {
+		return
+	}
+	for i := range r.samples {
+		s := &r.samples[i]
+		if s.ptr.Load() == raw && s.ptr.CompareAndSwap(raw, 0) {
+			r.sampled.Add(-1)
+			if r.on.Load() {
+				r.hists[HistGarbageAge].Record(r.clock() - s.ts.Load())
+			}
+			return
+		}
+	}
+}
+
+// Event is one decoded flight-recorder entry.
+type Event struct {
+	TS   int64 // nanoseconds since recorder creation
+	Ring int
+	Code Code
+	Arg  uint64
+}
+
+// Events returns up to max merged events, oldest first, globally ordered by
+// timestamp. Per ring the surviving (not yet overwritten) entries are
+// extracted in cursor order and sorted — shared rings may commit slightly out
+// of cursor order under contention — then a K-way min merge across rings
+// yields a monotone timeline. Readers race writers benignly: an entry mid
+// overwrite may pair a fresh timestamp with a stale word; the sort keeps the
+// timeline monotone regardless. max <= 0 means all surviving events.
+func (r *Recorder) Events(max int) []Event {
+	if r == nil {
+		return nil
+	}
+	perRing := make([][]Event, len(r.rings))
+	total := 0
+	for ri := range r.rings {
+		rg := &r.rings[ri]
+		pos := rg.pos.Load()
+		n := pos
+		if n > RingSize {
+			n = RingSize
+		}
+		evs := make([]Event, 0, n)
+		for k := pos - n; k < pos; k++ {
+			s := &rg.ev[k&ringMask]
+			ts := s.ts.Load()
+			if ts == 0 {
+				continue
+			}
+			w := s.word.Load()
+			evs = append(evs, Event{TS: ts, Ring: ri, Code: Code(w >> 56), Arg: w & argMask})
+		}
+		sort.SliceStable(evs, func(a, b int) bool { return evs[a].TS < evs[b].TS })
+		perRing[ri] = evs
+		total += len(evs)
+	}
+	// K-way min merge over the per-ring sorted runs.
+	merged := make([]Event, 0, total)
+	heads := make([]int, len(perRing))
+	for {
+		best := -1
+		for ri, h := range heads {
+			if h >= len(perRing[ri]) {
+				continue
+			}
+			if best < 0 || perRing[ri][h].TS < perRing[best][heads[best]].TS {
+				best = ri
+			}
+		}
+		if best < 0 {
+			break
+		}
+		merged = append(merged, perRing[best][heads[best]])
+		heads[best]++
+	}
+	if max > 0 && len(merged) > max {
+		merged = merged[len(merged)-max:]
+	}
+	return merged
+}
+
+// OpenReadPhases returns the rings (tids) whose most recent read-phase event
+// is a begin with no matching end — the threads currently (or terminally)
+// inside a read phase, which is exactly what a garbage-bound violation dump
+// needs to name.
+func (r *Recorder) OpenReadPhases() []int {
+	last := map[int]Code{}
+	for _, e := range r.Events(0) {
+		if e.Code == EvReadBegin || e.Code == EvReadEnd || e.Code == EvSigRestart {
+			last[e.Ring] = e.Code
+		}
+	}
+	var open []int
+	for ring, c := range last {
+		if c == EvReadBegin || c == EvSigRestart {
+			open = append(open, ring)
+		}
+	}
+	sort.Ints(open)
+	return open
+}
+
+// WriteTail writes the last max merged events as a human-readable timeline,
+// followed by the open-read-phase summary. It is the dump-on-violation hook:
+// dstest failures and nbrbench -assert-bound print this instead of a bare
+// counter mismatch.
+func (r *Recorder) WriteTail(w io.Writer, max int) {
+	if r == nil {
+		return
+	}
+	evs := r.Events(max)
+	if len(evs) == 0 {
+		fmt.Fprintln(w, "flight recorder: no events (recorder disabled or nothing recorded)")
+		return
+	}
+	fmt.Fprintf(w, "flight recorder: last %d events (of surviving window), oldest first:\n", len(evs))
+	for _, e := range evs {
+		fmt.Fprintf(w, "  %12s  %-4s %-18s arg=%d\n",
+			time.Duration(e.TS).String(), r.RingName(e.Ring), e.Code.String(), e.Arg)
+	}
+	if open := r.OpenReadPhases(); len(open) > 0 {
+		names := make([]string, len(open))
+		for i, ring := range open {
+			names[i] = r.RingName(ring)
+		}
+		fmt.Fprintf(w, "  open read phases (begin with no end): %s\n", strings.Join(names, " "))
+	}
+}
+
+// Tail returns WriteTail's output as a string.
+func (r *Recorder) Tail(max int) string {
+	if r == nil {
+		return ""
+	}
+	var sb strings.Builder
+	r.WriteTail(&sb, max)
+	return sb.String()
+}
+
+// HistSnapshot is one histogram's quantile summary, JSON-ready.
+type HistSnapshot struct {
+	Name  string `json:"name"`
+	Count uint64 `json:"count"`
+	P50ns int64  `json:"p50_ns"`
+	P90ns int64  `json:"p90_ns"`
+	P99ns int64  `json:"p99_ns"`
+	Maxns int64  `json:"max_ns"`
+}
+
+// EventSnapshot is one event, JSON-ready.
+type EventSnapshot struct {
+	TSns int64  `json:"ts_ns"`
+	Ring string `json:"ring"`
+	Code string `json:"code"`
+	Arg  uint64 `json:"arg"`
+}
+
+// Snapshot is the recorder's JSON document, embedded in /debug/nbr.
+type Snapshot struct {
+	Enabled bool            `json:"enabled"`
+	Hists   []HistSnapshot  `json:"hists"`
+	Events  []EventSnapshot `json:"events"`
+}
+
+// Snapshot captures histogram quantiles and the last maxEvents merged
+// events. Nil-safe; safe to call concurrently with writers.
+func (r *Recorder) Snapshot(maxEvents int) Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	snap := Snapshot{Enabled: r.on.Load(), Hists: make([]HistSnapshot, 0, NumHists)}
+	for h := 0; h < NumHists; h++ {
+		hist := &r.hists[h]
+		snap.Hists = append(snap.Hists, HistSnapshot{
+			Name:  histNames[h],
+			Count: hist.Count(),
+			P50ns: hist.Quantile(0.50),
+			P90ns: hist.Quantile(0.90),
+			P99ns: hist.Quantile(0.99),
+			Maxns: hist.Max(),
+		})
+	}
+	for _, e := range r.Events(maxEvents) {
+		snap.Events = append(snap.Events, EventSnapshot{
+			TSns: e.TS, Ring: r.RingName(e.Ring), Code: e.Code.String(), Arg: e.Arg,
+		})
+	}
+	return snap
+}
+
+// Hist is an atomic power-of-two histogram: bucket i counts values whose
+// bit length is i, i.e. [2^(i-1), 2^i). Same shape as internal/hist and
+// smr.Stats.BatchHist, but writable from many threads and snapshotable
+// concurrently. The zero value is ready to use.
+type Hist struct {
+	counts [64]atomic.Uint64
+	total  atomic.Uint64
+	max    atomic.Int64
+}
+
+// Record adds value v (negative values clamp to zero).
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bits.Len64(uint64(v))%64].Add(1)
+	h.total.Add(1)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *Hist) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Max returns the largest recorded value.
+func (h *Hist) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile returns the upper edge of the bucket holding the q-quantile
+// (nearest-rank over a concurrent snapshot of the buckets), tightened by the
+// recorded max in the final bucket — the same contract as
+// internal/hist.Histogram.Quantile and Stats.BatchQuantile.
+func (h *Hist) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	var counts [64]uint64
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			upper := int64(1) << uint(i)
+			if i == 0 {
+				upper = 1
+			}
+			if m := h.max.Load(); m < upper && m >= upper/2 {
+				upper = m
+			}
+			return upper
+		}
+	}
+	return h.max.Load()
+}

@@ -1,0 +1,86 @@
+package sigsim
+
+import (
+	"testing"
+	"time"
+
+	"nbr/internal/obs"
+)
+
+// TestNeutralizationRoundTripEvents is the deterministic pre-wired-event
+// test: one post, one delivery, one restart, driven sequentially. The
+// recorder must show post → deliver → restart in timestamp order, and the
+// signal-latency histogram must hold one nonzero post→restart measurement.
+func TestNeutralizationRoundTripEvents(t *testing.T) {
+	rec := obs.NewRecorder(2)
+	rec.Enable()
+	g := NewGroup(2, Config{})
+	g.SetRecorder(rec)
+
+	g.Attach(0)
+	g.Attach(1)
+	g.SetRestartable(0) // victim enters its read phase
+	g.SignalAll(1)      // reclaimer posts
+	time.Sleep(time.Millisecond)
+
+	neutralized := false
+	func() {
+		defer func() {
+			if _, ok := recover().(Neutralized); ok {
+				neutralized = true
+			}
+		}()
+		g.Poll(0) // delivery barrier fires the handler
+	}()
+	if !neutralized {
+		t.Fatal("victim was not neutralized")
+	}
+	g.SetRestartable(0) // the longjmp target: read phase restarts
+
+	var order []obs.Code
+	for _, e := range rec.Events(0) {
+		switch e.Code {
+		case obs.EvSigPost, obs.EvSigDeliver, obs.EvSigRestart:
+			order = append(order, e.Code)
+		}
+	}
+	want := []obs.Code{obs.EvSigPost, obs.EvSigDeliver, obs.EvSigRestart}
+	if len(order) != len(want) {
+		t.Fatalf("signal events = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("signal events out of order: %v, want %v", order, want)
+		}
+	}
+
+	h := rec.Hist(obs.HistSignalLatency)
+	if h.Count() != 1 {
+		t.Fatalf("signal-latency observations = %d, want 1", h.Count())
+	}
+	if lat := h.Max(); lat < time.Millisecond.Nanoseconds() {
+		t.Fatalf("post→restart latency %dns, want >= the 1ms the victim slept", lat)
+	}
+}
+
+// TestAttachClearsCarriedLatency: a successor on a recycled slot must not
+// inherit its predecessor's half-open latency measurement.
+func TestAttachClearsCarriedLatency(t *testing.T) {
+	rec := obs.NewRecorder(2)
+	rec.Enable()
+	g := NewGroup(2, Config{})
+	g.SetRecorder(rec)
+
+	g.Attach(0)
+	g.SetRestartable(0)
+	g.SignalAll(1)
+	func() {
+		defer func() { recover() }()
+		g.Poll(0) // neutralizes; restartFrom now carries the post timestamp
+	}()
+	g.Attach(0)         // successor takes the slot before any restart
+	g.SetRestartable(0) // must NOT record a latency for the predecessor
+	if c := rec.Hist(obs.HistSignalLatency).Count(); c != 0 {
+		t.Fatalf("successor inherited predecessor latency: count=%d", c)
+	}
+}

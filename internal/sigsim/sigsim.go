@@ -29,7 +29,11 @@
 // delivery, so the NBR-vs-NBR+ signal-economy trade-off remains measurable.
 package sigsim
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"nbr/internal/obs"
+)
 
 // Neutralized is the panic payload used to emulate siglongjmp back to the
 // sigsetjmp point at the start of the current read phase. smr.Execute
@@ -54,8 +58,13 @@ const (
 type state struct {
 	word atomic.Uint64
 	// Owner-only fields (no atomics needed).
-	delivered uint64 // signals already handled or absorbed
-	sink      uint64 // spin-cost accumulator, defeats dead-code elimination
+	delivered   uint64 // signals already handled or absorbed
+	sink        uint64 // spin-cost accumulator, defeats dead-code elimination
+	restartFrom int64  // post timestamp carried from a neutralizing delivery
+	// lastPost is the recorder timestamp of the most recent SignalAll post
+	// aimed at this slot (written by senders, read by the owner at delivery);
+	// it closes the post→restart latency measurement.
+	lastPost atomic.Int64
 	// Statistics.
 	sent        atomic.Uint64 // signals this thread sent (as reclaimer)
 	neutralized atomic.Uint64 // deliveries that restarted this thread
@@ -80,6 +89,7 @@ type Group struct {
 	states []state
 	cfg    Config
 	active *ActiveSet
+	rec    *obs.Recorder
 }
 
 // NewGroup creates a signal group for n threads, all signalable (the fixed-N
@@ -92,6 +102,11 @@ func NewGroup(n int, cfg Config) *Group {
 // before the group is used concurrently (scheme construction time): the mask
 // pointer itself is not synchronized, only its contents are.
 func (g *Group) SetActive(a *ActiveSet) { g.active = a }
+
+// SetRecorder attaches a flight recorder. Like SetActive it must be wired at
+// construction time, before the group is used concurrently; a nil recorder
+// (the default) keeps every instrumented path on its one-branch fast path.
+func (g *Group) SetRecorder(r *obs.Recorder) { g.rec = r }
 
 // Attach readies slot tid for a new occupant: any signals posted to the
 // previous occupant (or to the vacant slot) are absorbed without running a
@@ -107,6 +122,7 @@ func (g *Group) Attach(tid int) {
 		old := s.word.Load()
 		if s.word.CompareAndSwap(old, old&^(restartableBit|revokedBit)) {
 			s.delivered = old / postUnit
+			s.restartFrom = 0 // a stale predecessor latency must not be measured
 			return
 		}
 	}
@@ -126,15 +142,22 @@ func (g *Group) N() int { return len(g.states) }
 // not capacity.
 func (g *Group) SignalAll(self int) {
 	sent := uint64(0)
+	now := g.rec.Clock() // 0 when the recorder is off
 	g.active.Range(func(i int) {
 		if i == self {
 			return
 		}
 		g.states[i].word.Add(postUnit)
+		if now != 0 {
+			g.states[i].lastPost.Store(now)
+		}
 		g.states[self].sink = spin(g.cfg.SendSpin, g.states[self].sink)
 		sent++
 	})
 	g.states[self].sent.Add(sent)
+	if now != 0 && sent > 0 {
+		g.rec.Rec(self, obs.EvSigPost, sent)
+	}
 }
 
 // SetRestartable is the sigsetjmp point at the start of a read phase: it
@@ -148,10 +171,17 @@ func (g *Group) SetRestartable(tid int) {
 	for {
 		old := s.word.Load()
 		if old&revokedBit != 0 {
-			g.deliver(s, old)
+			g.deliver(tid, s, old)
 		}
 		if s.word.CompareAndSwap(old, old|restartableBit) {
 			s.delivered = old / postUnit
+			if from := s.restartFrom; from != 0 {
+				// This setjmp is the restart of a neutralized read phase:
+				// close the post→restart latency opened at the delivery.
+				s.restartFrom = 0
+				g.rec.ObserveSince(obs.HistSignalLatency, from)
+				g.rec.Rec(tid, obs.EvSigRestart, 0)
+			}
 			return
 		}
 	}
@@ -169,7 +199,7 @@ func (g *Group) ClearRestartable(tid int) {
 	for {
 		old := s.word.Load()
 		if old&revokedBit != 0 || old/postUnit > s.delivered {
-			g.deliver(s, old)
+			g.deliver(tid, s, old)
 			// deliver panics (restartable is still set); not reached.
 		}
 		if s.word.CompareAndSwap(old, old&^restartableBit) {
@@ -185,7 +215,7 @@ func (g *Group) Poll(tid int) {
 	s := &g.states[tid]
 	old := s.word.Load()
 	if old&revokedBit != 0 || old/postUnit > s.delivered {
-		g.deliver(s, old)
+		g.deliver(tid, s, old)
 	}
 }
 
@@ -193,18 +223,27 @@ func (g *Group) Poll(tid int) {
 // revocation outranks neutralization: it panics Revoked at EVERY delivery
 // point until the next occupant's Attach acknowledges it, whatever the
 // restartable flag says — the zombie must unwind, not restart.
-func (g *Group) deliver(s *state, old uint64) {
+func (g *Group) deliver(tid int, s *state, old uint64) {
 	s.delivered = old / postUnit
 	s.sink = spin(g.cfg.HandleSpin, s.sink)
+	pending := old / postUnit
 	if old&revokedBit != 0 {
 		s.revoked.Add(1)
+		g.rec.Rec(tid, obs.EvSigKill, pending)
 		panic(Revoked{})
 	}
 	if old&restartableBit != 0 {
 		s.neutralized.Add(1)
+		if g.rec.Enabled() {
+			// Carry the post timestamp across the longjmp: the latency is
+			// closed when the victim re-enters SetRestartable.
+			s.restartFrom = s.lastPost.Load()
+			g.rec.Rec(tid, obs.EvSigDeliver, pending)
+		}
 		panic(Neutralized{})
 	}
 	s.ignored.Add(1)
+	g.rec.Rec(tid, obs.EvSigIgnore, pending)
 }
 
 // Revoke posts a sticky revocation to slot tid: every subsequent delivery

@@ -1,5 +1,7 @@
 package smr
 
+import "nbr/internal/obs"
+
 // This file is the shared quiesce/recovery path. Before it existed, every
 // scheme re-implemented the same release choreography in a private detach
 // hook: adopt the orphan list, run one full reclamation attempt, orphan the
@@ -99,6 +101,10 @@ func (r *Registry) Revoke(l *Lease) bool {
 	}
 	l.revoked.Store(true)
 	r.active.Clear(l.tid)
+	if r.rec.Enabled() {
+		r.rec.ObserveSince(obs.HistLeaseHold, l.start)
+		r.rec.Sys(obs.EvRevoke, uint64(l.tid))
+	}
 	if rv := r.revoker; rv != nil {
 		rv.RevokeSlot(l.tid)
 	}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"nbr/internal/mem"
+	"nbr/internal/obs"
 	"nbr/internal/sigsim"
 )
 
@@ -80,6 +81,11 @@ type Registry struct {
 	// lease was revoked (the counted no-op).
 	reaped          atomic.Uint64
 	revokedReleases atomic.Uint64
+
+	// rec is the flight recorder (nil or disabled: one branch per event
+	// site). Schemes bound to this registry pull it via Recorder() so the
+	// whole pipeline shares one timeline.
+	rec *obs.Recorder
 
 	mu         sync.Mutex
 	fresh      []int // never-yet-quarantined slots (LIFO)
@@ -156,6 +162,23 @@ func (r *Registry) Bind(s Scheme) {
 	}
 }
 
+// Recordable is implemented by schemes (and other pipeline components) that
+// can attach a flight recorder. core.Scheme implements it; harnesses that
+// run schemes without a registry (dstest's fixed-N suites) wire the recorder
+// through this instead of Bind.
+type Recordable interface {
+	SetRecorder(*obs.Recorder)
+}
+
+// SetRecorder attaches a flight recorder to the registry. It must be wired
+// before the registry is used concurrently and before Bind, so the bound
+// scheme adopts the same recorder (see Recorder).
+func (r *Registry) SetRecorder(rec *obs.Recorder) { r.rec = rec }
+
+// Recorder returns the attached flight recorder (nil when none). Schemes
+// read it during AttachRegistry.
+func (r *Registry) Recorder() *obs.Recorder { return r.rec }
+
 // SetForceRound installs the forced-round driver directly (test hook; Bind
 // wires it from the scheme). Pass nil to disable forced aging.
 func (r *Registry) SetForceRound(f func() bool) { r.force = f }
@@ -193,13 +216,21 @@ func (r *Registry) AfterRelease(f func()) { r.afterRelease = append(r.afterRelea
 // scan with BeginScan/EndScan; the in-flight count is what lets Acquire
 // prove that no scan can still hold a snapshot of a quarantined slot's
 // previous occupant.
-func (r *Registry) BeginScan() { r.scans.Add(1) }
+func (r *Registry) BeginScan() {
+	n := r.scans.Add(1)
+	if r.rec.Enabled() {
+		r.rec.Sys(obs.EvScanBegin, uint64(n))
+	}
+}
 
 // EndScan marks the scan complete, counting one finished round toward
 // quarantine aging.
 func (r *Registry) EndScan() {
 	r.scans.Add(-1)
-	r.rounds.Add(1)
+	rounds := r.rounds.Add(1)
+	if r.rec.Enabled() {
+		r.rec.Sys(obs.EvScanEnd, rounds)
+	}
 }
 
 // NoteRound records one completed scan round without an in-flight bracket
@@ -249,6 +280,7 @@ func (r *Registry) Acquire() (*Lease, error) {
 			}
 			forcedOK = true
 			r.forced.Add(1)
+			r.rec.Sys(obs.EvForcedRound, r.rounds.Load())
 			r.mu.Lock()
 			tid, ok, waiting = r.takeSlotLocked()
 			r.mu.Unlock()
@@ -270,6 +302,7 @@ func (r *Registry) Acquire() (*Lease, error) {
 			r.quarantine = r.quarantine[1:]
 			ok = true
 			r.fallbacks.Add(1)
+			r.rec.Rec(tid, obs.EvFallback, uint64(tid))
 		}
 		r.mu.Unlock()
 	}
@@ -280,6 +313,10 @@ func (r *Registry) Acquire() (*Lease, error) {
 		f(tid)
 	}
 	l := &Lease{reg: r, tid: tid}
+	if r.rec.Enabled() {
+		l.start = r.rec.Clock()
+		r.rec.Rec(tid, obs.EvAcquire, uint64(tid))
+	}
 	r.active.Set(tid)
 	return l, nil
 }
@@ -299,10 +336,12 @@ func (r *Registry) takeSlotLocked() (tid int, ok, waiting bool) {
 	// Rounds are monotone, so the FIFO head is always the most-aged entry:
 	// if it cannot be served, nothing behind it can.
 	head := r.quarantine[0]
-	if head.round+quarantineRounds > r.rounds.Load() {
+	rounds := r.rounds.Load()
+	if head.round+quarantineRounds > rounds {
 		return 0, false, true
 	}
 	r.quarantine = r.quarantine[1:]
+	r.rec.Rec(head.tid, obs.EvQuarRecycle, rounds-head.round)
 	return head.tid, true, false
 }
 
@@ -324,6 +363,10 @@ func (l *Lease) Release() {
 	}
 	r := l.reg
 	r.active.Clear(l.tid)
+	if r.rec.Enabled() {
+		r.rec.ObserveSince(obs.HistLeaseHold, l.start)
+		r.rec.Rec(l.tid, obs.EvRelease, uint64(l.tid))
+	}
 	r.runRecovery(l.tid)
 	r.finishRelease(l.tid)
 }
@@ -335,6 +378,7 @@ type Lease struct {
 	tid      int
 	released atomic.Bool
 	revoked  atomic.Bool
+	start    int64 // recorder clock at Acquire (0 when not measured)
 }
 
 // Tid returns the dense slot this lease owns.
@@ -447,5 +491,6 @@ func (r *Registry) AdoptOrphans(dst []mem.Ptr, max int) []mem.Ptr {
 	r.orphans.count.Store(int64(n - take))
 	r.orphans.adopted.Add(uint64(take))
 	r.orphans.mu.Unlock()
+	r.rec.Sys(obs.EvOrphanAdopt, uint64(take))
 	return dst
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"nbr/internal/bench"
 	"nbr/internal/ds"
 	"nbr/internal/mem"
+	"nbr/internal/obs"
 	"nbr/internal/sigsim"
 	"nbr/internal/smr"
 )
@@ -125,6 +127,12 @@ type Runtime struct {
 	watchMu sync.Mutex
 	watched map[*smr.Lease]time.Time
 	watchOn bool
+
+	// rec is the flight recorder shared by the whole pipeline (registry,
+	// scheme, signal group, hub, admission). Created disabled — every
+	// instrumented hot path costs one predictable branch — and switched on
+	// with Observe; Debug()/expvar expose its timeline and histograms.
+	rec *obs.Recorder
 }
 
 // schemeBox wraps the scheme interface so it fits an atomic.Pointer.
@@ -146,7 +154,12 @@ func NewRuntime(opts RuntimeOptions) (*Runtime, error) {
 		req:  req,
 		hub:  mem.NewHub(opts.MaxThreads),
 		reg:  smr.NewRegistry(opts.MaxThreads),
+		rec:  obs.NewRecorder(opts.MaxThreads),
 	}
+	// Recorder wiring precedes Bind (materialize), so the scheme adopts the
+	// same timeline when it is built.
+	rt.reg.SetRecorder(rt.rec)
+	rt.hub.SetRecorder(rt.rec)
 	// The admission baton is handed only after the slot has fully entered
 	// quarantine (AfterRelease, not OnRelease): the woken waiter's Acquire
 	// must be servable by the slot that was just freed.
@@ -329,7 +342,17 @@ func (rt *Runtime) with(ctx context.Context, home *Set, fn func(*Lease) error) (
 		}
 		panic(p)
 	}()
-	return fn(l)
+	// The lease session runs under pprof labels so CPU profiles attribute
+	// samples — including the reclamation work fn's retires trigger — to the
+	// scheme and structure doing it.
+	structure := "runtime"
+	if home != nil {
+		structure = home.name
+	}
+	pprof.Do(ctx, pprof.Labels("scheme", rt.Scheme(), "structure", structure), func(context.Context) {
+		err = fn(l)
+	})
+	return err
 }
 
 // watchLease registers (or moves) a lease's reap deadline and makes sure the
@@ -342,7 +365,13 @@ func (rt *Runtime) watchLease(l *smr.Lease, at time.Time) {
 	rt.watched[l] = at
 	if !rt.watchOn {
 		rt.watchOn = true
-		go rt.watchdog()
+		go func() {
+			// Label the reaper so profiles attribute recovery work (which
+			// runs on this goroutine, not the wedged holder's) to it.
+			pprof.Do(context.Background(),
+				pprof.Labels("scheme", rt.opts.Scheme, "structure", "watchdog"),
+				func(context.Context) { rt.watchdog() })
+		}()
 	}
 	rt.watchMu.Unlock()
 }
@@ -371,11 +400,15 @@ func (rt *Runtime) watchdog() {
 			return
 		}
 		now := time.Now()
-		var expired []*smr.Lease
+		type overdue struct {
+			l  *smr.Lease
+			at time.Time
+		}
+		var expired []overdue
 		next := now.Add(time.Minute)
 		for l, at := range rt.watched {
 			if !at.After(now) {
-				expired = append(expired, l)
+				expired = append(expired, overdue{l, at})
 				delete(rt.watched, l)
 			} else if at.Before(next) {
 				next = at
@@ -383,8 +416,12 @@ func (rt *Runtime) watchdog() {
 		}
 		rt.watchMu.Unlock()
 		if len(expired) > 0 {
-			for _, l := range expired {
-				rt.reg.Revoke(l)
+			for _, e := range expired {
+				if rt.reg.Revoke(e.l) {
+					// Reap latency: deadline → revocation delivered.
+					rt.rec.Observe(obs.HistReapLatency, time.Since(e.at).Nanoseconds())
+					rt.rec.Sys(obs.EvReap, uint64(e.l.Tid()))
+				}
 			}
 			continue // deadlines may have moved while we reaped
 		}
@@ -420,6 +457,9 @@ func (rt *Runtime) AcquireCtx(ctx context.Context) (*Lease, error) {
 	if l, err := rt.Acquire(); err == nil || !errors.Is(err, ErrNoLease) {
 		return l, err
 	}
+	// Admission wait runs first enqueue → admitted, spanning any barge-forced
+	// re-queues; 0 means the recorder was off when the wait began.
+	t0 := rt.rec.Clock()
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -427,19 +467,29 @@ func (rt *Runtime) AcquireCtx(ctx context.Context) (*Lease, error) {
 		ch := make(chan struct{}, 1)
 		rt.admitMu.Lock()
 		rt.waiters = append(rt.waiters, ch)
+		depth := len(rt.waiters)
 		rt.admitMu.Unlock()
+		rt.rec.Adm(obs.EvAdmitEnqueue, uint64(depth))
 		// A release that landed between the failed Acquire and the enqueue
 		// had no waiter to wake; re-try once now that we are visible.
 		if l, err := rt.Acquire(); err == nil || !errors.Is(err, ErrNoLease) {
 			rt.abandon(ch)
+			if err == nil {
+				rt.rec.ObserveSince(obs.HistAdmissionWait, t0)
+			}
 			return l, err
 		}
 		select {
 		case <-ctx.Done():
 			rt.abandon(ch)
+			rt.rec.Adm(obs.EvAdmitCancel, 0)
 			return nil, ctx.Err()
 		case <-ch:
 			if l, err := rt.Acquire(); err == nil || !errors.Is(err, ErrNoLease) {
+				if err == nil {
+					rt.rec.ObserveSince(obs.HistAdmissionWait, t0)
+					rt.rec.Adm(obs.EvAdmitBaton, 0)
+				}
 				return l, err
 			}
 			// A barger took the slot; rejoin the queue at the tail.
